@@ -1,0 +1,48 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Every file reproduces one figure of the paper's evaluation: it computes the
+figure's series (modeled GPU/CPU/PCI seconds from the calibrated device
+model), prints the rendered table, asserts the paper's shape claims, and
+lets pytest-benchmark measure the wall-clock of the underlying simulation.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_N``      — microbenchmark rows (default 2,000,000;
+  paper: 100,000,000)
+* ``REPRO_BENCH_POINTS`` — spatial points (default 1,000,000; paper: ~250M)
+* ``REPRO_BENCH_SF``     — TPC-H scale factor (default 0.01; paper: 10)
+"""
+
+import os
+
+import pytest
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_n() -> int:
+    return env_int("REPRO_BENCH_N", 2_000_000)
+
+
+@pytest.fixture(scope="session")
+def spatial_points() -> int:
+    return env_int("REPRO_BENCH_POINTS", 1_000_000)
+
+
+@pytest.fixture(scope="session")
+def tpch_sf() -> float:
+    return env_float("REPRO_BENCH_SF", 0.01)
+
+
+def show(experiment) -> None:
+    """Print a figure's rendered table (pytest -s shows it; the report
+    generator collects the same renderings into EXPERIMENTS.md)."""
+    print()
+    print(experiment.render())

@@ -1,0 +1,174 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but measurements of the paper's individual
+design decisions: the translucent join versus a generic hash join, prefix
+compression on/off, approximate-selection pushdown on/off, and the free
+approximate answer versus full refinement.
+"""
+
+import numpy as np
+import pytest
+from conftest import show
+
+from repro.bench.harness import Experiment
+from repro.core.relax import ValueRange
+from repro.core.translucent import translucent_join, translucent_join_reference
+from repro.plan.expr import ColRef, Predicate
+from repro.plan.logical import Aggregate, Query
+from repro.storage.decompose import decompose_values
+from repro.workloads.microbench import unique_shuffled_ints
+from repro.workloads.spatial import SPATIAL_QUERY_SQL, SpatialConfig, build_spatial_session
+
+
+def test_ablation_translucent_vs_hash_join(benchmark, bench_n):
+    """The translucent join against the generic alternative.
+
+    Algorithm 1 exists because a generic equi-join (hash build + probe)
+    wastes work when one input is a subset of the other in the same
+    permutation.  Compare modeled costs: merge pass vs hash build+probe.
+    """
+    n = min(bench_n, 1_000_000)
+    rng = np.random.default_rng(0)
+    a_ids = np.arange(n, dtype=np.int64)
+    rng.shuffle(a_ids)
+    r_ids = a_ids[rng.random(n) < 0.4]
+
+    positions = benchmark(translucent_join, a_ids, r_ids)
+    assert np.array_equal(a_ids[positions], r_ids)
+
+    from repro.device.model import OpClass, XEON_E5_2650_X2
+
+    merge_cost = XEON_E5_2650_X2.tuple_seconds(OpClass.SCAN, len(a_ids) + len(r_ids))
+    hash_cost = XEON_E5_2650_X2.tuple_seconds(OpClass.HASH, len(a_ids)) + \
+        XEON_E5_2650_X2.tuple_seconds(OpClass.GATHER, len(r_ids))
+    exp = Experiment(
+        exp_id="ablation-tjoin", title="Translucent join vs hash join",
+        x_label="modeled",
+    )
+    exp.new_series("translucent (merge)").add(0, merge_cost)
+    exp.new_series("generic hash join").add(0, hash_cost)
+    show(exp)
+    # O(|A|+|R|) sequential beats hash build + probe by a wide margin.
+    assert merge_cost * 3 < hash_cost
+
+
+def test_ablation_translucent_reference_agrees(benchmark):
+    """The vectorized join must equal Algorithm 1 verbatim (spot check at
+    benchmark scale, beyond the property tests' small inputs)."""
+    rng = np.random.default_rng(1)
+    a_ids = np.arange(50_000, dtype=np.int64)
+    rng.shuffle(a_ids)
+    r_ids = a_ids[rng.random(50_000) < 0.3]
+    got = benchmark(translucent_join, a_ids, r_ids)
+    assert np.array_equal(got, translucent_join_reference(a_ids, r_ids))
+
+
+def test_ablation_prefix_compression(benchmark, bench_n):
+    """Prefix compression (frame-of-reference base) on vs off (§VI-C2)."""
+    n = min(bench_n, 1_000_000)
+    values = unique_shuffled_ints(n) + 2_000_000_000  # large shared prefix
+
+    def build_both():
+        with_pc = decompose_values(values, residual_bits=8)
+        without_pc = decompose_values(
+            values, residual_bits=8, prefix_compression=False
+        )
+        return with_pc, without_pc
+
+    with_pc, without_pc = benchmark(build_both)
+    size_with = with_pc.approx_nbytes + with_pc.residual_nbytes
+    size_without = without_pc.approx_nbytes + without_pc.residual_nbytes
+    exp = Experiment(
+        exp_id="ablation-prefix", title="Prefix compression footprint",
+        x_label="bytes (reported as seconds field)",
+    )
+    exp.new_series("with prefix compression").add(0, size_with)
+    exp.new_series("without").add(0, size_without)
+    show(exp)
+    assert size_with < 0.8 * size_without
+    assert np.array_equal(with_pc.reconstruct(), values)
+    assert np.array_equal(without_pc.reconstruct(), values)
+
+
+def test_ablation_pushdown(benchmark, spatial_points):
+    """Approximate-selection pushdown on vs off (§III-A).
+
+    Without pushdown each selection's refinement runs before the next
+    approximate selection: candidates cross the PCI-E bus once per
+    predicate and refinements see larger candidate sets.
+    """
+    session = build_spatial_session(SpatialConfig(n_points=min(spatial_points, 500_000)))
+
+    def run_both():
+        with_pd = session.execute(SPATIAL_QUERY_SQL, pushdown=True)
+        without_pd = session.execute(SPATIAL_QUERY_SQL, pushdown=False)
+        return with_pd, without_pd
+
+    with_pd, without_pd = benchmark(run_both)
+    assert with_pd.scalar("count_0") == without_pd.scalar("count_0")
+    exp = Experiment(
+        exp_id="ablation-pushdown", title="Pushdown of approximate selections",
+        x_label="",
+    )
+    exp.new_series("pushdown on").add(
+        0, with_pd.timeline.total_seconds(), with_pd.timeline.seconds_by_kind()
+    )
+    exp.new_series("pushdown off").add(
+        0, without_pd.timeline.total_seconds(),
+        without_pd.timeline.seconds_by_kind(),
+    )
+    show(exp)
+    assert with_pd.timeline.total_seconds() < without_pd.timeline.total_seconds()
+    assert (
+        with_pd.timeline.seconds_by_kind().get("bus", 0)
+        <= without_pd.timeline.seconds_by_kind().get("bus", 0)
+    )
+
+
+def test_ablation_approximate_only(benchmark, spatial_points):
+    """The free approximate answer vs the fully refined one (§III item 4)."""
+    session = build_spatial_session(SpatialConfig(n_points=min(spatial_points, 500_000)))
+
+    approx = benchmark(session.execute, SPATIAL_QUERY_SQL, mode="approximate")
+    full = session.execute(SPATIAL_QUERY_SQL)
+    exp = Experiment(
+        exp_id="ablation-approx-only", title="Approximate answer vs refined",
+        x_label="",
+    )
+    exp.new_series("approximate only").add(
+        0, approx.timeline.total_seconds(), approx.timeline.seconds_by_kind()
+    )
+    exp.new_series("approximate + refine").add(
+        0, full.timeline.total_seconds(), full.timeline.seconds_by_kind()
+    )
+    show(exp)
+    bound = approx.approximate.bound("count_0")
+    truth = full.scalar("count_0")
+    assert bound.lo <= truth <= bound.hi
+    assert approx.timeline.total_seconds() < full.timeline.total_seconds()
+    # The approximation subplan never touches the host.
+    assert "cpu" not in approx.timeline.seconds_by_kind()
+
+
+def test_ablation_resolution_memory_tradeoff(benchmark):
+    """Resolution vs device footprint: the knob §II-A describes.
+
+    Decomposing with fewer device bits frees device memory but widens the
+    error buckets — measure both sides of the trade.
+    """
+    values = unique_shuffled_ints(500_000, 3)
+
+    def sweep():
+        rows = []
+        for device_bits in (8, 12, 16, 20, 24, 28, 32):
+            col = decompose_values(values, device_bits=device_bits)
+            rows.append(
+                (device_bits, col.approx_nbytes, col.decomposition.max_error)
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    footprints = [r[1] for r in rows]
+    errors = [r[2] for r in rows]
+    assert footprints == sorted(footprints)  # more bits, more device bytes
+    assert errors == sorted(errors, reverse=True)  # more bits, less error

@@ -1,0 +1,31 @@
+"""Fig 1 (background): the flash capacity/bandwidth trade-off.
+
+Not an evaluation result — the paper uses Grupp et al.'s FAST'12 data to
+motivate the capacity/velocity conflict.  Reproduced as a static dataset so
+every figure in the paper has a regeneration target; the assertion encodes
+the figure's message: within and across technologies, larger devices write
+slower.
+"""
+
+from conftest import show
+
+from repro.bench.figures import fig1_flash_background
+
+
+def test_fig1_flash_tradeoff(benchmark):
+    exp = benchmark(fig1_flash_background)
+    show(exp)
+    all_points = []
+    for series in exp.series:
+        # within one technology: capacity up, bandwidth down
+        capacities = series.xs
+        bandwidths = series.seconds  # MB/s in this container
+        assert capacities == sorted(capacities)
+        assert bandwidths == sorted(bandwidths, reverse=True)
+        all_points.extend(zip(capacities, bandwidths))
+    # across technologies: the frontier is monotone too
+    all_points.sort()
+    peak_so_far = float("inf")
+    for _, bandwidth in all_points:
+        assert bandwidth <= peak_so_far * 1.5  # no capacity jump gets faster
+        peak_so_far = min(peak_so_far, bandwidth)

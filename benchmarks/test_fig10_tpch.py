@@ -1,0 +1,78 @@
+"""Fig 10a/b/c: the TPC-H queries (paper §VI-D, SF-10).
+
+Paper numbers (seconds, A&R / space-constrained / MonetDB / stream):
+
+* Q1  — 6.373 / 9.507 / 16.666 / 0.254  (≈2.6× over MonetDB; destructive
+  distributivity limits the speedup; streaming is *faster* than A&R here)
+* Q6  — 0.123 / 0.265 / 1.719 / 0.226  (>6× GPU-only; decomposing
+  l_shipdate costs extra refinement)
+* Q14 — 0.112 / 0.341 / 0.565 / 0.230  (selection + FK join win, the
+  final aggregation suffers destructive distributivity)
+"""
+
+import pytest
+from conftest import show
+
+from repro.bench.figures import fig10_tpch
+from repro.workloads.tpch import TpchConfig
+
+
+@pytest.fixture(scope="module")
+def config(request):
+    import os
+
+    return TpchConfig(scale_factor=float(os.environ.get("REPRO_BENCH_SF", 0.01)))
+
+
+def test_fig10a_tpch_q1(benchmark, config):
+    exp = benchmark(fig10_tpch, "q1", config)
+    show(exp)
+    ar = exp.get("A & R").points[0]
+    sc = exp.get("A & R Space Constraint").points[0]
+    monetdb = exp.get("MonetDB").points[0]
+    stream = exp.get("Stream (Hypothetical)").points[0]
+
+    # ~3× win, limited by destructive distributivity (§VI-D2).
+    assert 1.5 <= monetdb.seconds / ar.seconds <= 5.0
+    # The space-constrained variant pays extra refinement.
+    assert ar.seconds < sc.seconds < monetdb.seconds
+    # Q1's anomaly: the input is small but heavily processed, so merely
+    # streaming it would be *faster* than the A&R processing (§VI-D2).
+    assert stream.seconds < ar.seconds
+    assert "True" in exp.notes  # engines agree on exact answers
+
+
+def test_fig10b_tpch_q6(benchmark, config):
+    exp = benchmark(fig10_tpch, "q6", config)
+    show(exp)
+    ar = exp.get("A & R").points[0]
+    sc = exp.get("A & R Space Constraint").points[0]
+    monetdb = exp.get("MonetDB").points[0]
+    stream = exp.get("Stream (Hypothetical)").points[0]
+
+    # The all-GPU case clearly outperforms the CPU (paper: >6×; our
+    # calibrated model lands lower but decisively on the same side).
+    assert monetdb.seconds / ar.seconds >= 3.0
+    # Decomposing l_shipdate costs extra (paper: ~2.2× the GPU-only time).
+    assert 1.2 <= sc.seconds / ar.seconds <= 3.0
+    # Even the constrained variant beats MonetDB by a wide margin (§VI-D2).
+    assert monetdb.seconds / sc.seconds >= 2.0
+    # A&R beats even the hypothetical streaming lower bound.
+    assert ar.seconds < stream.seconds
+    assert "True" in exp.notes
+
+
+def test_fig10c_tpch_q14(benchmark, config):
+    exp = benchmark(fig10_tpch, "q14", config)
+    show(exp)
+    ar = exp.get("A & R").points[0]
+    sc = exp.get("A & R Space Constraint").points[0]
+    monetdb = exp.get("MonetDB").points[0]
+    stream = exp.get("Stream (Hypothetical)").points[0]
+
+    assert 1.5 <= monetdb.seconds / ar.seconds <= 8.0
+    assert ar.seconds < sc.seconds
+    # Lower selectivity than Q1 → the reduced resolution has a larger
+    # impact (§VI-D2): the constrained gap is wider for Q14 than for Q1.
+    assert ar.seconds < stream.seconds
+    assert "True" in exp.notes

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fast approximate answers: the A&R paradigm's free by-product (§III).
+
+Because no approximation operator ever depends on a refinement operator,
+the approximation subplan can run to completion on its own — yielding
+strict bounds on every aggregate long before the exact answer exists.  A
+dashboard can render the bounds instantly and swap in exact numbers when
+refinement completes.
+
+This example runs a revenue dashboard query in both modes, verifies the
+bounds bracket the exact answers, and shows how the bound width shrinks as
+the decomposition grants the device more bits.
+
+Run: ``python examples/approximate_dashboard.py``
+"""
+
+import numpy as np
+
+from repro import DecimalType, IntType, Session
+from repro.util import format_seconds
+
+rng = np.random.default_rng(23)
+N = 1_000_000
+
+session = Session()
+session.create_table(
+    "orders",
+    {
+        "region": IntType(),
+        "amount": DecimalType(12, 2),
+        "priority": IntType(),
+    },
+    {
+        "region": rng.integers(0, 5, N),
+        "amount": rng.gamma(2.0, 150.0, N).round(2),
+        "priority": rng.integers(0, 3, N),
+    },
+)
+session.execute("select bwdecompose(region, 32) from orders")
+session.execute("select bwdecompose(priority, 32) from orders")
+session.execute("select bwdecompose(amount, 20) from orders")  # lossy on GPU
+
+SQL = (
+    "select sum(amount) as revenue, count(*) as n, max(amount) as biggest "
+    "from orders where priority = 2 and amount >= 100.00"
+)
+
+approx = session.execute(SQL, mode="approximate")
+exact = session.execute(SQL)
+
+rev = approx.approximate.bound("revenue")
+cnt = approx.approximate.bound("n")
+big = approx.approximate.bound("biggest")
+
+print("dashboard, first paint (approximation subplan only):")
+print(f"  revenue in [{rev.lo / 100:,.2f}, {rev.hi / 100:,.2f}]")
+print(f"  orders  in [{cnt.lo:,.0f}, {cnt.hi:,.0f}]")
+print(f"  biggest in [{big.lo / 100:,.2f}, {big.hi / 100:,.2f}]")
+print(f"  modeled latency: {format_seconds(approx.timeline.total_seconds())}")
+
+print("\ndashboard, after refinement:")
+print(f"  revenue = {exact.decoded('revenue')[0]:,.2f}")
+print(f"  orders  = {exact.scalar('n'):,}")
+print(f"  biggest = {exact.decoded('biggest')[0]:,.2f}")
+print(f"  modeled latency: {format_seconds(exact.timeline.total_seconds())}")
+
+assert rev.lo <= exact.scalar("revenue") <= rev.hi
+assert cnt.lo <= exact.scalar("n") <= cnt.hi
+assert big.lo <= exact.scalar("biggest") <= big.hi
+
+print("\nbound width vs device-resident bits for sum(amount):")
+for bits in (14, 18, 22, 26, 32):
+    session.execute(f"select bwdecompose(amount, {bits}) from orders")
+    a = session.execute(SQL, mode="approximate")
+    bound = a.approximate.bound("revenue")
+    width = (bound.hi - bound.lo) / max(bound.hi, 1)
+    print(f"  {bits:>2} device bits -> relative bound width {width:8.4%} "
+          f"(latency {format_seconds(a.timeline.total_seconds())})")

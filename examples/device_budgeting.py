@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Sizing decompositions against a device memory budget (§II-A, §VII-B).
+
+"Since the data size of the approximation scales with its resolution, it
+can be adapted to the storage capacity of the respective device."  This
+example loads more columns than fit at full resolution into a deliberately
+small GPU, reacts to ``DeviceOutOfMemory`` by lowering resolutions, and
+measures what the lost bits cost at query time.
+
+Run: ``python examples/device_budgeting.py``
+"""
+
+import numpy as np
+
+from repro import DeviceOutOfMemory, DeviceSpec, IntType, Machine, Session
+from repro.util import format_bytes, format_seconds
+
+# A toy co-processor with 4 MB of memory instead of the GTX 680's 2 GB.
+tiny_gpu = DeviceSpec(
+    name="toy-gpu", kind="gpu", memory_capacity=4 * 1024 * 1024,
+    seq_bandwidth=150e9, random_bandwidth=20e9, launch_overhead=5e-6,
+    threads=1536, saturation_bandwidth=150e9,
+    per_tuple=Machine.paper_testbed().gpu.spec.per_tuple,
+)
+session = Session(Machine(gpu_spec=tiny_gpu))
+
+N = 1_000_000
+rng = np.random.default_rng(3)
+session.create_table(
+    "events",
+    {"a": IntType(), "b": IntType(), "c": IntType()},
+    {
+        "a": rng.integers(0, 2**20, N),
+        "b": rng.integers(0, 2**20, N),
+        "c": rng.integers(0, 2**20, N),
+    },
+)
+
+print(f"GPU capacity: {format_bytes(tiny_gpu.memory_capacity)} "
+      "(10% reserved for processing)")
+
+# Full resolution needs 3 columns x 20 bits x 1M rows = 7.5 MB: too much.
+try:
+    for col in ("a", "b", "c"):
+        session.bwdecompose("events", col, 32)
+        print(f"  {col} at full resolution: "
+              f"{format_bytes(session.device_footprint())} used")
+except DeviceOutOfMemory as exc:
+    print(f"  -> {exc}")
+
+# React: redo the layout with a per-column budget.  20 bits of domain,
+# keep 9 on the device per column (3 x 9 bits x 1M = ~3.4 MB).
+print("\nretrying with 9 device bits per column:")
+for col in ("a", "b", "c"):
+    bwd = session.bwdecompose("events", col, residual_bits=11)
+    print(f"  {col}: {bwd.decomposition.approx_bits} bits on GPU, "
+          f"{bwd.decomposition.residual_bits} on CPU "
+          f"({format_bytes(bwd.approx_nbytes)})")
+print(f"device footprint now: {format_bytes(session.device_footprint())}")
+
+SQL = ("select count(*) from events "
+       "where a < 100000 and b < 200000 and c < 300000")
+low = session.execute(SQL)
+classic = session.execute(SQL, mode="classic")
+print(f"\nquery at 9-bit resolution: {low.scalar('count_0')} rows, "
+      f"A&R {format_seconds(low.timeline.total_seconds())} vs classic "
+      f"{format_seconds(classic.timeline.total_seconds())}")
+
+# What did the lost resolution cost?  Compare against an unconstrained GPU.
+rich = Session()
+rich.create_table(
+    "events", {"a": IntType(), "b": IntType(), "c": IntType()},
+    {c: session.catalog.table("events").values(c) for c in ("a", "b", "c")},
+)
+for col in ("a", "b", "c"):
+    rich.bwdecompose("events", col, 32)
+full = rich.execute(SQL)
+assert full.scalar("count_0") == low.scalar("count_0")
+print(f"same query at full resolution (2 GB GPU): "
+      f"{format_seconds(full.timeline.total_seconds())}")
+print(f"cost of fitting the budget: "
+      f"{low.timeline.total_seconds() / full.timeline.total_seconds():.1f}x "
+      "slower — but it runs, instead of not fitting at all")

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has setuptools but no ``wheel`` package and no
+network, so PEP 660 editable installs (``pip install -e .``) cannot build an
+editable wheel.  This shim lets the legacy ``python setup.py develop`` path
+(used automatically by older pip, or directly) provide the editable install.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

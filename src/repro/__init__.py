@@ -1,0 +1,84 @@
+"""repro — Approximate & Refine co-processing of relational data.
+
+A from-scratch reproduction of H. Pirk, S. Manegold and M. Kersten,
+"Waste Not... Efficient Co-Processing of Relational Data" (ICDE 2014):
+bitwise-distributed storage (major bits in fast device memory, minor bits
+on the host), approximation operators that compute candidate results on the
+device, and refinement operators that join residuals back in on the CPU —
+with the GPU, the PCI-E bus and the testbed replaced by a calibrated
+analytic performance model over NumPy execution.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Session, IntType
+
+    session = Session()
+    session.create_table("r", {"a": IntType()}, {"a": np.arange(1000)})
+    session.execute("select bwdecompose(a, 24) from r")
+    result = session.execute("select count(*) from r where a between 10 and 99")
+    print(result.scalar("count_0"))        # 90, exact
+    print(result.approximate.bound("count_0"))  # strict bounds, GPU-only
+"""
+
+from .engine.result import ApproximateAnswer, Result
+from .engine.session import Session
+from .core.intervals import Interval
+from .core.relax import CompareOp, ValueRange
+from .device.machine import Machine
+from .device.model import GTX_680, PCIE_GEN2, XEON_E5_2650_X2, DeviceSpec
+from .errors import (
+    DeviceOutOfMemory,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    SqlError,
+    StorageError,
+)
+from .plan.expr import BinOp, Case, ColRef, Const, Predicate
+from .plan.logical import Aggregate, FkJoin, Query
+from .storage.column import (
+    DateType,
+    DecimalType,
+    DictionaryType,
+    IntType,
+    OrderedDictionary,
+)
+from .storage.relation import Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "ApproximateAnswer",
+    "BinOp",
+    "Case",
+    "ColRef",
+    "CompareOp",
+    "Const",
+    "DateType",
+    "DecimalType",
+    "DeviceOutOfMemory",
+    "DeviceSpec",
+    "DictionaryType",
+    "ExecutionError",
+    "FkJoin",
+    "GTX_680",
+    "IntType",
+    "Interval",
+    "Machine",
+    "OrderedDictionary",
+    "PCIE_GEN2",
+    "PlanError",
+    "Predicate",
+    "Query",
+    "ReproError",
+    "Result",
+    "Schema",
+    "Session",
+    "SqlError",
+    "StorageError",
+    "ValueRange",
+    "XEON_E5_2650_X2",
+    "__version__",
+]

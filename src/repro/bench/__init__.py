@@ -1,0 +1,13 @@
+"""The benchmark harness: one experiment runner per paper figure.
+
+:mod:`repro.bench.harness` defines the experiment/series containers and
+their text rendering; :mod:`repro.bench.figures` implements a runner for
+every figure of the paper's evaluation (Fig 8a–f microbenchmarks, Fig 9
+spatial, Fig 10a–c TPC-H, Fig 11 throughput, plus the Fig 1 background
+data); :mod:`repro.bench.report` assembles EXPERIMENTS.md.
+"""
+
+from .harness import Experiment, Point, Series
+from . import figures
+
+__all__ = ["Experiment", "Point", "Series", "figures"]

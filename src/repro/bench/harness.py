@@ -1,0 +1,131 @@
+"""Experiment containers and rendering for the figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util import format_seconds
+
+
+@dataclass(frozen=True)
+class Point:
+    """One measurement: sweep coordinate → modeled seconds (+ breakdown)."""
+
+    x: float
+    seconds: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """One line (or bar) of a figure."""
+
+    name: str
+    points: list[Point] = field(default_factory=list)
+
+    def add(self, x: float, seconds: float, breakdown: dict[str, float] | None = None) -> None:
+        self.points.append(Point(x, seconds, dict(breakdown or {})))
+
+    def at(self, x: float) -> Point:
+        for p in self.points:
+            if p.x == x:
+                return p
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+    @property
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def seconds(self) -> list[float]:
+        return [p.seconds for p in self.points]
+
+
+@dataclass
+class Experiment:
+    """A reproduced figure: several series over a shared sweep axis."""
+
+    exp_id: str
+    title: str
+    x_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def new_series(self, name: str) -> Series:
+        s = Series(name)
+        self.series.append(s)
+        return s
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"experiment {self.exp_id} has no series {name!r}")
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """ASCII table: one row per sweep value, one column per series.
+
+        This is the text equivalent of the paper's chart; for bar-style
+        figures (a single x value) the per-device breakdown is appended.
+        """
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        names = [s.name for s in self.series]
+        xs: list[float] = []
+        for s in self.series:
+            for x in s.xs:
+                if x not in xs:
+                    xs.append(x)
+        header = f"{self.x_label:>24} | " + " | ".join(f"{n:>22}" for n in names)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for x in xs:
+            cells = []
+            for s in self.series:
+                try:
+                    cells.append(f"{format_seconds(s.at(x).seconds):>22}")
+                except KeyError:
+                    cells.append(f"{'—':>22}")
+            x_text = f"{x:g}"
+            lines.append(f"{x_text:>24} | " + " | ".join(cells))
+        if self._is_bar_style():
+            lines.append("")
+            lines.append(f"{'breakdown':>24} | " + " | ".join(f"{n:>22}" for n in names))
+            for kind in ("gpu", "cpu", "bus"):
+                cells = []
+                for s in self.series:
+                    secs = s.points[0].breakdown.get(kind, 0.0)
+                    cells.append(f"{format_seconds(secs):>22}" if secs else f"{'—':>22}")
+                lines.append(f"{kind.upper():>24} | " + " | ".join(cells))
+        if self.notes:
+            lines.append("")
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def _is_bar_style(self) -> bool:
+        return all(len(s.points) == 1 for s in self.series) and any(
+            s.points[0].breakdown for s in self.series
+        )
+
+    # ------------------------------------------------------------------
+    def speedup(self, slow: str, fast: str, x: float | None = None) -> float:
+        """Ratio between two series (at ``x`` or their single point)."""
+        s_slow, s_fast = self.get(slow), self.get(fast)
+        if x is None:
+            a, b = s_slow.points[0].seconds, s_fast.points[0].seconds
+        else:
+            a, b = s_slow.at(x).seconds, s_fast.at(x).seconds
+        return a / b
+
+
+def crossover_x(experiment: Experiment, a: str, b: str) -> float | None:
+    """Smallest sweep value where series ``a`` stops beating series ``b``.
+
+    Returns ``None`` if ``a`` is faster over the whole sweep — used to check
+    claims like "A&R wins below 60% selectivity" (Fig 8b).
+    """
+    sa, sb = experiment.get(a), experiment.get(b)
+    for pa, pb in zip(sa.points, sb.points):
+        if pa.seconds >= pb.seconds:
+            return pa.x
+    return None

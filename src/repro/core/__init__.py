@@ -1,0 +1,46 @@
+"""The Approximate & Refine (A&R) core — the paper's primary contribution.
+
+* :mod:`repro.core.relax` — predicate relaxation onto the approximate code
+  domain (paper §IV-B), including the *certain* strengthening used by
+  min/max aggregation.
+* :mod:`repro.core.translucent` — the translucent join, Algorithm 1.
+* :mod:`repro.core.intervals` — strict error-bound arithmetic for value
+  operators, and the destructive-distributivity analysis (§IV-G).
+* :mod:`repro.core.candidates` — the candidate sets flowing from
+  approximation to refinement operators.
+* :mod:`repro.core.approximate` / :mod:`repro.core.refine` — the paired
+  operator classes replacing each classic relational operator.
+* :mod:`repro.core.grouping` / :mod:`repro.core.aggregates` — pre-grouping
+  and aggregation (§IV-E, §IV-F).
+"""
+
+from .relax import (
+    CompareOp,
+    ValueRange,
+    candidate_mask_for_intervals,
+    certain_code_range,
+    certain_mask_for_intervals,
+    relax_to_code_range,
+)
+from .intervals import Interval, IntervalColumn
+from .translucent import (
+    invisible_join,
+    translucent_join,
+    translucent_join_reference,
+)
+from .candidates import Approximation
+
+__all__ = [
+    "Approximation",
+    "CompareOp",
+    "Interval",
+    "IntervalColumn",
+    "ValueRange",
+    "candidate_mask_for_intervals",
+    "certain_code_range",
+    "certain_mask_for_intervals",
+    "invisible_join",
+    "relax_to_code_range",
+    "translucent_join",
+    "translucent_join_reference",
+]

@@ -1,0 +1,267 @@
+"""Approximation operators: the device-side halves of the A&R pairs.
+
+Each function mirrors one red node of the paper's Fig 3/Fig 4 plans.  They
+run on the :class:`~repro.device.gpu.SimulatedGPU`, consume approximation
+streams (packed major bits) and produce :class:`~repro.core.candidates.
+Approximation` objects: over-approximated candidate ids plus device-side
+payloads (per-row error-bound intervals) for the refinement half.
+
+When a column is fully device-resident (no residual bits) the operator's
+output is already exact — the candidate set equals the true result and
+payload intervals are degenerate.  The all-GPU TPC-H runs of §VI-D exercise
+exactly this fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.gpu import SimulatedGPU
+from ..device.timeline import Timeline
+from ..errors import ExecutionError
+from ..storage.decompose import BwdColumn
+from .candidates import Approximation
+from .intervals import Interval, IntervalColumn
+from .relax import (
+    ValueRange,
+    candidate_mask_for_intervals,
+    certain_mask_for_intervals,
+    relax_to_code_range,
+)
+
+
+def _payload_from_codes(column: BwdColumn, codes: np.ndarray) -> IntervalColumn:
+    """Bucket bounds of approximation codes as an interval payload."""
+    dec = column.decomposition
+    lo = dec.approx_lower_bounds(codes)
+    if dec.residual_bits == 0:
+        return IntervalColumn.exact(lo)
+    return IntervalColumn.from_bounds(lo, lo + dec.max_error)
+
+
+def select_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    column: BwdColumn,
+    label: str,
+    vrange: ValueRange,
+    *,
+    scramble: bool = True,
+) -> Approximation:
+    """Approximate a selection: relaxed scan of the approximation stream.
+
+    Returns the candidate superset with the column's bucket bounds attached
+    as payload ``label``.  Output order is scrambled like a real massively
+    parallel scatter unless ``scramble`` is disabled.
+    """
+    lo_code, hi_code = relax_to_code_range(vrange, column.decomposition)
+    ids = gpu.scan_code_range(
+        column, lo_code, hi_code, timeline, op=f"select.approx({label})",
+        scramble=scramble,
+    )
+    codes = column.approx_at(ids) if ids.size else np.empty(0, dtype=np.uint64)
+    payload = _payload_from_codes(column, codes)
+    exact = column.decomposition.residual_bits == 0
+    return Approximation(
+        ids=ids,
+        order_preserved=not scramble,
+        payloads={label: payload},
+        exact=exact,
+    )
+
+
+def select_approx_narrow(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    column: BwdColumn,
+    label: str,
+    vrange: ValueRange,
+    candidates: Approximation,
+) -> Approximation:
+    """Further approximate selection restricted to existing candidates.
+
+    The conjunction case: later predicates of a WHERE clause probe only the
+    surviving candidate ids (random access on the device).  Preserves the
+    incoming candidate order, so translucent-join preconditions stay intact.
+    """
+    lo_code, hi_code = relax_to_code_range(vrange, column.decomposition)
+    kept_ids = gpu.refine_positions_code_range(
+        column, candidates.ids, lo_code, hi_code, timeline,
+        op=f"select.approx.probe({label})",
+    )
+    keep_mask = np.isin(candidates.ids, kept_ids, assume_unique=True)
+    narrowed = candidates.narrowed(keep_mask)
+    codes = column.approx_at(narrowed.ids) if narrowed.ids.size else np.empty(0, dtype=np.uint64)
+    narrowed.payloads[label] = _payload_from_codes(column, codes)
+    narrowed.exact = narrowed.exact and column.decomposition.residual_bits == 0
+    return narrowed
+
+
+def project_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    column: BwdColumn,
+    label: str,
+    candidates: Approximation,
+) -> Approximation:
+    """Approximate a projection: invisible join of ids with the approximation.
+
+    A positional lookup of the candidates' codes (paper §IV-C); attaches the
+    bucket bounds as payload ``label`` and leaves ids untouched, so the
+    output is positionally aligned with its input.
+    """
+    codes = gpu.gather_codes(
+        column, candidates.ids, timeline, op=f"project.approx({label})"
+    )
+    payload = _payload_from_codes(column, codes)
+    candidates.payloads[label] = payload
+    if column.decomposition.residual_bits != 0:
+        candidates.exact = False
+    return candidates
+
+
+def fk_join_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    fk_column: BwdColumn,
+    target_column: BwdColumn,
+    label: str,
+    candidates: Approximation,
+) -> Approximation:
+    """Approximate a foreign-key (projective) join — paper §IV-D.
+
+    With a pre-built FK index, the join is a double positional lookup:
+    gather the FK values at the candidate ids, then gather the target
+    column at those positions.  Requires the FK column to be device-resident
+    at full precision: a lossy FK would point at the wrong dimension rows.
+    """
+    if fk_column.decomposition.residual_bits != 0:
+        raise ExecutionError(
+            "approximate FK join requires the key column at full resolution; "
+            "decompose the payload columns instead"
+        )
+    fk_codes = gpu.gather_codes(
+        fk_column, candidates.ids, timeline, op=f"join.approx.fk({label})"
+    )
+    fk_values = fk_column.decomposition.combine(
+        fk_codes, np.zeros(len(fk_codes), dtype=np.uint64)
+    )
+    target_codes = gpu.gather_codes(
+        target_column, fk_values, timeline, op=f"join.approx.gather({label})"
+    )
+    payload = _payload_from_codes(target_column, target_codes)
+    candidates.payloads[label] = payload
+    # The refinement must gather the *target's* residual, which lives at the
+    # dimension positions, not the fact ids — ship the positions along.
+    candidates.payloads[fk_position_payload(label)] = IntervalColumn.exact(fk_values)
+    if target_column.decomposition.residual_bits != 0:
+        candidates.exact = False
+    return candidates
+
+
+def fk_position_payload(label: str) -> str:
+    """Payload key carrying the dimension-row positions behind ``label``."""
+    return f"{label}@fkpos"
+
+
+def select_on_payload_approx(
+    timeline: Timeline,
+    gpu: SimulatedGPU,
+    candidates: Approximation,
+    label: str,
+    vrange: ValueRange,
+) -> Approximation:
+    """Relaxed selection over an already-gathered payload (computed values).
+
+    Used when the predicate targets an arithmetic expression or a joined
+    column: the per-row error bounds decide candidacy (interval intersects
+    range).  Charges a device-side mask-and-compact pass.
+    """
+    payload = candidates.payload(label)
+    mask = candidate_mask_for_intervals(payload.lo, payload.hi, vrange)
+    gpu.reduce(len(candidates), timeline, op=f"select.approx.bounds({label})")
+    return candidates.narrowed(mask)
+
+
+def certain_mask(
+    candidates: Approximation, conjuncts: list[tuple[str, ValueRange]]
+) -> np.ndarray:
+    """Rows that satisfy *all* predicates regardless of residuals.
+
+    Anchors min/max candidate pruning: the error bounds of the applied
+    selections are propagated to the aggregation (paper §IV-F, Fig 6).
+    """
+    mask = np.ones(len(candidates), dtype=bool)
+    for label, vrange in conjuncts:
+        payload = candidates.payload(label)
+        mask &= certain_mask_for_intervals(payload.lo, payload.hi, vrange)
+    return mask
+
+
+def minmax_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    candidates: Approximation,
+    label: str,
+    conjuncts: list[tuple[str, ValueRange]],
+    *,
+    find_min: bool,
+) -> Approximation:
+    """Approximate min/max: prune candidates that cannot win (paper §IV-F).
+
+    Keeps every row whose value interval could still contain the extremum,
+    anchored at the best *certainly-qualifying* row.  The returned candidate
+    set assuredly includes the id of the true extremum.
+    """
+    payload = candidates.payload(label)
+    certain = certain_mask(candidates, conjuncts)
+    if not bool(certain.any()):
+        return candidates  # nothing is certain: everything stays a candidate
+    if find_min:
+        bound = int(payload.hi[certain].min())
+        keep = payload.lo <= bound
+    else:
+        bound = int(payload.lo[certain].max())
+        keep = payload.hi >= bound
+    gpu.reduce(len(candidates), timeline, op=f"agg.minmax.approx({label})")
+    return candidates.narrowed(keep)
+
+
+def sum_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    candidates: Approximation,
+    label: str,
+) -> Interval:
+    """Approximate sum: strict bounds from per-row intervals."""
+    payload = candidates.payload(label)
+    gpu.reduce(len(candidates), timeline, op=f"agg.sum.approx({label})")
+    return payload.sum_interval()
+
+
+def count_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    candidates: Approximation,
+    conjuncts: list[tuple[str, ValueRange]] | None = None,
+) -> Interval:
+    """Approximate count: [certain rows, candidate rows]."""
+    gpu.reduce(len(candidates), timeline, op="agg.count.approx")
+    if not conjuncts:
+        return Interval(float(len(candidates)), float(len(candidates)))
+    certain = certain_mask(candidates, conjuncts)
+    return Interval(float(certain.sum()), float(len(candidates)))
+
+
+def avg_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    candidates: Approximation,
+    label: str,
+) -> Interval:
+    """Approximate average over the candidate rows' intervals."""
+    payload = candidates.payload(label)
+    gpu.reduce(len(candidates), timeline, op=f"agg.avg.approx({label})")
+    if len(candidates) == 0:
+        raise ExecutionError("avg of an empty candidate set")
+    return payload.mean_interval()

@@ -1,0 +1,84 @@
+"""Candidate sets: the data flowing from approximation to refinement.
+
+An approximation operator produces a *candidate result* (paper §III): the
+tuple ids of an over-approximated result set, together with whatever
+device-side payload later refinement steps need (the approximation codes
+that were matched, per-row error bounds for computed values).  Refinement
+operators consume one of these plus the residual data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util import as_index_array
+from .intervals import IntervalColumn
+
+
+@dataclass
+class Approximation:
+    """One approximation operator's output.
+
+    Attributes
+    ----------
+    ids:
+        Candidate tuple ids, in the (possibly scrambled) order the
+        device-side operator emitted them.
+    order_preserved:
+        Whether ``ids`` still follows the base-table order.  The massively
+        parallel selection scrambles order (paper §IV-A item 3); everything
+        downstream must then preserve the scrambled permutation so that
+        translucent joins stay applicable.
+    payloads:
+        Per-column device-side payloads aligned with ``ids``: interval
+        columns of the approximate values (bucket bounds or propagated
+        arithmetic bounds).
+    exact:
+        True when the approximation is known to be error-free (every
+        involved column fully device-resident) — refinement is then a no-op
+        beyond bookkeeping, the all-GPU fast path of the TPC-H experiments.
+    """
+
+    ids: np.ndarray
+    order_preserved: bool = True
+    payloads: dict[str, IntervalColumn] = field(default_factory=dict)
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        self.ids = as_index_array(self.ids)
+        for name, col in self.payloads.items():
+            if len(col) != len(self.ids):
+                raise ValueError(f"payload {name!r} misaligned with candidate ids")
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @property
+    def nbytes_ids(self) -> int:
+        return self.ids.nbytes
+
+    def payload(self, name: str) -> IntervalColumn:
+        try:
+            return self.payloads[name]
+        except KeyError:
+            raise KeyError(
+                f"approximation carries no payload for column {name!r}"
+            ) from None
+
+    def with_payload(self, name: str, column: IntervalColumn) -> "Approximation":
+        if len(column) != len(self.ids):
+            raise ValueError(f"payload {name!r} misaligned with candidate ids")
+        self.payloads[name] = column
+        return self
+
+    def narrowed(self, keep_mask: np.ndarray) -> "Approximation":
+        """Candidate subset selected by a boolean mask (order kept)."""
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        return Approximation(
+            ids=self.ids[keep_mask],
+            order_preserved=self.order_preserved,
+            payloads={k: v.take(np.flatnonzero(keep_mask)) for k, v in self.payloads.items()},
+            exact=self.exact,
+        )

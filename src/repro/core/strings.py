@@ -1,0 +1,202 @@
+"""String processing via fixed-length prefix approximation (paper §VII-B).
+
+"In particular string processing on GPUs is still an open problem due to
+the variable length of string attributes.  We believe that our approach can
+help to solve this problem by approximating variable length strings with a
+fixed length prefix."
+
+This module implements that idea: the device holds, per string, a
+fixed-length byte prefix packed into an integer *code* whose numeric order
+equals the lexicographic byte order (big-endian packing).  Equality, prefix
+and range predicates relax onto code ranges exactly like numeric
+predicates; the host keeps the full strings as the "residual" and refines
+candidates by real string comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..device.cpu import Cpu
+from ..device.gpu import SimulatedGPU
+from ..device.model import AccessPattern, OpClass
+from ..device.timeline import Timeline
+from ..errors import ExecutionError
+
+_OID_BYTES = 8
+
+#: Prefix codes are packed into one machine word.
+MAX_PREFIX_BYTES = 8
+
+
+def encode_prefix(text: str, prefix_bytes: int) -> int:
+    """Pack a string's first ``prefix_bytes`` (UTF-8) bytes, big-endian.
+
+    Big-endian packing makes integer comparison agree with bytewise
+    lexicographic comparison; shorter strings pad with zero bytes, which
+    sorts them before any extension — matching ``bytes`` ordering.
+    """
+    if not 1 <= prefix_bytes <= MAX_PREFIX_BYTES:
+        raise ExecutionError(
+            f"prefix_bytes must be 1..{MAX_PREFIX_BYTES}, got {prefix_bytes}"
+        )
+    raw = text.encode("utf-8")[:prefix_bytes]
+    return int.from_bytes(raw.ljust(prefix_bytes, b"\x00"), "big")
+
+
+def _prefix_upper_bound(text: str, prefix_bytes: int) -> int:
+    """Largest code any string starting with ``text``'s prefix can have."""
+    raw = text.encode("utf-8")[:prefix_bytes]
+    return int.from_bytes(raw.ljust(prefix_bytes, b"\xff"), "big")
+
+
+class StringPrefixColumn:
+    """A string column split into device prefix codes + host full strings."""
+
+    def __init__(self, values: Sequence[str], prefix_bytes: int = 4) -> None:
+        if not 1 <= prefix_bytes <= MAX_PREFIX_BYTES:
+            raise ExecutionError(
+                f"prefix_bytes must be 1..{MAX_PREFIX_BYTES}, got {prefix_bytes}"
+            )
+        self.prefix_bytes = prefix_bytes
+        self._strings = list(values)
+        self.codes = np.fromiter(
+            (encode_prefix(v, prefix_bytes) for v in self._strings),
+            dtype=np.uint64, count=len(self._strings),
+        )
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    @property
+    def device_nbytes(self) -> int:
+        """Fixed-width device footprint — the whole point of the prefix."""
+        return len(self) * self.prefix_bytes
+
+    @property
+    def host_nbytes(self) -> int:
+        return sum(len(s.encode("utf-8")) for s in self._strings)
+
+    def string_at(self, position: int) -> str:
+        return self._strings[position]
+
+    def strings_at(self, positions: np.ndarray) -> list[str]:
+        return [self._strings[int(p)] for p in positions]
+
+
+@dataclass(frozen=True)
+class StringPredicate:
+    """Supported string predicates: equality, prefix match, closed range."""
+
+    kind: str  # "eq" | "prefix" | "range"
+    value: str = ""
+    hi: str = ""
+
+    @classmethod
+    def equals(cls, value: str) -> "StringPredicate":
+        return cls("eq", value)
+
+    @classmethod
+    def startswith(cls, prefix: str) -> "StringPredicate":
+        return cls("prefix", prefix)
+
+    @classmethod
+    def between(cls, lo: str, hi: str) -> "StringPredicate":
+        return cls("range", lo, hi)
+
+    # ------------------------------------------------------------------
+    def code_range(self, prefix_bytes: int) -> tuple[int, int]:
+        """Candidate code interval on the device prefix codes (sound)."""
+        if self.kind == "eq":
+            # All strings sharing the value's prefix are candidates.
+            return (
+                encode_prefix(self.value, prefix_bytes),
+                _prefix_upper_bound(self.value, prefix_bytes)
+                if len(self.value.encode("utf-8")) > prefix_bytes
+                else encode_prefix(self.value, prefix_bytes),
+            )
+        if self.kind == "prefix":
+            return (
+                encode_prefix(self.value, prefix_bytes),
+                _prefix_upper_bound(self.value, prefix_bytes),
+            )
+        if self.kind == "range":
+            return (
+                encode_prefix(self.value, prefix_bytes),
+                _prefix_upper_bound(self.hi, prefix_bytes),
+            )
+        raise ExecutionError(f"unknown string predicate {self.kind!r}")
+
+    def evaluate_exact(self, strings: Sequence[str]) -> np.ndarray:
+        if self.kind == "eq":
+            return np.fromiter(
+                (s == self.value for s in strings), dtype=bool, count=len(strings)
+            )
+        if self.kind == "prefix":
+            return np.fromiter(
+                (s.startswith(self.value) for s in strings),
+                dtype=bool, count=len(strings),
+            )
+        if self.kind == "range":
+            return np.fromiter(
+                (self.value <= s <= self.hi for s in strings),
+                dtype=bool, count=len(strings),
+            )
+        raise ExecutionError(f"unknown string predicate {self.kind!r}")
+
+
+def string_select_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    column: StringPrefixColumn,
+    predicate: StringPredicate,
+) -> np.ndarray:
+    """Device-side relaxed string selection over the prefix codes.
+
+    Fixed-length codes make the scan exactly as GPU-friendly as an integer
+    scan — the §VII-B insight.  Returns candidate positions (a superset).
+    """
+    lo, hi = predicate.code_range(column.prefix_bytes)
+    mask = (column.codes >= np.uint64(lo)) & (column.codes <= np.uint64(hi))
+    hits = np.flatnonzero(mask)
+    gpu._charge(
+        timeline, f"select.string.approx({predicate.kind})",
+        len(column) * column.prefix_bytes + hits.size * _OID_BYTES,
+        tuples=len(column), op_class=OpClass.SCAN,
+    )
+    return hits
+
+
+def string_select_refine(
+    cpu: Cpu,
+    timeline: Timeline,
+    column: StringPrefixColumn,
+    predicate: StringPredicate,
+    candidates: np.ndarray,
+) -> np.ndarray:
+    """Host-side refinement: exact string comparison on the candidates.
+
+    Short predicates (fitting the prefix) produce no false positives and
+    the comparison is skipped; longer ones compare the actual strings.
+    """
+    if candidates.size == 0:
+        return candidates
+    needed = len(predicate.value.encode("utf-8")) > column.prefix_bytes or (
+        predicate.kind == "range"
+        and len(predicate.hi.encode("utf-8")) > column.prefix_bytes
+    )
+    if not needed and predicate.kind in ("prefix",):
+        return candidates
+    strings = column.strings_at(candidates)
+    keep = predicate.evaluate_exact(strings)
+    avg_len = max(1, column.host_nbytes // max(1, len(column)))
+    cpu.charge(
+        timeline, f"select.string.refine({predicate.kind})",
+        candidates.size * (_OID_BYTES + avg_len),
+        tuples=candidates.size, op_class=OpClass.GATHER,
+        pattern=AccessPattern.RANDOM,
+    )
+    return candidates[keep]

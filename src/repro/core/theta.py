@@ -1,0 +1,216 @@
+"""A&R theta joins — the §IV-D candidate the paper leaves unexploited.
+
+"Theta joins ... are generally very bandwidth intensive, often subject to
+computation intensive comparison functions and trivial to (massively)
+parallelize because they do not employ intermediate structures that have to
+be locked.  This makes them a very good candidate for GPU-supported
+processing."
+
+The A&R treatment: the device runs the nested-loop comparison over the
+*approximate* value intervals, emitting every pair that could satisfy θ —
+a superset, since each side's exact value is only known to lie inside its
+bucket.  The host then re-evaluates θ on reconstructed exact values for the
+(much smaller) candidate pair set.
+
+Supported θ: ``< <= > >= =`` and the band join ``|left − right| <= delta``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.cpu import Cpu
+from ..device.gpu import SimulatedGPU
+from ..device.model import OpClass
+from ..device.timeline import Timeline
+from ..errors import ExecutionError
+from ..storage.decompose import BwdColumn
+from .intervals import IntervalColumn
+
+_OID_BYTES = 8
+
+#: Left-side rows are processed in tiles to bound the comparison matrix.
+_TILE = 4096
+
+
+class ThetaOp(enum.Enum):
+    """The join predicate θ applied as ``left θ right``."""
+
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    WITHIN = "within"  # |left - right| <= delta
+
+
+@dataclass(frozen=True)
+class Theta:
+    """A theta-join condition; ``delta`` only applies to ``WITHIN``."""
+
+    op: ThetaOp
+    delta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op is ThetaOp.WITHIN and self.delta < 0:
+            raise ExecutionError("band join needs a non-negative delta")
+
+    # ------------------------------------------------------------------
+    def exact(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Elementwise θ over broadcastable exact values."""
+        if self.op is ThetaOp.LT:
+            return left < right
+        if self.op is ThetaOp.LE:
+            return left <= right
+        if self.op is ThetaOp.GT:
+            return left > right
+        if self.op is ThetaOp.GE:
+            return left >= right
+        if self.op is ThetaOp.EQ:
+            return left == right
+        return np.abs(left - right) <= self.delta
+
+    def possible(
+        self,
+        left_lo: np.ndarray, left_hi: np.ndarray,
+        right_lo: np.ndarray, right_hi: np.ndarray,
+    ) -> np.ndarray:
+        """Could θ hold for *some* exact values inside the intervals?"""
+        if self.op is ThetaOp.LT:
+            return left_lo < right_hi
+        if self.op is ThetaOp.LE:
+            return left_lo <= right_hi
+        if self.op is ThetaOp.GT:
+            return left_hi > right_lo
+        if self.op is ThetaOp.GE:
+            return left_hi >= right_lo
+        if self.op is ThetaOp.EQ:
+            return (left_lo <= right_hi) & (left_hi >= right_lo)
+        return (left_lo - self.delta <= right_hi) & (left_hi + self.delta >= right_lo)
+
+    def certain(
+        self,
+        left_lo: np.ndarray, left_hi: np.ndarray,
+        right_lo: np.ndarray, right_hi: np.ndarray,
+    ) -> np.ndarray:
+        """Does θ hold for *all* exact values inside the intervals?"""
+        if self.op is ThetaOp.LT:
+            return left_hi < right_lo
+        if self.op is ThetaOp.LE:
+            return left_hi <= right_lo
+        if self.op is ThetaOp.GT:
+            return left_lo > right_hi
+        if self.op is ThetaOp.GE:
+            return left_lo >= right_hi
+        if self.op is ThetaOp.EQ:
+            return (left_lo == left_hi) & (right_lo == right_hi) & (left_lo == right_lo)
+        # WITHIN holds for all interval points iff the extreme distance fits.
+        return np.maximum(left_hi - right_lo, right_hi - left_lo) <= self.delta
+
+
+@dataclass
+class PairCandidates:
+    """Candidate pair set of an approximate theta join."""
+
+    left_positions: np.ndarray
+    right_positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.left_positions = np.asarray(self.left_positions, dtype=np.int64)
+        self.right_positions = np.asarray(self.right_positions, dtype=np.int64)
+        if self.left_positions.shape != self.right_positions.shape:
+            raise ExecutionError("pair arrays misaligned")
+
+    def __len__(self) -> int:
+        return len(self.left_positions)
+
+
+def _bounds(column: BwdColumn) -> IntervalColumn:
+    dec = column.decomposition
+    codes = column.approx_codes()
+    lo = dec.approx_lower_bounds(codes)
+    if dec.residual_bits == 0:
+        return IntervalColumn.exact(lo)
+    return IntervalColumn.from_bounds(lo, lo + dec.max_error)
+
+
+def theta_join_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    left: BwdColumn,
+    right: BwdColumn,
+    theta: Theta,
+) -> PairCandidates:
+    """Device-side nested-loop theta join over approximate intervals.
+
+    Emits every (left, right) position pair whose buckets could satisfy θ —
+    a superset of the exact join.  The comparison work is |L|·|R| tuple
+    operations (the massively parallel nested loop), charged as such; the
+    memory traffic is only the two (narrow) input streams plus the output.
+    """
+    left_b = _bounds(left)
+    right_b = _bounds(right)
+    out_left: list[np.ndarray] = []
+    out_right: list[np.ndarray] = []
+    for start in range(0, left.length, _TILE):
+        stop = min(start + _TILE, left.length)
+        mask = theta.possible(
+            left_b.lo[start:stop, None], left_b.hi[start:stop, None],
+            right_b.lo[None, :], right_b.hi[None, :],
+        )
+        li, ri = np.nonzero(mask)
+        out_left.append(li + start)
+        out_right.append(ri)
+    pairs = PairCandidates(
+        np.concatenate(out_left) if out_left else np.empty(0, dtype=np.int64),
+        np.concatenate(out_right) if out_right else np.empty(0, dtype=np.int64),
+    )
+    read = left.approx_nbytes + right.approx_nbytes
+    gpu._charge(
+        timeline, f"join.theta.approx({theta.op.value})",
+        read + len(pairs) * 2 * _OID_BYTES,
+        tuples=left.length * right.length, op_class=OpClass.ARITH,
+    )
+    return pairs
+
+
+def theta_join_refine(
+    cpu: Cpu,
+    timeline: Timeline,
+    left: BwdColumn,
+    right: BwdColumn,
+    theta: Theta,
+    pairs: PairCandidates,
+) -> PairCandidates:
+    """Host-side refinement: exact θ over the candidate pairs only.
+
+    The approximation turned a |L|·|R| nested loop into work linear in the
+    candidate count — the transformation §IV-D describes for joins.
+    """
+    if len(pairs) == 0:
+        return pairs
+    left_exact = left.reconstruct(pairs.left_positions)
+    right_exact = right.reconstruct(pairs.right_positions)
+    keep = theta.exact(left_exact, right_exact)
+    cpu.charge(
+        timeline, f"join.theta.refine({theta.op.value})",
+        len(pairs) * 2 * _OID_BYTES,
+        tuples=len(pairs), op_class=OpClass.GATHER,
+    )
+    return PairCandidates(
+        pairs.left_positions[keep], pairs.right_positions[keep]
+    )
+
+
+def theta_join_reference(
+    left_values: np.ndarray, right_values: np.ndarray, theta: Theta
+) -> PairCandidates:
+    """Exact nested-loop join over full-precision values (ground truth)."""
+    left_values = np.asarray(left_values, dtype=np.int64)
+    right_values = np.asarray(right_values, dtype=np.int64)
+    mask = theta.exact(left_values[:, None], right_values[None, :])
+    li, ri = np.nonzero(mask)
+    return PairCandidates(li, ri)

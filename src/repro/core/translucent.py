@@ -1,0 +1,109 @@
+"""The translucent join — Algorithm 1 of the paper (§IV-A).
+
+Refinement operators constantly join an (over-)approximation with a refined
+subset of it.  That join is not a generic equi-join: three runtime
+properties make it cheaper,
+
+1. both id sets are unique,
+2. the refined ids are a *subset* of the approximation's ids, and
+3. the shared ids appear in the *same permutation* in both inputs
+
+(the approximate selection is free to scramble order — a massively parallel
+selection maintaining input order would cost extra — but every operator
+*between* an approximation and its refinement is order-preserving, so the
+two inputs agree on their relative order).
+
+Under these conditions a single merge-like pass suffices: advance the cursor
+on the superset until it matches the current subset element.  ``O(|A|+|R|)``
+memory accesses, ``O(|A|)`` comparisons.  When the superset's ids are sorted
+*and* dense, the join degenerates to the invisible (positional) join of
+Abadi et al., a pure array lookup.
+
+:func:`translucent_join_reference` transcribes Algorithm 1 literally;
+:func:`translucent_join` is the vectorized equivalent used by the engine.
+Both verify the preconditions and raise
+:class:`~repro.errors.RefinementError` when they do not hold, rather than
+silently producing garbage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import RefinementError
+from ..util import as_index_array
+
+
+def invisible_join(a_ids_first: int, a_len: int, r_ids: np.ndarray) -> np.ndarray:
+    """Positional lookup: positions of ``r_ids`` in a sorted, dense id run.
+
+    ``a_ids_first`` is the first id of the dense run of length ``a_len``
+    (a void head's ``hseqbase``).
+    """
+    r_ids = as_index_array(r_ids)
+    positions = r_ids - a_ids_first
+    if positions.size and (
+        int(positions.min()) < 0 or int(positions.max()) >= a_len
+    ):
+        raise RefinementError("invisible join: id outside the dense run")
+    return positions
+
+
+def translucent_join_reference(a_ids: np.ndarray, r_ids: np.ndarray) -> np.ndarray:
+    """Literal transcription of Algorithm 1; returns positions into ``a_ids``.
+
+    For each element of ``r_ids`` (in order), the cursor on ``a_ids`` is
+    advanced until the match is found; both cursors then advance.  The
+    positions returned align each refined id with its candidate row, so
+    ``a_payload[result]`` is the payload joined onto ``r_ids``.
+    """
+    a_ids = as_index_array(a_ids)
+    r_ids = as_index_array(r_ids)
+    out = np.empty(len(r_ids), dtype=np.int64)
+    i_a = 0
+    n_a = len(a_ids)
+    for i_r, rid in enumerate(r_ids):
+        while i_a < n_a and a_ids[i_a] != rid:
+            i_a += 1
+        if i_a == n_a:
+            raise RefinementError(
+                "translucent join: refined id not found in approximation "
+                "(subset or same-permutation precondition violated)"
+            )
+        out[i_r] = i_a
+        i_a += 1
+    return out
+
+
+def translucent_join(a_ids: np.ndarray, r_ids: np.ndarray) -> np.ndarray:
+    """Vectorized translucent join; positions of ``r_ids`` within ``a_ids``.
+
+    Dispatches to the invisible join when ``a_ids`` is sorted and dense
+    (Algorithm 1's fast path), otherwise performs the subset-merge with a
+    hash-membership pass.  Precondition violations raise
+    :class:`~repro.errors.RefinementError`.
+    """
+    a_ids = as_index_array(a_ids)
+    r_ids = as_index_array(r_ids)
+    if len(r_ids) == 0:
+        return np.empty(0, dtype=np.int64)
+    if len(a_ids) == 0:
+        raise RefinementError("translucent join: empty approximation input")
+
+    diffs = np.diff(a_ids)
+    if bool(np.all(diffs == 1)):  # SORTED(A.id) ∧ DENSE(A.id)
+        return invisible_join(int(a_ids[0]), len(a_ids), r_ids)
+
+    member = np.isin(a_ids, r_ids, assume_unique=True)
+    positions = np.flatnonzero(member)
+    if positions.size != r_ids.size:
+        raise RefinementError(
+            "translucent join: refined ids are not a subset of the "
+            "approximation's ids"
+        )
+    if not np.array_equal(a_ids[positions], r_ids):
+        raise RefinementError(
+            "translucent join: inputs do not share a permutation; an "
+            "order-changing operator ran between approximation and refinement"
+        )
+    return positions

@@ -1,0 +1,41 @@
+"""Heterogeneous-hardware substrate: simulated GPU, CPU and PCI-E bus.
+
+The paper's testbed (2× Xeon E5-2650, 2× GTX 680, PCI-E gen2) is replaced by
+an analytic performance model layered over NumPy execution: every kernel and
+transfer computes its *real* result and charges *modeled* seconds — bytes
+moved divided by the device's calibrated bandwidth, plus fixed overheads —
+onto a per-query :class:`~repro.device.timeline.Timeline`.
+
+The modeled GPU/CPU/PCI second totals drive every reproduced figure; see
+DESIGN.md §2 and §5 for the substitution rationale and the calibration
+constants.
+"""
+
+from .model import (
+    GTX_680,
+    PCIE_GEN2,
+    XEON_E5_2650_X2,
+    AccessPattern,
+    DeviceSpec,
+)
+from .memory import MemoryPool
+from .timeline import Span, Timeline
+from .bus import PciBus
+from .cpu import Cpu
+from .gpu import SimulatedGPU
+from .machine import Machine
+
+__all__ = [
+    "AccessPattern",
+    "Cpu",
+    "DeviceSpec",
+    "GTX_680",
+    "Machine",
+    "MemoryPool",
+    "PCIE_GEN2",
+    "PciBus",
+    "SimulatedGPU",
+    "Span",
+    "Timeline",
+    "XEON_E5_2650_X2",
+]

@@ -1,0 +1,30 @@
+"""The PCI-E bus model — the bottleneck the whole paper works around."""
+
+from __future__ import annotations
+
+from .model import AccessPattern, DeviceSpec, PCIE_GEN2
+from .timeline import Timeline
+
+
+class PciBus:
+    """Models host↔device transfers at the paper's measured 3.95 GB/s."""
+
+    def __init__(self, spec: DeviceSpec = PCIE_GEN2) -> None:
+        self.spec = spec
+
+    def transfer(
+        self,
+        timeline: Timeline,
+        nbytes: int,
+        op: str,
+        phase: str = "approximate",
+    ) -> float:
+        """Charge one DMA transfer of ``nbytes``; returns modeled seconds."""
+        seconds = self.spec.transfer_seconds(nbytes, AccessPattern.SEQUENTIAL)
+        timeline.record(self.spec.name, "bus", op, nbytes, seconds, phase)
+        return seconds
+
+    def streaming_seconds(self, nbytes: int) -> float:
+        """The 'Stream (Hypothetical)' baseline: time to push an input
+        relation through the bus (paper §VI-A, GPU streaming implementation)."""
+        return self.spec.transfer_seconds(nbytes, AccessPattern.SEQUENTIAL)

@@ -1,0 +1,93 @@
+"""The CPU device: bulk refinement operators' cost accounting.
+
+The CPU executes two very different roles in the paper:
+
+* the *baseline*: classic single-threaded MonetDB bulk operators
+  (``sequential_pipe``), and
+* the *refinement* side of every A&R operator pair.
+
+Both are NumPy computations here; this class charges their modeled time
+(bytes moved plus per-tuple operator work) and exposes the thread-scaling
+model behind Fig 11 ("A Gap in the Memory Wall").
+"""
+
+from __future__ import annotations
+
+from .model import AccessPattern, DeviceSpec, OpClass, XEON_E5_2650_X2
+from .timeline import Timeline
+
+
+class Cpu:
+    """Cost-accounting facade for host-side bulk operators."""
+
+    def __init__(self, spec: DeviceSpec = XEON_E5_2650_X2, threads: int = 1) -> None:
+        self.spec = spec
+        self.threads = threads
+
+    def charge(
+        self,
+        timeline: Timeline,
+        op: str,
+        nbytes: int,
+        *,
+        tuples: int = 0,
+        op_class: OpClass = OpClass.SCAN,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        phase: str = "refine",
+    ) -> float:
+        """Charge one bulk operator touching ``nbytes`` over ``tuples`` rows."""
+        seconds = self.spec.transfer_seconds(nbytes, pattern, self.threads)
+        seconds += self.spec.tuple_seconds(op_class, tuples) / max(1, self.threads)
+        timeline.record(self.spec.name, "cpu", op, nbytes, seconds, phase)
+        return seconds
+
+    def charge_gather(
+        self,
+        timeline: Timeline,
+        op: str,
+        *,
+        items: int,
+        item_bytes: int,
+        source_rows: int,
+        phase: str = "refine",
+    ) -> float:
+        """Adaptive positional gather of ``items`` rows out of ``source_rows``.
+
+        A sparse candidate list pays random-access costs per item; a dense
+        one is served faster by sweeping the source sequentially (what bulk
+        engines actually do for dense candidate lists).  The model charges
+        whichever is cheaper.
+        """
+        random_cost = self.spec.transfer_seconds(
+            items * (item_bytes + 8), AccessPattern.RANDOM, self.threads
+        ) + self.spec.tuple_seconds(OpClass.GATHER, items) / max(1, self.threads)
+        seq_cost = self.spec.transfer_seconds(
+            source_rows * item_bytes + items * 8,
+            AccessPattern.SEQUENTIAL, self.threads,
+        ) + self.spec.tuple_seconds(OpClass.SCAN, items) / max(1, self.threads)
+        seconds = min(random_cost, seq_cost)
+        timeline.record(
+            self.spec.name, "cpu", op, items * (item_bytes + 8), seconds, phase
+        )
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Fig 11: parallel query streams against the memory wall
+    # ------------------------------------------------------------------
+    def stream_throughput(
+        self, seconds_per_query: float, bytes_per_query: float, threads: int
+    ) -> float:
+        """Queries/second for ``threads`` independent single-threaded streams.
+
+        Each stream runs queries back to back (``seconds_per_query`` at one
+        thread); aggregate throughput scales linearly until the streams'
+        combined memory traffic hits the device's saturation bandwidth —
+        the memory wall that flattens Fig 11's CPU curve.
+        """
+        if seconds_per_query <= 0 or bytes_per_query <= 0:
+            raise ValueError("per-query cost must be positive")
+        threads = min(max(1, threads), self.spec.threads)
+        linear = threads / seconds_per_query
+        if self.spec.saturation_bandwidth is None:
+            return linear
+        return min(linear, self.spec.saturation_bandwidth / bytes_per_query)

@@ -1,0 +1,69 @@
+"""Other instances of the memory-hierarchy problem (paper §VII-B).
+
+"We consider GPU/CPU combinations an instance of the memory hierarchy
+problem.  Since more instances of this problem exist, it is valuable to
+evaluate the A&R approach for other instances" — the paper names
+SSD-accompanied disk-resident DBMSs explicitly.
+
+Nothing in this library hard-codes GPUs: the fast/small device, the
+slow/large device and the bus between them are just three
+:class:`~repro.device.model.DeviceSpec` values.  This module provides the
+disk instance — approximations on a small, fast SSD; residuals on a large,
+slow rotating disk — as an alternative :class:`Machine` configuration.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+from .machine import Machine
+from .model import DeviceSpec, OpClass
+
+#: A SATA SSD playing the fast-but-small role (c. 2014 class device).
+SSD_AS_FAST = DeviceSpec(
+    name="SATA SSD 256GB",
+    kind="gpu",  # the fast/small role in the hierarchy
+    memory_capacity=256 * 1024**3,
+    seq_bandwidth=500e6,
+    random_bandwidth=250e6,  # SSDs tolerate scattered reads well
+    launch_overhead=60e-6,  # request latency
+    threads=32,
+    saturation_bandwidth=500e6,
+    per_tuple=MappingProxyType({k: 1.2e-9 for k in OpClass}),
+)
+
+#: A 7200rpm disk array playing the large-but-slow role.
+HDD_AS_SLOW = DeviceSpec(
+    name="7200rpm HDD array",
+    kind="cpu",  # the slow/large role
+    memory_capacity=None,
+    seq_bandwidth=160e6,
+    random_bandwidth=2e6,  # seek-bound scattered access
+    launch_overhead=4e-3,  # avg. rotational + seek latency per operator
+    threads=4,
+    saturation_bandwidth=320e6,
+    per_tuple=MappingProxyType({k: 1.2e-9 for k in OpClass}),
+)
+
+#: Host DMA between the two storage tiers (shared controller).
+SATA_LINK = DeviceSpec(
+    name="SATA 6Gb/s link",
+    kind="bus",
+    memory_capacity=None,
+    seq_bandwidth=550e6,
+    random_bandwidth=550e6,
+    launch_overhead=30e-6,
+)
+
+
+def disk_hierarchy(**kwargs) -> Machine:
+    """A Machine where A&R splits data across SSD (major bits) and HDD.
+
+    The capacity/bandwidth ratios differ from the GPU instance — the
+    "fast" tier is only ~3× faster sequentially but ~100× faster under
+    scattered access — yet the same A&R plans run unchanged; only the
+    modeled constants move.
+    """
+    return Machine(
+        gpu_spec=SSD_AS_FAST, cpu_spec=HDD_AS_SLOW, bus_spec=SATA_LINK, **kwargs
+    )

@@ -1,0 +1,43 @@
+"""The machine: one GPU, one CPU, one bus — the paper's testbed in miniature."""
+
+from __future__ import annotations
+
+from .bus import PciBus
+from .cpu import Cpu
+from .gpu import SimulatedGPU
+from .model import DeviceSpec, GTX_680, PCIE_GEN2, XEON_E5_2650_X2
+from .timeline import Timeline
+
+
+class Machine:
+    """Bundles the three devices and constructs per-query timelines.
+
+    The default configuration reproduces the paper's testbed (§VI-A): a
+    single GTX 680 (queries never span both cards), dual Xeon E5-2650 used
+    single-threaded for the baseline (``sequential_pipe``), and the measured
+    3.95 GB/s PCI-E bus.
+    """
+
+    def __init__(
+        self,
+        gpu_spec: DeviceSpec = GTX_680,
+        cpu_spec: DeviceSpec = XEON_E5_2650_X2,
+        bus_spec: DeviceSpec = PCIE_GEN2,
+        *,
+        cpu_threads: int = 1,
+        gpu_processing_reserve_fraction: float = 0.1,
+    ) -> None:
+        self.gpu = SimulatedGPU(
+            gpu_spec, processing_reserve_fraction=gpu_processing_reserve_fraction
+        )
+        self.cpu = Cpu(cpu_spec, threads=cpu_threads)
+        self.bus = PciBus(bus_spec)
+
+    @classmethod
+    def paper_testbed(cls, **kwargs) -> "Machine":
+        """The exact §VI-A configuration."""
+        return cls(GTX_680, XEON_E5_2650_X2, PCIE_GEN2, **kwargs)
+
+    @staticmethod
+    def new_timeline() -> Timeline:
+        return Timeline()

@@ -1,0 +1,73 @@
+"""Device memory accounting.
+
+The GPU's 2 GB are the scarce resource the whole paper revolves around; the
+pool tracks every resident buffer and refuses allocations that exceed
+capacity instead of silently spilling — a too-aggressive decomposition must
+surface as :class:`~repro.errors.DeviceOutOfMemory` (DESIGN.md invariant 8).
+"""
+
+from __future__ import annotations
+
+from ..errors import DeviceOutOfMemory, DeviceError
+from ..util import format_bytes
+
+
+class MemoryPool:
+    """Capacity-checked allocator for one device's memory."""
+
+    def __init__(self, name: str, capacity: int | None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise DeviceError("capacity must be positive or None")
+        self.name = name
+        self.capacity = capacity
+        self._allocations: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def allocated(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def available(self) -> int | None:
+        if self.capacity is None:
+            return None
+        return self.capacity - self.allocated
+
+    def holds(self, label: str) -> bool:
+        return label in self._allocations
+
+    def size_of(self, label: str) -> int:
+        try:
+            return self._allocations[label]
+        except KeyError:
+            raise DeviceError(f"{self.name}: no buffer {label!r}") from None
+
+    # ------------------------------------------------------------------
+    def allocate(self, label: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``label``; idempotent re-allocation is an error."""
+        if nbytes < 0:
+            raise DeviceError(f"negative allocation {nbytes}")
+        if label in self._allocations:
+            raise DeviceError(f"{self.name}: buffer {label!r} already allocated")
+        if self.capacity is not None and self.allocated + nbytes > self.capacity:
+            raise DeviceOutOfMemory(
+                self.name, nbytes, self.capacity - self.allocated
+            )
+        self._allocations[label] = nbytes
+
+    def free(self, label: str) -> int:
+        """Release a buffer, returning its size."""
+        try:
+            return self._allocations.pop(label)
+        except KeyError:
+            raise DeviceError(f"{self.name}: no buffer {label!r}") from None
+
+    def free_all(self) -> None:
+        self._allocations.clear()
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.capacity is None else format_bytes(self.capacity)
+        return (
+            f"MemoryPool({self.name!r}, {format_bytes(self.allocated)} / {cap}, "
+            f"{len(self._allocations)} buffers)"
+        )

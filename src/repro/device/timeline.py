@@ -1,0 +1,111 @@
+"""Per-query timelines: the modeled-cost ledger.
+
+Every kernel, bulk operator and bus transfer appends a :class:`Span`.  A
+query's timeline then yields exactly the numbers the paper's stacked bar
+charts report: seconds spent on the GPU, on the CPU and on the PCI-E bus
+(Figs 9, 10), and the approximate-phase subtotal (the "Approximate" series
+of Fig 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..util import format_seconds
+
+
+@dataclass(frozen=True)
+class Span:
+    """One modeled unit of work."""
+
+    device: str  # device name, e.g. "GTX 680"
+    kind: str  # "gpu" | "cpu" | "bus"
+    op: str  # operator label, e.g. "select.approx"
+    nbytes: int
+    seconds: float
+    phase: str = "approximate"  # "approximate" | "refine" | "load"
+
+
+class Timeline:
+    """Ordered collection of spans with per-device aggregation."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        device: str,
+        kind: str,
+        op: str,
+        nbytes: int,
+        seconds: float,
+        phase: str = "approximate",
+    ) -> Span:
+        if seconds < 0 or nbytes < 0:
+            raise ValueError("spans must have non-negative cost")
+        span = Span(device, kind, op, nbytes, seconds, phase)
+        self._spans.append(span)
+        return span
+
+    def extend(self, other: "Timeline") -> None:
+        self._spans.extend(other.spans)
+
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    # ------------------------------------------------------------------
+    # Aggregations used by the figures
+    # ------------------------------------------------------------------
+    def total_seconds(self, *, phases: Iterable[str] | None = None) -> float:
+        """Sum of all span durations (serial execution model)."""
+        phases = None if phases is None else set(phases)
+        return sum(
+            s.seconds for s in self._spans if phases is None or s.phase in phases
+        )
+
+    def seconds_by_kind(self, *, phases: Iterable[str] | None = None) -> dict[str, float]:
+        """GPU/CPU/PCI breakdown — the stacked bars of Figs 9 and 10."""
+        phases = None if phases is None else set(phases)
+        out: dict[str, float] = {}
+        for s in self._spans:
+            if phases is not None and s.phase not in phases:
+                continue
+            out[s.kind] = out.get(s.kind, 0.0) + s.seconds
+        return out
+
+    def approximate_seconds(self) -> float:
+        """Duration of the approximation subplan (Fig 8's red series)."""
+        return self.total_seconds(phases=("approximate",))
+
+    def refine_seconds(self) -> float:
+        return self.total_seconds(phases=("refine",))
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self._spans:
+            out[s.kind] = out.get(s.kind, 0) + s.nbytes
+        return out
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Readable multi-line report (for EXPLAIN ANALYZE-style output)."""
+        lines = ["timeline:"]
+        for s in self._spans:
+            lines.append(
+                f"  [{s.kind:>3}] {s.device:<18} {s.op:<28} "
+                f"{s.phase:<11} {format_seconds(s.seconds)}"
+            )
+        for kind, secs in sorted(self.seconds_by_kind().items()):
+            lines.append(f"  total {kind}: {format_seconds(secs)}")
+        lines.append(f"  total: {format_seconds(self.total_seconds())}")
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Execution engines and the user-facing session.
+
+* :mod:`repro.engine.bulk` — the classic baseline: single-threaded,
+  full-precision bulk operators, MonetDB's ``sequential_pipe`` in spirit.
+* :mod:`repro.engine.ar_executor` — the A&R interpreter over physical
+  plans: approximate subplan on the simulated GPU, candidate shipping over
+  the PCI-E model, refinement on the CPU.
+* :mod:`repro.engine.stream` — the "Stream (Hypothetical)" lower bound:
+  the time any GPU-streaming system must at least spend on the bus.
+* :mod:`repro.engine.session` — the public API tying catalog, devices and
+  executors together.
+"""
+
+from .result import ApproximateAnswer, Result
+from .bulk import ClassicExecutor
+from .ar_executor import ArExecutor
+from .stream import streaming_lower_bound
+from .session import Session
+
+__all__ = [
+    "ApproximateAnswer",
+    "ArExecutor",
+    "ClassicExecutor",
+    "Result",
+    "Session",
+    "streaming_lower_bound",
+]

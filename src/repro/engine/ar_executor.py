@@ -1,0 +1,601 @@
+"""The A&R interpreter: runs physical plans across GPU, bus and CPU.
+
+Executes the approximation subplan on the simulated GPU (producing the free
+approximate answer), ships the surviving candidates across the PCI-E model
+once (with pushdown), then runs the refinement subplan on the CPU to the
+exact result.  Execution follows the dataflow of the paper's Fig 7 plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import aggregates as agg_kernels
+from ..core.approximate import (
+    fk_join_approx,
+    project_approx,
+    select_approx,
+    select_approx_narrow,
+)
+from ..core.candidates import Approximation
+from ..core.grouping import (
+    GroupAssignment,
+    combine_keys,
+    group_approx_from_keys,
+    group_refine,
+)
+from ..core.intervals import Interval, IntervalColumn
+from ..core.refine import (
+    align_via_translucent,
+    fk_join_refine,
+    project_refine,
+    select_refine,
+    ship_candidates,
+)
+from ..core.relax import ValueRange
+from ..device.machine import Machine
+from ..device.model import AccessPattern, OpClass
+from ..device.timeline import Timeline
+from ..errors import ExecutionError, PlanError
+from ..plan.expr import ColRef
+from ..plan.logical import Aggregate, Query
+from ..plan.physical import (
+    AllRows,
+    ApproxAggregate,
+    ApproxFkJoin,
+    ApproxGroup,
+    ApproxMinMaxPrune,
+    ApproxPayloadSelect,
+    ApproxProbeSelect,
+    ApproxProject,
+    ApproxScanSelect,
+    CpuProject,
+    CpuSelect,
+    PhysicalPlan,
+    RefineAggregate,
+    RefineFkJoin,
+    RefineGroup,
+    RefineProject,
+    RefineSelect,
+    ShipCandidates,
+)
+from ..storage.catalog import Catalog
+from ..storage.decompose import BwdColumn
+from .result import ApproximateAnswer, Result
+
+_OID_BYTES = 8
+
+
+class _ExecState:
+    """Mutable dataflow state threaded through the operator list."""
+
+    def __init__(self, query: Query, catalog: Catalog, machine: Machine) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.machine = machine
+        self.candidates: Approximation | None = None
+        self.groups: GroupAssignment | None = None
+        self.approximate = ApproximateAnswer()
+        self.exact_aggregates: dict[str, np.ndarray] = {}
+        self.shipped = False
+
+    # ------------------------------------------------------------------
+    def site(self, name: str) -> tuple[str, str]:
+        dim = self.query.dim_table_of(name)
+        if dim is not None:
+            return dim, name.split(".", 1)[1]
+        if "." in name:
+            raise ExecutionError(f"column {name!r} references an unjoined table")
+        return self.query.table, name
+
+    def bwd(self, name: str) -> BwdColumn:
+        table, column = self.site(name)
+        col = self.catalog.decomposition_of(table, column)
+        if col is None:
+            raise PlanError(f"column {name!r} is not decomposed")
+        return col
+
+    def interval_resolver(self, name: str) -> IntervalColumn:
+        assert self.candidates is not None
+        return self.candidates.payload(name)
+
+    def exact_resolver(self, name: str) -> np.ndarray:
+        """Exact values at the current candidates (refine-phase only)."""
+        assert self.candidates is not None
+        payload = self.candidates.payloads.get(name)
+        if payload is not None and payload.is_exact:
+            return payload.lo
+        table, column = self.site(name)
+        if self.catalog.is_decomposed(table, column):
+            raise PlanError(
+                f"decomposed column {name!r} was not refined before exact use"
+            )
+        # Host-only column: classic gather from relation storage.
+        return self._host_gather(name)
+
+    def _host_gather(self, name: str) -> np.ndarray:
+        assert self.candidates is not None
+        table, column = self.site(name)
+        rel = self.catalog.table(table)
+        width = max(1, rel.type_of(column).storage_bits // 8)
+        timeline = self.timeline
+        if table == self.query.table:
+            values = rel.values(column)[self.candidates.ids]
+        else:
+            fk = self._fk_for(name)
+            fk_values = self.exact_resolver(fk)
+            if len(fk_values) and (
+                int(fk_values.min()) < 0 or int(fk_values.max()) >= len(rel)
+            ):
+                raise ExecutionError(f"FK {fk!r} points outside {table!r}")
+            values = rel.values(column)[fk_values]
+        self.machine.cpu.charge_gather(
+            timeline, f"cpu.project({name})",
+            items=len(values), item_bytes=width, source_rows=len(rel),
+        )
+        self.candidates.payloads[name] = IntervalColumn.exact(values)
+        return values
+
+    def _fk_for(self, name: str) -> str:
+        dim = self.query.dim_table_of(name)
+        for join in self.query.joins:
+            if join.dim_table == dim:
+                return join.fk_column
+        raise ExecutionError(f"no join provides {name!r}")
+
+    timeline: Timeline  # assigned by the executor per run
+
+
+class ArExecutor:
+    """Interprets physical A&R plans against a machine and a catalog."""
+
+    def __init__(self, catalog: Catalog, machine: Machine) -> None:
+        self._catalog = catalog
+        self._machine = machine
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: PhysicalPlan,
+        timeline: Timeline | None = None,
+        *,
+        approximate_only: bool = False,
+    ) -> Result:
+        """Execute a plan; with ``approximate_only`` stop before shipping.
+
+        The approximate-only mode is the paper's advantage (4): evaluating
+        just the approximation subplan yields a fast approximate answer
+        "without wasting resources".
+        """
+        timeline = timeline if timeline is not None else Timeline()
+        state = _ExecState(plan.query, self._catalog, self._machine)
+        state.timeline = timeline
+
+        for op in plan.ops:
+            if approximate_only and op.phase == "refine":
+                break
+            self._dispatch(op, state)
+
+        if approximate_only:
+            state.approximate.candidate_rows = (
+                len(state.candidates) if state.candidates is not None else 0
+            )
+            return Result(
+                columns={},
+                row_count=0,
+                timeline=timeline,
+                approximate=state.approximate,
+            )
+        return self._finalize(state)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, op, state: _ExecState) -> None:
+        machine, tl = self._machine, state.timeline
+        if isinstance(op, AllRows):
+            n = len(self._catalog.table(state.query.table))
+            state.candidates = Approximation(ids=np.arange(n, dtype=np.int64))
+        elif isinstance(op, ApproxScanSelect):
+            state.candidates = select_approx(
+                machine.gpu, tl, state.bwd(op.column), op.column,
+                op.predicate.vrange,
+            )
+        elif isinstance(op, ApproxProbeSelect):
+            assert state.candidates is not None
+            state.candidates = select_approx_narrow(
+                machine.gpu, tl, state.bwd(op.column), op.column,
+                op.predicate.vrange, state.candidates,
+            )
+        elif isinstance(op, ApproxProject):
+            assert state.candidates is not None
+            state.candidates = project_approx(
+                machine.gpu, tl, state.bwd(op.column), op.column, state.candidates
+            )
+        elif isinstance(op, ApproxFkJoin):
+            assert state.candidates is not None
+            state.candidates = fk_join_approx(
+                machine.gpu, tl, state.bwd(op.fk_column),
+                state.bwd(op.target_column), op.target_column, state.candidates,
+            )
+        elif isinstance(op, ApproxPayloadSelect):
+            assert state.candidates is not None
+            mask = op.predicate.candidate_mask(state.interval_resolver)
+            machine.gpu.reduce(len(mask), tl, op="select.approx.bounds")
+            state.candidates = state.candidates.narrowed(mask)
+        elif isinstance(op, ApproxGroup):
+            assert state.candidates is not None
+            # Group on the candidates' payloads (bucket floors): they are
+            # already aligned with the candidate ids, including dimension
+            # columns reached through FK joins.
+            keyed = []
+            for c in op.columns:
+                payload = state.candidates.payload(c)
+                keyed.append((c, payload.lo, payload.is_exact))
+            state.groups = group_approx_from_keys(machine.gpu, tl, keyed)
+            # Group ids ride along as a payload so that every subsequent
+            # candidate narrowing (a translucent join) re-aligns them.
+            state.candidates.payloads["@gids"] = IntervalColumn.exact(
+                state.groups.gids
+            )
+        elif isinstance(op, ApproxMinMaxPrune):
+            self._minmax_prune(op.aggregate, state)
+        elif isinstance(op, ApproxAggregate):
+            self._approx_aggregate(op.aggregate, state)
+        elif isinstance(op, ShipCandidates):
+            assert state.candidates is not None
+            # Approximation codes travel packed into the oids' spare high
+            # bits; only computed interval payloads add bytes.
+            extra = 8 * sum(
+                1 for label in state.candidates.payloads
+                if self._payload_bits(label, state) is None
+            )
+            ship_candidates(machine.bus, tl, state.candidates, extra)
+            state.shipped = True
+        elif isinstance(op, RefineSelect):
+            assert state.candidates is not None
+            state.candidates = select_refine(
+                machine.cpu, tl, state.bwd(op.column), op.column,
+                op.predicate.vrange, state.candidates,
+            )
+        elif isinstance(op, CpuSelect):
+            assert state.candidates is not None
+            mask = op.predicate.evaluate_exact(state.exact_resolver)
+            machine.cpu.charge(
+                tl, f"cpu.select{op.predicate!r}",
+                len(mask) + int(mask.sum()) * _OID_BYTES,
+                tuples=len(mask) * max(1, op.predicate.target.op_count()),
+                op_class=OpClass.SCAN,
+            )
+            refined_ids = state.candidates.ids[mask]
+            state.candidates = align_via_translucent(
+                machine.cpu, tl, state.candidates, refined_ids
+            )
+        elif isinstance(op, RefineProject):
+            assert state.candidates is not None
+            state.candidates = project_refine(
+                machine.cpu, tl, state.bwd(op.column), op.column, state.candidates
+            )
+        elif isinstance(op, RefineFkJoin):
+            assert state.candidates is not None
+            state.candidates = fk_join_refine(
+                machine.cpu, tl, state.bwd(op.target_column), op.target_column,
+                state.candidates,
+            )
+        elif isinstance(op, CpuProject):
+            state._host_gather(op.column)
+        elif isinstance(op, RefineGroup):
+            self._refine_group(op.columns, state)
+        elif isinstance(op, RefineAggregate):
+            self._refine_aggregate(op.aggregate, state)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown physical operator {op!r}")
+
+    # ------------------------------------------------------------------
+    def _payload_bits(self, label: str, state: _ExecState) -> int | None:
+        """Approximation-code width behind a payload, or None if computed."""
+        try:
+            return state.bwd(label).decomposition.approx_bits or 1
+        except (PlanError, ExecutionError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Aggregation (approximate side)
+    # ------------------------------------------------------------------
+    def _device_predicates(self, state: _ExecState) -> list:
+        preds = []
+        for pred in state.query.where:
+            if all(
+                c in (state.candidates.payloads if state.candidates else {})
+                for c in pred.columns()
+            ):
+                preds.append(pred)
+        return preds
+
+    def _certainty(self, state: _ExecState) -> np.ndarray:
+        """Rows certainly satisfying every predicate, judged on the device.
+
+        Predicates not decidable on the device (host-only columns) force
+        uncertainty — their rows may yet be eliminated in refinement.
+        """
+        assert state.candidates is not None
+        n = len(state.candidates)
+        mask = np.ones(n, dtype=bool)
+        device_preds = self._device_predicates(state)
+        if len(device_preds) != len(state.query.where):
+            return np.zeros(n, dtype=bool)
+        for pred in device_preds:
+            mask &= pred.certain_mask(state.interval_resolver)
+        return mask
+
+    def _approx_aggregate(self, agg: Aggregate, state: _ExecState) -> None:
+        assert state.candidates is not None
+        machine, tl = self._machine, state.timeline
+        candidates = state.candidates
+        n = len(candidates)
+        machine.gpu.reduce(max(n, 1), tl, op=f"agg.{agg.func}.approx({agg.alias})")
+
+        if agg.expr is not None and agg.func != "count":
+            needed = agg.expr.columns()
+            if not all(c in candidates.payloads for c in needed):
+                state.approximate.aggregates[agg.alias] = None
+                return
+            bounds = agg.expr.eval_interval(state.interval_resolver)
+        else:
+            bounds = None  # counting needs no value bounds
+        certain = self._certainty(state)
+
+        grouped = state.groups is not None and state.query.group_by
+        if grouped:
+            if "@gids" in candidates.payloads:
+                gids = candidates.payload("@gids").lo
+            else:
+                gids = state.groups.gids
+            n_groups = state.groups.n_groups
+            state.approximate.n_groups = n_groups
+            if agg.func == "count":
+                out = agg_kernels.grouped_count_interval(certain, gids, n_groups)
+            elif agg.func == "sum":
+                out = self._grouped_sum_bounds(bounds, certain, gids, n_groups)
+            elif agg.func in ("avg", "min", "max"):
+                lo = agg_kernels.grouped_min(bounds.lo, gids, n_groups)
+                hi = agg_kernels.grouped_max(bounds.hi, gids, n_groups)
+                out = [Interval(float(a), float(b)) for a, b in zip(lo, hi)]
+            else:  # pragma: no cover
+                raise ExecutionError(f"unknown aggregate {agg.func!r}")
+            state.approximate.aggregates[agg.alias] = out
+            return
+
+        if agg.func == "count":
+            iv = Interval(float(certain.sum()), float(n))
+        elif n == 0:
+            iv = Interval(0.0, 0.0) if agg.func == "sum" else None
+        elif agg.func == "sum":
+            iv = self._sum_bounds(bounds, certain)
+        elif agg.func == "avg":
+            iv = Interval(float(bounds.lo.min()), float(bounds.hi.max()))
+        elif agg.func == "min":
+            hi_bound = bounds.hi[certain].min() if certain.any() else bounds.hi.max()
+            iv = Interval(float(bounds.lo.min()), float(hi_bound))
+        elif agg.func == "max":
+            lo_bound = bounds.lo[certain].max() if certain.any() else bounds.lo.min()
+            iv = Interval(float(lo_bound), float(bounds.hi.max()))
+        else:  # pragma: no cover
+            raise ExecutionError(f"unknown aggregate {agg.func!r}")
+        state.approximate.aggregates[agg.alias] = iv
+
+    @staticmethod
+    def _sum_bounds(bounds: IntervalColumn, certain: np.ndarray) -> Interval:
+        """Sum bounds under candidacy uncertainty: uncertain rows may vanish."""
+        lo = bounds.lo.copy()
+        hi = bounds.hi.copy()
+        lo[~certain] = np.minimum(lo[~certain], 0)
+        hi[~certain] = np.maximum(hi[~certain], 0)
+        return Interval(float(lo.sum()), float(hi.sum()))
+
+    @staticmethod
+    def _grouped_sum_bounds(bounds, certain, gids, n_groups) -> list[Interval]:
+        lo = bounds.lo.copy()
+        hi = bounds.hi.copy()
+        lo[~certain] = np.minimum(lo[~certain], 0)
+        hi[~certain] = np.maximum(hi[~certain], 0)
+        lo_sums = agg_kernels.grouped_sum(lo, gids, n_groups)
+        hi_sums = agg_kernels.grouped_sum(hi, gids, n_groups)
+        return [Interval(float(a), float(b)) for a, b in zip(lo_sums, hi_sums)]
+
+    def _minmax_prune(self, agg: Aggregate, state: _ExecState) -> None:
+        assert state.candidates is not None and agg.expr is not None
+        machine, tl = self._machine, state.timeline
+        needed = agg.expr.columns()
+        if not all(c in state.candidates.payloads for c in needed):
+            return
+        if len(state.candidates) == 0:
+            return
+        bounds = agg.expr.eval_interval(state.interval_resolver)
+        certain = self._certainty(state)
+        machine.gpu.reduce(len(state.candidates), tl, op=f"agg.minmax.prune({agg.alias})")
+        if not certain.any():
+            return
+        if agg.func == "min":
+            keep = bounds.lo <= int(bounds.hi[certain].min())
+        else:
+            keep = bounds.hi >= int(bounds.lo[certain].max())
+        # Rows that are certain must survive as well (they are real results
+        # even if they cannot win the extremum — other aggregates need them).
+        state.candidates = state.candidates.narrowed(keep | certain)
+
+    # ------------------------------------------------------------------
+    # Refinement side
+    # ------------------------------------------------------------------
+    def _refine_group(self, columns: tuple[str, ...], state: _ExecState) -> None:
+        assert state.candidates is not None
+        machine, tl = self._machine, state.timeline
+        n = len(state.candidates)
+        device_grouped = (
+            state.groups is not None and "@gids" in state.candidates.payloads
+        )
+        if device_grouped:
+            # The pre-grouping's ids, re-aligned by the narrowing joins.
+            aligned = GroupAssignment(
+                gids=state.candidates.payload("@gids").lo,
+                n_groups=state.groups.n_groups,
+                exact=state.groups.exact,
+            )
+            # Fact columns with residual bits sub-group via the residual
+            # stream; dimension columns cannot (their residual lives at
+            # dim positions) and are folded from their exact payloads below.
+            residual_cols = []
+            exact_fold: list[str] = []
+            for c in columns:
+                if c not in state.candidates.payloads:
+                    continue
+                if state.query.dim_table_of(c) is not None:
+                    if not state.candidates.payload(c).is_exact:
+                        exact_fold.append(c)
+                    continue
+                try:
+                    residual_cols.append((c, state.bwd(c)))
+                except PlanError:
+                    pass
+            groups = group_refine(
+                machine.cpu, tl, aligned, residual_cols, state.candidates
+            )
+            gids, n_groups = groups.gids, groups.n_groups
+            for c in exact_fold:
+                keys = state.exact_resolver(c)
+                machine.cpu.charge(
+                    tl, f"group.refine.dim({c})",
+                    len(keys) * (_OID_BYTES + _OID_BYTES),
+                    tuples=len(keys), op_class=OpClass.HASH,
+                    pattern=AccessPattern.RANDOM,
+                )
+                shifted = keys - int(keys.min()) if len(keys) else keys
+                gids, n_groups = combine_keys(gids, shifted)
+            device_cols = {c for c, _ in residual_cols} | {
+                c for c in columns if c in state.candidates.payloads
+            }
+        else:
+            gids = np.zeros(n, dtype=np.int64)
+            n_groups = min(1, n)
+            device_cols = set()
+        # Fold in host-only grouping columns.
+        for c in columns:
+            if c in device_cols:
+                continue
+            keys = state.exact_resolver(c)
+            machine.cpu.charge(
+                tl, f"group.refine.host({c})",
+                len(keys) * (_OID_BYTES + _OID_BYTES),
+                tuples=len(keys), op_class=OpClass.HASH,
+                pattern=AccessPattern.RANDOM,
+            )
+            shifted = keys - int(keys.min()) if len(keys) else keys
+            gids, n_groups = combine_keys(gids, shifted)
+        # Refinement may have emptied approximate groups: re-densify so the
+        # result has exactly the surviving groups.
+        if n:
+            _, gids = np.unique(gids, return_inverse=True)
+            gids = gids.astype(np.int64)
+            n_groups = int(gids.max()) + 1
+        else:
+            n_groups = 0  # nothing survived refinement: no groups at all
+        state.groups = GroupAssignment(gids=gids, n_groups=n_groups, exact=True)
+
+    def _refine_aggregate(self, agg: Aggregate, state: _ExecState) -> None:
+        assert state.candidates is not None
+        machine, tl = self._machine, state.timeline
+        n = len(state.candidates)
+        if state.query.group_by:
+            assert state.groups is not None and state.groups.exact
+            gids, n_groups = state.groups.gids, state.groups.n_groups
+        else:
+            gids = np.zeros(n, dtype=np.int64)
+            n_groups = min(1, n) if n else 1
+
+        if agg.func == "count":
+            machine.cpu.charge(
+                tl, f"agg.count.refine({agg.alias})", n * _OID_BYTES,
+                tuples=n, op_class=OpClass.AGG,
+            )
+            state.exact_aggregates[agg.alias] = agg_kernels.grouped_count(
+                gids, n_groups
+            )
+            return
+
+        assert agg.expr is not None
+        bounds = None
+        if all(c in state.candidates.payloads for c in agg.expr.columns()):
+            bounds = agg.expr.eval_interval(state.interval_resolver)
+        if bounds is not None and bounds.is_exact and state.candidates.exact:
+            # All-device fast path: the approximate result is already exact
+            # (no residuals anywhere); reuse it instead of recomputing.
+            values = bounds.lo
+            machine.gpu.reduce(max(n, 1), tl, op=f"agg.{agg.func}.exact({agg.alias})")
+        else:
+            # Destructive distributivity (§IV-G): recompute from exact
+            # values on the host.
+            values = np.broadcast_to(
+                agg.expr.eval_exact(state.exact_resolver), (n,)
+            ).astype(np.int64)
+            machine.cpu.charge(
+                tl, f"agg.{agg.func}.refine({agg.alias})",
+                max(len(agg.expr.columns()), 1) * n * _OID_BYTES,
+                tuples=n * (1 + agg.expr.op_count()), op_class=OpClass.AGG,
+            )
+        if n_groups == 0:
+            state.exact_aggregates[agg.alias] = np.array([], dtype=np.int64)
+            return
+        if agg.func == "sum":
+            out = agg_kernels.grouped_sum(values, gids, n_groups)
+        elif agg.func == "avg":
+            out = agg_kernels.grouped_avg(values, gids, n_groups)
+        elif agg.func == "min":
+            if n == 0:
+                raise ExecutionError("min of an empty result")
+            out = agg_kernels.grouped_min(values, gids, n_groups)
+        elif agg.func == "max":
+            if n == 0:
+                raise ExecutionError("max of an empty result")
+            out = agg_kernels.grouped_max(values, gids, n_groups)
+        else:  # pragma: no cover
+            raise ExecutionError(f"unknown aggregate {agg.func!r}")
+        state.exact_aggregates[agg.alias] = out
+
+    # ------------------------------------------------------------------
+    def _finalize(self, state: _ExecState) -> Result:
+        assert state.candidates is not None
+        query = state.query
+        state.approximate.candidate_rows = len(state.candidates)
+
+        if not query.is_aggregation():
+            columns = {
+                name: state.exact_resolver(name).copy() for name in query.select
+            }
+            return Result(
+                columns=columns,
+                row_count=len(state.candidates),
+                timeline=state.timeline,
+                approximate=state.approximate,
+            )
+
+        if query.group_by:
+            assert state.groups is not None
+            n_groups = state.groups.n_groups
+            gids = state.groups.gids
+        else:
+            n_groups = min(1, len(state.candidates)) if state.query.aggregates else 0
+            n_groups = 1
+            gids = np.zeros(len(state.candidates), dtype=np.int64)
+
+        columns: dict[str, np.ndarray] = {}
+        for name in query.group_by:
+            keys = state.exact_resolver(name)
+            out = np.zeros(n_groups, dtype=np.int64)
+            out[gids] = keys
+            columns[name] = out
+        for agg in query.aggregates:
+            columns[agg.alias] = state.exact_aggregates[agg.alias]
+        return Result(
+            columns=columns,
+            row_count=n_groups,
+            timeline=state.timeline,
+            approximate=state.approximate,
+        )

@@ -1,0 +1,218 @@
+"""The classic baseline: full-precision, single-threaded bulk processing.
+
+This is the comparator the paper labels "MonetDB" in every chart: the
+``sequential_pipe`` optimizer pipeline over fully decomposed (column-store)
+data, evaluated entirely on the CPU with materializing bulk operators.
+Costs are charged per operator from the declared storage widths, so the
+baseline's modeled time reflects what the real system's bandwidth-bound
+scans did.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.aggregates import (
+    grouped_avg,
+    grouped_count,
+    grouped_max,
+    grouped_min,
+    grouped_sum,
+)
+from ..core.grouping import combine_keys
+from ..device.cpu import Cpu
+from ..device.model import AccessPattern, OpClass
+from ..device.timeline import Timeline
+from ..errors import ExecutionError
+from ..storage.catalog import Catalog
+from ..plan.logical import Query
+from .result import Result
+
+_OID_BYTES = 8
+
+
+class ClassicExecutor:
+    """Interprets logical queries with classic CPU bulk operators."""
+
+    def __init__(self, catalog: Catalog, cpu: Cpu) -> None:
+        self._catalog = catalog
+        self._cpu = cpu
+
+    # ------------------------------------------------------------------
+    def run(self, query: Query, timeline: Timeline | None = None) -> Result:
+        timeline = timeline if timeline is not None else Timeline()
+        fact = self._catalog.table(query.table)
+        n = len(fact)
+
+        # Exact value resolution, restricted to the current candidate rows.
+        candidate_ids: np.ndarray | None = None  # None = all rows
+        cache: dict[str, np.ndarray] = {}
+
+        def width_of(name: str) -> int:
+            table, column = self._site(query, name)
+            return max(1, self._catalog.table(table).type_of(column).storage_bits // 8)
+
+        def resolve(name: str) -> np.ndarray:
+            if name in cache:
+                return cache[name]
+            table, column = self._site(query, name)
+            if table == query.table:
+                values = fact.values(column)
+                if candidate_ids is not None:
+                    # MonetDB's candidate-list fetch join is a dependent
+                    # positional fetch per oid — not density-adaptive.
+                    values = values[candidate_ids]
+                    self._cpu.charge(
+                        timeline, f"cpu.gather({name})",
+                        len(values) * (width_of(name) + _OID_BYTES),
+                        tuples=len(values), op_class=OpClass.GATHER,
+                        pattern=AccessPattern.RANDOM, phase="approximate",
+                    )
+                else:
+                    self._cpu.charge(
+                        timeline, f"cpu.scan({name})",
+                        len(values) * width_of(name),
+                        tuples=len(values), op_class=OpClass.SCAN,
+                        phase="approximate",
+                    )
+            else:
+                fk = self._fk_for(query, name)
+                fk_values = resolve(fk)
+                dim = self._catalog.table(table)
+                dim_values = dim.values(column)
+                if len(fk_values) and (
+                    int(fk_values.min()) < 0 or int(fk_values.max()) >= len(dim)
+                ):
+                    raise ExecutionError(f"FK {fk!r} points outside {table!r}")
+                values = dim_values[fk_values]
+                self._cpu.charge(
+                    timeline, f"cpu.fkjoin({name})",
+                    len(values) * (width_of(name) + _OID_BYTES),
+                    tuples=len(values), op_class=OpClass.GATHER,
+                    pattern=AccessPattern.RANDOM, phase="approximate",
+                )
+            cache[name] = values
+            return values
+
+        # --------------------------------------------------------------
+        # Selections: candidate list narrowing, one bulk operator per
+        # predicate (MonetDB's uselect chain).
+        # --------------------------------------------------------------
+        for pred in query.where:
+            mask = pred.evaluate_exact(resolve)
+            kept = int(mask.sum())
+            self._cpu.charge(
+                timeline, f"cpu.select{pred!r}",
+                len(mask) * 1 + kept * _OID_BYTES,
+                tuples=len(mask) * max(1, pred.target.op_count()),
+                op_class=OpClass.SCAN, phase="approximate",
+            )
+            if candidate_ids is None:
+                candidate_ids = np.flatnonzero(mask)
+            else:
+                candidate_ids = candidate_ids[mask]
+            cache = {k: v[mask] for k, v in cache.items()}
+
+        if candidate_ids is None:
+            candidate_ids = np.arange(n, dtype=np.int64)
+
+        # --------------------------------------------------------------
+        # Plain projection queries
+        # --------------------------------------------------------------
+        if not query.is_aggregation():
+            columns = {name: resolve(name).copy() for name in query.select}
+            return Result(
+                columns=columns, row_count=len(candidate_ids), timeline=timeline
+            )
+
+        # --------------------------------------------------------------
+        # Grouping
+        # --------------------------------------------------------------
+        if query.group_by:
+            gids = np.zeros(len(candidate_ids), dtype=np.int64)
+            n_groups = min(1, len(candidate_ids))
+            for name in query.group_by:
+                keys = resolve(name)
+                self._cpu.charge(
+                    timeline, f"cpu.group({name})",
+                    len(keys) * (_OID_BYTES + _OID_BYTES),
+                    tuples=len(keys), op_class=OpClass.HASH,
+                    pattern=AccessPattern.RANDOM, phase="approximate",
+                )
+                shifted = keys - int(keys.min()) if len(keys) else keys
+                gids, n_groups = combine_keys(gids, shifted)
+        else:
+            gids = np.zeros(len(candidate_ids), dtype=np.int64)
+            n_groups = 1
+
+        # --------------------------------------------------------------
+        # Aggregation
+        # --------------------------------------------------------------
+        columns: dict[str, np.ndarray] = {}
+        for name in query.group_by:
+            keys = resolve(name)
+            out = np.zeros(n_groups, dtype=np.int64)
+            out[gids] = keys  # representative per group
+            columns[name] = out
+        for agg in query.aggregates:
+            if agg.expr is not None:
+                values = np.broadcast_to(
+                    agg.expr.eval_exact(resolve), (len(candidate_ids),)
+                )
+                self._cpu.charge(
+                    timeline, f"cpu.eval({agg.alias})",
+                    len(values) * _OID_BYTES,
+                    tuples=len(values) * max(1, agg.expr.op_count()),
+                    op_class=OpClass.ARITH, phase="approximate",
+                )
+            else:
+                values = None
+            self._cpu.charge(
+                timeline, f"cpu.{agg.func}({agg.alias})",
+                len(candidate_ids) * _OID_BYTES,
+                tuples=len(candidate_ids), op_class=OpClass.AGG,
+                phase="approximate",
+            )
+            columns[agg.alias] = self._aggregate(agg.func, values, gids, n_groups)
+
+        return Result(columns=columns, row_count=n_groups, timeline=timeline)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _aggregate(func: str, values, gids, n_groups) -> np.ndarray:
+        if func == "count":
+            return grouped_count(gids, n_groups)
+        if values is None:
+            raise ExecutionError(f"{func} requires an argument")
+        if n_groups == 0:
+            return np.array([], dtype=np.int64)
+        if func == "sum":
+            return grouped_sum(values, gids, n_groups)
+        if func == "avg":
+            return grouped_avg(values, gids, n_groups)
+        if func == "min":
+            if len(values) == 0:
+                raise ExecutionError("min of an empty result")
+            return grouped_min(values, gids, n_groups)
+        if func == "max":
+            if len(values) == 0:
+                raise ExecutionError("max of an empty result")
+            return grouped_max(values, gids, n_groups)
+        raise ExecutionError(f"unknown aggregate {func!r}")
+
+    # ------------------------------------------------------------------
+    def _site(self, query: Query, name: str) -> tuple[str, str]:
+        dim = query.dim_table_of(name)
+        if dim is not None:
+            return dim, name.split(".", 1)[1]
+        if "." in name:
+            raise ExecutionError(f"column {name!r} references an unjoined table")
+        return query.table, name
+
+    @staticmethod
+    def _fk_for(query: Query, name: str) -> str:
+        dim = query.dim_table_of(name)
+        for join in query.joins:
+            if join.dim_table == dim:
+                return join.fk_column
+        raise ExecutionError(f"no join provides {name!r}")

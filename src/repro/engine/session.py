@@ -1,0 +1,146 @@
+"""The session: the library's public entry point.
+
+A :class:`Session` owns a catalog, a (simulated) machine and the three ways
+of answering a query the paper compares:
+
+* ``mode="ar"`` — the Approximate & Refine pipeline (GPU + CPU),
+* ``mode="classic"`` — the CPU-only bulk baseline ("MonetDB"),
+* ``mode="approximate"`` — the approximation subplan alone: strict bounds,
+  no refinement cost (the paper's free fast answer).
+
+SQL text is accepted through :meth:`execute`; programmatic
+:class:`~repro.plan.logical.Query` objects through :meth:`query`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..device.machine import Machine
+from ..device.timeline import Timeline
+from ..errors import PlanError
+from ..plan.explain import explain as explain_plan
+from ..plan.logical import Query
+from ..plan.rewriter import rewrite_to_ar_plan
+from ..storage.catalog import Catalog
+from ..storage.column import ColumnType
+from ..storage.relation import Relation, Schema
+from .ar_executor import ArExecutor
+from .bulk import ClassicExecutor
+from .result import Result
+from .stream import streaming_input_bytes, streaming_lower_bound
+
+MODES = ("ar", "classic", "approximate")
+
+
+class Session:
+    """One database session over a simulated heterogeneous machine."""
+
+    def __init__(self, machine: Machine | None = None) -> None:
+        self.machine = machine if machine is not None else Machine.paper_testbed()
+        self.catalog = Catalog()
+        self._classic = ClassicExecutor(self.catalog, self.machine.cpu)
+        self._ar = ArExecutor(self.catalog, self.machine)
+
+    # ------------------------------------------------------------------
+    # DDL / loading
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema | Mapping[str, ColumnType],
+        data: Mapping[str, Iterable],
+    ) -> Relation:
+        """Create and load a table; values are encoded via the schema types."""
+        if not isinstance(schema, Schema):
+            schema = Schema.of(schema)
+        return self.catalog.register(Relation.create(name, schema, data))
+
+    def bwdecompose(
+        self,
+        table: str,
+        column: str,
+        device_bits: int | None = None,
+        *,
+        residual_bits: int | None = None,
+        prefix_compression: bool = True,
+    ):
+        """Decompose a column and place its approximation in device memory.
+
+        The paper's ``select bwdecompose(A, 24) from R`` side-effect
+        (§V-A).  Raises :class:`~repro.errors.DeviceOutOfMemory` when the
+        approximation stream does not fit next to what is already resident —
+        resolution must then be reduced.
+        """
+        previous = self.catalog.decomposition_of(table, column)
+        if previous is not None and self.machine.gpu.is_resident(previous):
+            self.machine.gpu.evict_column(previous)
+        bwd = self.catalog.bwdecompose(
+            table, column, device_bits,
+            residual_bits=residual_bits, prefix_compression=prefix_compression,
+        )
+        self.machine.gpu.load_column(f"{table}.{column}", bwd, None)
+        return bwd
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: Query,
+        *,
+        mode: str = "ar",
+        pushdown: bool = True,
+        predicate_order: str = "query",
+        timeline: Timeline | None = None,
+    ) -> Result:
+        """Run a logical query in one of the three execution modes.
+
+        ``predicate_order="selectivity"`` enables the histogram-driven
+        cost-based ordering of approximate selections (§III-A extension).
+        """
+        if mode not in MODES:
+            raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
+        if mode == "classic":
+            return self._classic.run(query, timeline)
+        plan = rewrite_to_ar_plan(
+            query, self.catalog, pushdown=pushdown,
+            predicate_order=predicate_order,
+        )
+        return self._ar.run(
+            plan, timeline, approximate_only=(mode == "approximate")
+        )
+
+    def execute(
+        self,
+        sql: str,
+        *,
+        mode: str = "ar",
+        pushdown: bool = True,
+        predicate_order: str = "query",
+    ) -> Result:
+        """Parse and run SQL text (including ``bwdecompose`` DDL)."""
+        from ..sql import run_sql
+
+        return run_sql(
+            self, sql, mode=mode, pushdown=pushdown,
+            predicate_order=predicate_order,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, query: Query, *, pushdown: bool = True) -> str:
+        """Render the physical A&R plan (the paper's Fig 7 view)."""
+        return explain_plan(rewrite_to_ar_plan(query, self.catalog, pushdown=pushdown))
+
+    def streaming_baseline_seconds(self, query: Query) -> float:
+        """'Stream (Hypothetical)': PCI time to move the query's inputs."""
+        return streaming_lower_bound(self.catalog, query, self.machine.bus)
+
+    def streaming_baseline_bytes(self, query: Query) -> int:
+        return streaming_input_bytes(self.catalog, query)
+
+    def device_footprint(self) -> int:
+        """Device bytes currently held by decomposed approximations."""
+        return self.catalog.device_footprint()

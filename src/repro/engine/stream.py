@@ -1,0 +1,34 @@
+"""The "Stream (Hypothetical)" baseline (paper §VI-A).
+
+The paper found no GPU DBMS mature enough to compare against, so it reports
+the *minimal* work any streaming approach must do when the hot set exceeds
+device memory: push the query's input columns through the PCI-E bus at the
+measured 3.95 GB/s.  This module computes that lower bound for a query.
+"""
+
+from __future__ import annotations
+
+from ..device.bus import PciBus
+from ..plan.logical import Query
+from ..storage.catalog import Catalog
+
+
+def streaming_input_bytes(catalog: Catalog, query: Query) -> int:
+    """Bytes a streaming system must transfer: every referenced column at
+    its declared storage width."""
+    total = 0
+    for name in sorted(query.referenced_columns()):
+        dim = query.dim_table_of(name)
+        if dim is not None:
+            table, column = dim, name.split(".", 1)[1]
+        else:
+            table, column = query.table, name
+        rel = catalog.table(table)
+        width = max(1, rel.type_of(column).storage_bits // 8)
+        total += len(rel) * width
+    return total
+
+
+def streaming_lower_bound(catalog: Catalog, query: Query, bus: PciBus) -> float:
+    """Seconds to move the query's inputs through the bus once."""
+    return bus.streaming_seconds(streaming_input_bytes(catalog, query))

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class.  Device errors mirror the failure modes of a real
+heterogeneous system (out of memory, missing data on a device), while plan
+and SQL errors report user mistakes at query-build time.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """A storage-layer invariant was violated (misaligned BATs, bad widths)."""
+
+
+class BitWidthError(StorageError):
+    """A bit width is outside the supported 1..64 range or too small for the data."""
+
+
+class DecompositionError(StorageError):
+    """A bitwise decomposition request is invalid for the target column."""
+
+
+class DeviceError(ReproError):
+    """Base class for device-layer failures."""
+
+
+class DeviceOutOfMemory(DeviceError):
+    """An allocation exceeded the device's memory capacity."""
+
+    def __init__(self, device: str, requested: int, available: int) -> None:
+        self.device = device
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"device {device!r}: requested {requested} bytes, "
+            f"only {available} available"
+        )
+
+
+class DataNotResident(DeviceError):
+    """An operator needed data on a device where it is not resident."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed."""
+
+
+class BindError(PlanError):
+    """A name in a query could not be resolved against the catalog."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class ExecutionError(ReproError):
+    """An operator failed at run time (type mismatch, misaligned inputs)."""
+
+
+class RefinementError(ExecutionError):
+    """A refinement operator's preconditions did not hold.
+
+    Raised, e.g., when a translucent join is attempted on inputs that violate
+    the subset or same-permutation conditions of Algorithm 1.
+    """

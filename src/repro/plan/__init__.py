@@ -1,0 +1,31 @@
+"""Query planning: expressions, logical plans, the A&R rewriter and EXPLAIN.
+
+The layering mirrors MonetDB's pipeline (paper §V-B): a logical
+select-project-join-aggregate block (:mod:`repro.plan.logical`) is rewritten
+by the ``bwd_pipe`` micro-optimizer (:mod:`repro.plan.rewriter`) into a
+physical plan of paired approximate/refine operators
+(:mod:`repro.plan.physical`), with approximate selections pushed below
+refinements (§III-A).
+"""
+
+from .expr import BinOp, Case, ColRef, Const, Expr, Neg, Predicate
+from .logical import Aggregate, FkJoin, Query
+from .physical import PhysicalPlan
+from .rewriter import rewrite_to_ar_plan
+from .explain import explain
+
+__all__ = [
+    "Aggregate",
+    "BinOp",
+    "Case",
+    "ColRef",
+    "Const",
+    "Expr",
+    "FkJoin",
+    "Neg",
+    "PhysicalPlan",
+    "Predicate",
+    "Query",
+    "explain",
+    "rewrite_to_ar_plan",
+]

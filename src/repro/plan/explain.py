@@ -1,0 +1,25 @@
+"""EXPLAIN: render physical A&R plans the way Fig 7 draws them."""
+
+from __future__ import annotations
+
+from .physical import PhysicalPlan, ShipCandidates
+
+
+def explain(plan: PhysicalPlan) -> str:
+    """Multi-line rendering of a physical plan, phase-annotated.
+
+    The approximation subplan prints first (red operators in the paper's
+    figures), the PCI crossing is marked, then the refinement subplan
+    (blue operators).
+    """
+    lines = [
+        f"A&R plan for {plan.query.table}"
+        f" (pushdown={'on' if plan.pushdown else 'off'})"
+    ]
+    for op in plan.ops:
+        if isinstance(op, ShipCandidates):
+            lines.append("  ──── PCI-E ────  " + op.describe())
+            continue
+        tag = "approx" if op.phase == "approximate" else "refine"
+        lines.append(f"  [{tag}] {op.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Logical query blocks: the relational algebra the engine accepts.
+
+One :class:`Query` describes a select-project-join-aggregate block — the
+fragment of relational algebra the paper's evaluation exercises (spatial
+range counts, TPC-H Q1/Q6/Q14) plus plain projections.  Joins are
+foreign-key (projective) joins against dimension tables, matching §IV-D's
+scope: generic unindexed GPU joins are explicitly left to future work by
+the paper, and the same boundary is kept here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlanError
+from .expr import ColRef, Expr, Predicate
+
+#: Aggregate functions supported (paper §IV-F).
+AGG_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate output: ``func(expr) AS alias`` (``count`` may omit expr)."""
+
+    func: str
+    expr: Expr | None
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.func not in AGG_FUNCS:
+            raise PlanError(f"unknown aggregate function {self.func!r}")
+        if self.expr is None and self.func != "count":
+            raise PlanError(f"{self.func} requires an argument")
+
+    def columns(self) -> set[str]:
+        return set() if self.expr is None else self.expr.columns()
+
+
+@dataclass(frozen=True)
+class FkJoin:
+    """A foreign-key join: ``fact.fk_column`` → rows of ``dim_table``.
+
+    Dimension keys are assumed dense 0..N-1 in storage encoding (the
+    pre-built FK index of §IV-D); dimension columns are referenced as
+    ``"<dim_table>.<column>"`` in expressions and predicates.
+    """
+
+    fk_column: str
+    dim_table: str
+
+
+@dataclass(frozen=True)
+class Query:
+    """A logical select-project-join-aggregate block."""
+
+    table: str
+    where: tuple[Predicate, ...] = ()
+    joins: tuple[FkJoin, ...] = ()
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[Aggregate, ...] = ()
+    #: plain projected columns (exact values in the result set)
+    select: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.aggregates and not self.select:
+            raise PlanError("query must produce aggregates or projected columns")
+        if self.group_by and not self.aggregates:
+            raise PlanError("GROUP BY requires aggregates")
+        aliases = [a.alias for a in self.aggregates]
+        if len(set(aliases)) != len(aliases):
+            raise PlanError(f"duplicate aggregate aliases: {aliases}")
+
+    # ------------------------------------------------------------------
+    def referenced_columns(self) -> set[str]:
+        """Every column any part of the query touches."""
+        cols: set[str] = set(self.select) | set(self.group_by)
+        for pred in self.where:
+            cols |= pred.columns()
+        for agg in self.aggregates:
+            cols |= agg.columns()
+        for join in self.joins:
+            cols.add(join.fk_column)
+        return cols
+
+    def dim_table_of(self, column: str) -> str | None:
+        """The dimension table a qualified column name belongs to, if any."""
+        if "." not in column:
+            return None
+        prefix = column.split(".", 1)[0]
+        for join in self.joins:
+            if join.dim_table == prefix:
+                return prefix
+        return None
+
+    def is_aggregation(self) -> bool:
+        return bool(self.aggregates)
+
+
+def simple_filter_query(table: str, column: str, predicate: Predicate) -> Query:
+    """Helper for the microbenchmarks: ``SELECT col FROM t WHERE pred``."""
+    if not isinstance(predicate.target, ColRef):
+        raise PlanError("simple_filter_query wants a bare-column predicate")
+    return Query(table=table, where=(predicate,), select=(column,))

@@ -1,0 +1,257 @@
+"""Physical A&R plans: passive operator descriptions the executor interprets.
+
+A :class:`PhysicalPlan` is the analogue of the paper's rewritten MAL plan
+(Fig 7): an ordered list of operator nodes, each tagged with the device-side
+phase it belongs to.  The defining structural property of a well-formed A&R
+plan — *no approximation operator depends on the result of a refinement
+operator* (§V-B) — is checked by :meth:`PhysicalPlan.validate`, and it is
+what makes the approximate-only execution mode possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlanError
+from .expr import Predicate
+from .logical import Aggregate, Query
+
+
+class PhysicalOp:
+    """Base class; ``phase`` is ``"approximate"`` or ``"refine"``."""
+
+    phase = "approximate"
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+# ----------------------------------------------------------------------
+# Approximation-phase operators (device side, red nodes of Fig 3)
+# ----------------------------------------------------------------------
+@dataclass
+class AllRows(PhysicalOp):
+    """Seed the candidate set with every tuple (no drivable predicate)."""
+
+    def describe(self) -> str:
+        return "bwd.allrows()"
+
+
+@dataclass
+class ApproxScanSelect(PhysicalOp):
+    """Primary relaxed selection scan on a decomposed column."""
+
+    column: str
+    predicate: Predicate
+
+    def describe(self) -> str:
+        return f"bwd.uselectapproximate({self.column}) {self.predicate!r}"
+
+
+@dataclass
+class ApproxProbeSelect(PhysicalOp):
+    """Subsequent relaxed selection restricted to current candidates."""
+
+    column: str
+    predicate: Predicate
+
+    def describe(self) -> str:
+        return f"bwd.uselectapproximate.probe({self.column}) {self.predicate!r}"
+
+
+@dataclass
+class ApproxProject(PhysicalOp):
+    """Gather a column's approximation codes for the candidates."""
+
+    column: str
+
+    def describe(self) -> str:
+        return f"bwd.leftjoinapproximate({self.column})"
+
+
+@dataclass
+class ApproxFkJoin(PhysicalOp):
+    """Projective FK join: gather a dimension column approximately."""
+
+    fk_column: str
+    dim_table: str
+    target_column: str  # qualified name "<dim>.<col>"
+
+    def describe(self) -> str:
+        return (
+            f"bwd.fkjoinapproximate({self.fk_column} -> {self.target_column})"
+        )
+
+
+@dataclass
+class ApproxPayloadSelect(PhysicalOp):
+    """Relaxed selection over gathered payload bounds (expressions, NE)."""
+
+    predicate: Predicate
+
+    def describe(self) -> str:
+        return f"bwd.boundselectapproximate() {self.predicate!r}"
+
+
+@dataclass
+class ApproxGroup(PhysicalOp):
+    """Device-side pre-grouping on approximate values."""
+
+    columns: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"bwd.groupapproximate({', '.join(self.columns)})"
+
+
+@dataclass
+class ApproxMinMaxPrune(PhysicalOp):
+    """Prune min/max candidates that cannot contain the extremum."""
+
+    aggregate: Aggregate
+
+    def describe(self) -> str:
+        return f"bwd.minmaxapproximate({self.aggregate.alias})"
+
+
+@dataclass
+class ApproxAggregate(PhysicalOp):
+    """Compute strict bounds for one aggregate from device-side payloads."""
+
+    aggregate: Aggregate
+
+    def describe(self) -> str:
+        return f"bwd.{self.aggregate.func}approximate() -> {self.aggregate.alias}"
+
+
+# ----------------------------------------------------------------------
+# The bus crossing
+# ----------------------------------------------------------------------
+@dataclass
+class ShipCandidates(PhysicalOp):
+    """Move candidate ids + matched codes over PCI-E to the host."""
+
+    phase = "refine"
+
+    def describe(self) -> str:
+        return "bwd.ship(candidates)"
+
+
+# ----------------------------------------------------------------------
+# Refinement-phase operators (host side, blue nodes of Fig 3)
+# ----------------------------------------------------------------------
+@dataclass
+class RefineSelect(PhysicalOp):
+    """Algorithm 2: residual join + precise re-evaluation."""
+
+    column: str
+    predicate: Predicate
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"bwd.uselectrefine({self.column}) {self.predicate!r}"
+
+
+@dataclass
+class CpuSelect(PhysicalOp):
+    """Exact selection on the host (non-decomposed column or expression)."""
+
+    predicate: Predicate
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"cpu.select() {self.predicate!r}"
+
+
+@dataclass
+class RefineProject(PhysicalOp):
+    """Join residual bits onto an approximate projection payload."""
+
+    column: str
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"bwd.leftjoinrefine({self.column})"
+
+
+@dataclass
+class RefineFkJoin(PhysicalOp):
+    """Join the dimension residual onto an approximate FK-join payload."""
+
+    target_column: str
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"bwd.fkjoinrefine({self.target_column})"
+
+
+@dataclass
+class CpuProject(PhysicalOp):
+    """Host-side exact gather of a column never touched on the device."""
+
+    column: str
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"cpu.project({self.column})"
+
+
+@dataclass
+class RefineGroup(PhysicalOp):
+    """Sub-divide approximate groups by residual bits / host-only columns."""
+
+    columns: tuple[str, ...]
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"bwd.grouprefine({', '.join(self.columns)})"
+
+
+@dataclass
+class RefineAggregate(PhysicalOp):
+    """Produce the exact aggregate (device reuse or host recomputation)."""
+
+    aggregate: Aggregate
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"bwd.{self.aggregate.func}refine() -> {self.aggregate.alias}"
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class PhysicalPlan:
+    """An ordered A&R operator list for one logical query."""
+
+    query: Query
+    ops: list[PhysicalOp] = field(default_factory=list)
+    pushdown: bool = True
+
+    def validate(self) -> "PhysicalPlan":
+        """Check the A&R structural invariant under pushdown.
+
+        With pushdown enabled, the approximation subplan must be a prefix:
+        once a refine-phase operator ran, no approximate operator may
+        follow, so the approximate answer is available before any
+        refinement starts (paper §V-B, Fig 7).
+        """
+        if self.pushdown:
+            seen_refine = False
+            for op in self.ops:
+                if op.phase == "refine":
+                    seen_refine = True
+                elif seen_refine:
+                    raise PlanError(
+                        f"approximate operator {op.describe()} depends on a "
+                        "refined input — pushdown invariant violated"
+                    )
+        if not any(isinstance(op, ShipCandidates) for op in self.ops):
+            raise PlanError("plan never ships candidates to the host")
+        return self
+
+    @property
+    def approximate_ops(self) -> list[PhysicalOp]:
+        return [op for op in self.ops if op.phase == "approximate"]
+
+    @property
+    def refine_ops(self) -> list[PhysicalOp]:
+        return [op for op in self.ops if op.phase == "refine"]

@@ -1,0 +1,128 @@
+"""Untyped abstract syntax for the mini-SQL dialect (pre-binding)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class AstNode:
+    pass
+
+
+# ----------------------------------------------------------------------
+# Scalar expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Col(AstNode):
+    """Column reference, possibly qualified (``part.p_type``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Num(AstNode):
+    """Numeric literal; ``text`` keeps the written form for scale inference."""
+
+    text: str
+
+    @property
+    def is_integer(self) -> bool:
+        return "." not in self.text
+
+    @property
+    def fraction_digits(self) -> int:
+        return 0 if self.is_integer else len(self.text.split(".", 1)[1])
+
+
+@dataclass(frozen=True)
+class Str(AstNode):
+    value: str
+
+
+@dataclass(frozen=True)
+class Arith(AstNode):
+    op: str  # + - *
+    left: "AstExpr"
+    right: "AstExpr"
+
+
+@dataclass(frozen=True)
+class Negate(AstNode):
+    operand: "AstExpr"
+
+
+@dataclass(frozen=True)
+class CaseWhen(AstNode):
+    condition: "AstPredicate"
+    then: "AstExpr"
+    otherwise: "AstExpr"
+
+
+AstExpr = Union[Col, Num, Str, Arith, Negate, CaseWhen]
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Compare(AstNode):
+    op: str  # = <> < <= > >=
+    left: AstExpr
+    right: AstExpr
+
+
+@dataclass(frozen=True)
+class Between(AstNode):
+    target: AstExpr
+    lo: AstExpr
+    hi: AstExpr
+
+
+@dataclass(frozen=True)
+class Like(AstNode):
+    column: Col
+    pattern: str
+
+
+AstPredicate = Union[Compare, Between, Like]
+
+
+# ----------------------------------------------------------------------
+# Select items & statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggCall(AstNode):
+    func: str  # count sum avg min max
+    argument: AstExpr | None  # None = count(*)
+
+
+@dataclass(frozen=True)
+class SelectItem(AstNode):
+    expr: AstExpr | AggCall
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class JoinClause(AstNode):
+    dim_table: str
+    fk_column: str  # fact-side column of the ON equality
+    dim_key: str  # dimension-side column (must be its dense key)
+
+
+@dataclass(frozen=True)
+class SelectStmt(AstNode):
+    items: tuple[SelectItem, ...]
+    table: str
+    joins: tuple[JoinClause, ...]
+    where: tuple[AstPredicate, ...]
+    group_by: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BwDecompose(AstNode):
+    """``SELECT bwdecompose(col, bits) FROM table`` — decomposition DDL."""
+
+    table: str
+    column: str
+    device_bits: int

@@ -1,0 +1,74 @@
+"""Tokenizer for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "and", "between", "as",
+    "join", "on", "case", "when", "then", "else", "end", "like", "not",
+    "count", "sum", "avg", "min", "max", "bwdecompose",
+}
+
+#: Multi-char operators first so "<=" never lexes as "<" then "=".
+OPERATORS = ("<=", ">=", "<>", "!=", "==", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'kw' | 'ident' | 'number' | 'string' | 'op' | 'star' | 'eof'
+    text: str
+    pos: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = sql.find("'", i + 1)
+            if j < 0:
+                raise SqlSyntaxError("unterminated string literal", i)
+            tokens.append(Token("string", sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # a dot not followed by a digit terminates the number
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] in "_"):
+                j += 1
+            word = sql[i:j]
+            kind = "kw" if word.lower() in KEYWORDS else "ident"
+            tokens.append(Token(kind, word.lower() if kind == "kw" else word, i))
+            i = j
+            continue
+        for op in OPERATORS:
+            if sql.startswith(op, i):
+                kind = "star" if op == "*" else "op"
+                tokens.append(Token(kind, op, i))
+                i += len(op)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens

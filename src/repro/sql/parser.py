@@ -1,0 +1,251 @@
+"""Recursive-descent parser for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from ..errors import SqlSyntaxError
+from .ast import (
+    AggCall,
+    Arith,
+    AstExpr,
+    AstPredicate,
+    Between,
+    BwDecompose,
+    CaseWhen,
+    Col,
+    Compare,
+    JoinClause,
+    Like,
+    Negate,
+    Num,
+    SelectItem,
+    SelectStmt,
+    Str,
+)
+from .lexer import Token, tokenize
+
+_AGG_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._i]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        self._i += 1
+        return tok
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self._cur
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self._accept(kind, text)
+        if tok is None:
+            want = text or kind
+            raise SqlSyntaxError(
+                f"expected {want!r}, found {self._cur.text or 'end of input'!r}",
+                self._cur.pos,
+            )
+        return tok
+
+    def _accept_kw(self, word: str) -> bool:
+        return self._accept("kw", word) is not None
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+    def parse_statement(self):
+        self._expect("kw", "select")
+        stmt = self._try_bwdecompose()
+        if stmt is not None:
+            return stmt
+        items = [self._select_item()]
+        while self._accept("op", ","):
+            items.append(self._select_item())
+        self._expect("kw", "from")
+        table = self._expect("ident").text
+        joins = []
+        while self._accept_kw("join"):
+            joins.append(self._join_clause())
+        where: list[AstPredicate] = []
+        if self._accept_kw("where"):
+            where.append(self._predicate())
+            while self._accept_kw("and"):
+                where.append(self._predicate())
+        group_by: list[str] = []
+        if self._accept_kw("group"):
+            self._expect("kw", "by")
+            group_by.append(self._qualified_name())
+            while self._accept("op", ","):
+                group_by.append(self._qualified_name())
+        self._expect("eof")
+        return SelectStmt(
+            items=tuple(items), table=table, joins=tuple(joins),
+            where=tuple(where), group_by=tuple(group_by),
+        )
+
+    def _try_bwdecompose(self) -> BwDecompose | None:
+        if not (self._cur.kind == "kw" and self._cur.text == "bwdecompose"):
+            return None
+        self._advance()
+        self._expect("op", "(")
+        column = self._qualified_name()
+        self._expect("op", ",")
+        bits = self._expect("number")
+        if "." in bits.text:
+            raise SqlSyntaxError("bwdecompose bits must be an integer", bits.pos)
+        self._expect("op", ")")
+        self._expect("kw", "from")
+        table = self._expect("ident").text
+        self._expect("eof")
+        return BwDecompose(table=table, column=column, device_bits=int(bits.text))
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+    def _select_item(self) -> SelectItem:
+        expr = self._agg_or_expr()
+        alias = None
+        if self._accept_kw("as"):
+            alias = self._expect("ident").text
+        return SelectItem(expr=expr, alias=alias)
+
+    def _agg_or_expr(self):
+        tok = self._cur
+        if tok.kind == "kw" and tok.text in _AGG_FUNCS:
+            self._advance()
+            self._expect("op", "(")
+            if self._accept("star"):
+                if tok.text != "count":
+                    raise SqlSyntaxError(f"{tok.text}(*) is not valid", tok.pos)
+                arg = None
+            else:
+                arg = self._expr()
+            self._expect("op", ")")
+            return AggCall(func=tok.text, argument=arg)
+        return self._expr()
+
+    def _join_clause(self) -> JoinClause:
+        dim = self._expect("ident").text
+        self._expect("kw", "on")
+        left = self._qualified_name()
+        self._expect("op", "=")
+        right = self._qualified_name()
+        # Either side of the equality may be the dimension key.
+        if left.startswith(dim + "."):
+            dim_side, fact_side = left, right
+        elif right.startswith(dim + "."):
+            dim_side, fact_side = right, left
+        else:
+            raise SqlSyntaxError(
+                f"JOIN ON must reference {dim!r} on one side", self._cur.pos
+            )
+        return JoinClause(
+            dim_table=dim,
+            fk_column=fact_side,
+            dim_key=dim_side.split(".", 1)[1],
+        )
+
+    def _predicate(self) -> AstPredicate:
+        target = self._expr()
+        if self._accept_kw("not"):
+            self._expect("kw", "like")
+            raise SqlSyntaxError("NOT LIKE is not supported", self._cur.pos)
+        if self._accept_kw("between"):
+            lo = self._expr()
+            self._expect("kw", "and")
+            hi = self._expr()
+            return Between(target=target, lo=lo, hi=hi)
+        if self._accept_kw("like"):
+            pattern = self._expect("string")
+            if not isinstance(target, Col):
+                raise SqlSyntaxError("LIKE requires a column", pattern.pos)
+            return Like(column=target, pattern=pattern.text)
+        op_tok = self._cur
+        if op_tok.kind == "op" and op_tok.text in ("=", "==", "<>", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            right = self._expr()
+            op = {"==": "=", "!=": "<>"}.get(op_tok.text, op_tok.text)
+            return Compare(op=op, left=target, right=right)
+        raise SqlSyntaxError(
+            f"expected a comparison, found {op_tok.text!r}", op_tok.pos
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence: unary minus > * > + -)
+    # ------------------------------------------------------------------
+    def _expr(self) -> AstExpr:
+        node = self._term()
+        while True:
+            if self._accept("op", "+"):
+                node = Arith("+", node, self._term())
+            elif self._accept("op", "-"):
+                node = Arith("-", node, self._term())
+            else:
+                return node
+
+    def _term(self) -> AstExpr:
+        node = self._factor()
+        while True:
+            if self._accept("star"):
+                node = Arith("*", node, self._factor())
+            elif self._cur.kind == "op" and self._cur.text == "/":
+                raise SqlSyntaxError(
+                    "division is not supported in expressions; compute ratios "
+                    "over aggregate results instead", self._cur.pos,
+                )
+            else:
+                return node
+
+    def _factor(self) -> AstExpr:
+        if self._accept("op", "-"):
+            return Negate(self._factor())
+        if self._accept("op", "("):
+            node = self._expr()
+            self._expect("op", ")")
+            return node
+        tok = self._cur
+        if tok.kind == "number":
+            self._advance()
+            return Num(tok.text)
+        if tok.kind == "string":
+            self._advance()
+            return Str(tok.text)
+        if tok.kind == "kw" and tok.text == "case":
+            return self._case()
+        if tok.kind == "ident":
+            return Col(self._qualified_name())
+        raise SqlSyntaxError(f"unexpected token {tok.text!r}", tok.pos)
+
+    def _case(self) -> CaseWhen:
+        self._expect("kw", "case")
+        self._expect("kw", "when")
+        condition = self._predicate()
+        self._expect("kw", "then")
+        then = self._expr()
+        self._expect("kw", "else")
+        otherwise = self._expr()
+        self._expect("kw", "end")
+        return CaseWhen(condition=condition, then=then, otherwise=otherwise)
+
+    def _qualified_name(self) -> str:
+        name = self._expect("ident").text
+        if self._accept("op", "."):
+            name = f"{name}.{self._expect('ident').text}"
+        return name
+
+
+def parse(sql: str):
+    """Parse one statement; returns a SelectStmt or BwDecompose."""
+    return _Parser(tokenize(sql)).parse_statement()

@@ -1,0 +1,47 @@
+"""Bitwise-distributed storage substrate.
+
+This package provides the storage layer the paper builds on:
+
+* :mod:`repro.storage.bat` — MonetDB-style Binary Association Tables,
+* :mod:`repro.storage.bitpack` — dense k-bit code packing,
+* :mod:`repro.storage.decompose` — bitwise decomposition with prefix
+  compression (the BWD storage model),
+* :mod:`repro.storage.column` — logical column types (int, decimal, date,
+  ordered dictionary),
+* :mod:`repro.storage.relation` / :mod:`repro.storage.catalog` — schemas,
+  tables and the decomposition registry.
+"""
+
+from .bat import BAT
+from .bitpack import pack_codes, packed_nbytes, unpack_codes
+from .column import (
+    ColumnType,
+    DateType,
+    DecimalType,
+    DictionaryType,
+    IntType,
+    OrderedDictionary,
+)
+from .decompose import BwdColumn, Decomposition, decompose_values, plan_decomposition
+from .relation import Relation, Schema
+from .catalog import Catalog
+
+__all__ = [
+    "BAT",
+    "BwdColumn",
+    "Catalog",
+    "ColumnType",
+    "DateType",
+    "DecimalType",
+    "Decomposition",
+    "DictionaryType",
+    "IntType",
+    "OrderedDictionary",
+    "Relation",
+    "Schema",
+    "decompose_values",
+    "pack_codes",
+    "packed_nbytes",
+    "plan_decomposition",
+    "unpack_codes",
+]

@@ -1,0 +1,164 @@
+"""Binary Association Tables (BATs), MonetDB's storage primitive.
+
+A BAT is a pair of aligned arrays mapping tuple ids (the *head*) to attribute
+values (the *tail*).  When the ids are dense and sorted — always the case for
+persistent columns — the head is *void*: it is not materialized and every id
+is inferred as ``hseqbase + position`` (paper §V-C).
+
+Intermediates (selection results, candidate sets) carry materialized heads.
+The distinction matters for the A&R operators: the translucent join collapses
+to an invisible (positional) join exactly when the head is sorted and dense.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import StorageError
+from ..util import as_index_array
+
+
+class BAT:
+    """An aligned (head, tail) column pair.
+
+    Parameters
+    ----------
+    tail:
+        Value array (any NumPy dtype).
+    head:
+        Materialized tuple ids, or ``None`` for a void (dense) head.
+    hseqbase:
+        First id of a void head; ignored when ``head`` is given.
+    """
+
+    __slots__ = ("_tail", "_head", "_hseqbase")
+
+    def __init__(
+        self,
+        tail: np.ndarray,
+        head: Optional[np.ndarray] = None,
+        hseqbase: int = 0,
+    ) -> None:
+        tail = np.asarray(tail)
+        if tail.ndim != 1:
+            raise StorageError(f"BAT tail must be 1-D, got shape {tail.shape}")
+        if head is not None:
+            head = as_index_array(head)
+            if head.shape[0] != tail.shape[0]:
+                raise StorageError(
+                    f"BAT head/tail misaligned: {head.shape[0]} ids vs "
+                    f"{tail.shape[0]} values"
+                )
+        self._tail = tail
+        self._head = head
+        self._hseqbase = int(hseqbase)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def dense(cls, tail: np.ndarray, hseqbase: int = 0) -> "BAT":
+        """A persistent-style BAT with a void head starting at ``hseqbase``."""
+        return cls(tail, head=None, hseqbase=hseqbase)
+
+    @classmethod
+    def pairs(cls, head: np.ndarray, tail: np.ndarray) -> "BAT":
+        """An intermediate BAT with materialized ids."""
+        return cls(tail, head=head)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._tail.shape[0]
+
+    def __repr__(self) -> str:
+        kind = "void" if self.has_void_head else "oid"
+        return f"BAT({kind} head, {len(self)} x {self._tail.dtype})"
+
+    @property
+    def tail(self) -> np.ndarray:
+        return self._tail
+
+    @property
+    def hseqbase(self) -> int:
+        return self._hseqbase
+
+    @property
+    def has_void_head(self) -> bool:
+        """True when the head is implicit (dense, sorted ids)."""
+        return self._head is None
+
+    @property
+    def head(self) -> np.ndarray:
+        """Tuple ids, materializing a void head on demand."""
+        if self._head is None:
+            return np.arange(
+                self._hseqbase, self._hseqbase + len(self), dtype=np.int64
+            )
+        return self._head
+
+    @property
+    def nbytes(self) -> int:
+        """Physical bytes: tail plus materialized head (void heads are free)."""
+        head_bytes = 0 if self._head is None else self._head.nbytes
+        return self._tail.nbytes + head_bytes
+
+    def head_is_sorted(self) -> bool:
+        """True when ids are non-decreasing (void heads always are)."""
+        if self._head is None:
+            return True
+        return bool(np.all(self._head[1:] >= self._head[:-1]))
+
+    def head_is_dense(self) -> bool:
+        """True when ids are consecutive integers (the invisible-join case)."""
+        if self._head is None:
+            return True
+        if len(self) == 0:
+            return True
+        return bool(np.all(np.diff(self._head) == 1))
+
+    # ------------------------------------------------------------------
+    # Bulk operations used by every engine operator
+    # ------------------------------------------------------------------
+    def take(self, positions: np.ndarray) -> "BAT":
+        """Positional gather: new BAT of rows at ``positions`` (keeps ids)."""
+        positions = as_index_array(positions)
+        return BAT(self._tail[positions], head=self.head[positions])
+
+    def project_onto(self, ids: np.ndarray) -> "BAT":
+        """Invisible join: look up values for ``ids`` against a void head.
+
+        This is the positional lookup of paper §IV-C and requires a void
+        head (persistent column); use the translucent join otherwise.
+        """
+        if not self.has_void_head:
+            raise StorageError("project_onto requires a void (dense) head")
+        ids = as_index_array(ids)
+        positions = ids - self._hseqbase
+        if len(positions) and (
+            int(positions.min()) < 0 or int(positions.max()) >= len(self)
+        ):
+            raise StorageError("projection id out of range")
+        return BAT(self._tail[positions], head=ids)
+
+    def slice(self, start: int, stop: int) -> "BAT":
+        """Row-range slice preserving head semantics."""
+        if self._head is None:
+            return BAT(
+                self._tail[start:stop], head=None, hseqbase=self._hseqbase + start
+            )
+        return BAT(self._tail[start:stop], head=self._head[start:stop])
+
+    def with_tail(self, tail: np.ndarray) -> "BAT":
+        """Same head, new (aligned) tail."""
+        tail = np.asarray(tail)
+        if tail.shape[0] != len(self):
+            raise StorageError("replacement tail is misaligned")
+        return BAT(tail, head=self._head, hseqbase=self._hseqbase)
+
+    def materialize_head(self) -> "BAT":
+        """Force an explicit head (used when order will be disturbed)."""
+        return BAT(self._tail, head=self.head)

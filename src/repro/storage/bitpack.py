@@ -1,0 +1,133 @@
+"""Dense bit-packing of k-bit codes into 64-bit words.
+
+The approximation and residual partitions of a bitwise-decomposed column
+(paper §II-A) hold codes of arbitrary width (e.g. 24 approximation bits, 8
+residual bits).  Storing them one-per-machine-word would waste the very
+memory the paper tries to conserve, so codes are packed back to back into a
+``uint64`` array: code ``i`` occupies bits ``[i*k, (i+1)*k)`` of the stream.
+
+Both directions are fully vectorized; a code may straddle two words, which
+is handled with a masked second scatter/gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BitWidthError
+from ..util import check_bits, mask
+
+_WORD_BITS = 64
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Bytes needed to store ``count`` codes of ``bits`` bits each.
+
+    >>> packed_nbytes(8, 8)
+    8
+    >>> packed_nbytes(3, 24)
+    16
+    """
+    check_bits(bits)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    total_bits = count * bits
+    words = (total_bits + _WORD_BITS - 1) // _WORD_BITS
+    return words * 8
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack non-negative integer ``codes`` into a dense ``uint64`` stream.
+
+    ``codes`` may be any integer dtype; every value must fit in ``bits``
+    bits.  Returns the packed word array (possibly empty).
+    """
+    check_bits(bits)
+    codes = np.ascontiguousarray(codes)
+    if codes.ndim != 1:
+        raise BitWidthError(f"codes must be 1-D, got shape {codes.shape}")
+    n = codes.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.uint64)
+    if codes.dtype.kind not in "iu":
+        raise BitWidthError(f"codes must be integers, got dtype {codes.dtype}")
+    if codes.dtype.kind == "i" and int(codes.min(initial=0)) < 0:
+        raise BitWidthError("codes must be non-negative; decompose biases first")
+    as_u64 = codes.astype(np.uint64, copy=False)
+    if bits < _WORD_BITS and bool((as_u64 > np.uint64(mask(bits))).any()):
+        raise BitWidthError(f"a code does not fit in {bits} bits")
+
+    n_words = packed_nbytes(n, bits) // 8
+    words = np.zeros(n_words, dtype=np.uint64)
+
+    bit_pos = np.arange(n, dtype=np.uint64) * np.uint64(bits)
+    word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)
+    offset = bit_pos & np.uint64(_WORD_BITS - 1)
+
+    np.bitwise_or.at(words, word_idx, as_u64 << offset)
+
+    # Codes straddling a word boundary spill their high bits into the next
+    # word.  ``offset`` is non-zero for every spilling code, so the shift
+    # count ``64 - offset`` stays within [1, 63].
+    spills = (offset + np.uint64(bits)) > np.uint64(_WORD_BITS)
+    if bool(spills.any()):
+        hi = as_u64[spills] >> (np.uint64(_WORD_BITS) - offset[spills])
+        np.bitwise_or.at(words, word_idx[spills] + 1, hi)
+    return words
+
+
+def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`; returns ``count`` codes as ``uint64``."""
+    check_bits(bits)
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.uint64)
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.nbytes < packed_nbytes(count, bits):
+        raise BitWidthError(
+            f"packed stream too short: {words.nbytes} bytes for "
+            f"{count} codes of {bits} bits"
+        )
+
+    bit_pos = np.arange(count, dtype=np.uint64) * np.uint64(bits)
+    word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)
+    offset = bit_pos & np.uint64(_WORD_BITS - 1)
+
+    out = words[word_idx] >> offset
+    spills = (offset + np.uint64(bits)) > np.uint64(_WORD_BITS)
+    if bool(spills.any()):
+        hi = words[word_idx[spills] + 1] << (np.uint64(_WORD_BITS) - offset[spills])
+        out[spills] |= hi
+    if bits < _WORD_BITS:
+        out &= np.uint64(mask(bits))
+    return out
+
+
+def gather_codes(words: np.ndarray, bits: int, count: int, positions: np.ndarray) -> np.ndarray:
+    """Random-access read of codes at ``positions`` from a packed stream.
+
+    Equivalent to ``unpack_codes(words, bits, count)[positions]`` but touches
+    only the requested words — this is what a positional (invisible-join)
+    lookup on a packed column does.
+    """
+    check_bits(bits)
+    positions = np.ascontiguousarray(positions, dtype=np.int64)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    if int(positions.min()) < 0 or int(positions.max()) >= count:
+        raise IndexError("gather position out of range")
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+
+    bit_pos = positions.astype(np.uint64) * np.uint64(bits)
+    word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)
+    offset = bit_pos & np.uint64(_WORD_BITS - 1)
+
+    out = words[word_idx] >> offset
+    spills = (offset + np.uint64(bits)) > np.uint64(_WORD_BITS)
+    if bool(spills.any()):
+        hi = words[word_idx[spills] + 1] << (np.uint64(_WORD_BITS) - offset[spills])
+        out[spills] |= hi
+    if bits < _WORD_BITS:
+        out &= np.uint64(mask(bits))
+    return out

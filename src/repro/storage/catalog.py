@@ -1,0 +1,126 @@
+"""The catalog: table registry plus the bitwise-decomposition registry.
+
+In the paper, decomposing an attribute is an explicit, index-like DDL step
+(``select bwdecompose(A, 24) from R`` — §V-A).  The catalog records which
+columns have been decomposed, with which split, and owns the resulting
+:class:`~repro.storage.decompose.BwdColumn` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import DecompositionError, StorageError
+from .decompose import BwdColumn, plan_decomposition
+from .relation import Relation
+
+
+class Catalog:
+    """Named relations and their per-column decompositions."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Relation] = {}
+        self._decomposed: dict[tuple[str, str], BwdColumn] = {}
+        self._histograms: dict[tuple[str, str], "CodeHistogram"] = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def register(self, relation: Relation) -> Relation:
+        if relation.name in self._tables:
+            raise StorageError(f"table {relation.name!r} already exists")
+        self._tables[relation.name] = relation
+        return relation
+
+    def drop(self, name: str) -> None:
+        if name not in self._tables:
+            raise StorageError(f"no table {name!r}")
+        del self._tables[name]
+        for key in [k for k in self._decomposed if k[0] == name]:
+            del self._decomposed[key]
+            self._histograms.pop(key, None)
+
+    def table(self, name: str) -> Relation:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"no table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Relation]:
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Decompositions (the bwdecompose side-effect)
+    # ------------------------------------------------------------------
+    def bwdecompose(
+        self,
+        table: str,
+        column: str,
+        device_bits: int | None = None,
+        *,
+        residual_bits: int | None = None,
+        prefix_compression: bool = True,
+    ) -> BwdColumn:
+        """Decompose ``table.column``; mirrors ``select bwdecompose(col, n)``.
+
+        ``device_bits`` counts device-resident bits out of the column's
+        declared storage width, exactly like the paper's user API.  Returns
+        (and registers) the decomposed column; re-decomposing replaces the
+        previous split.
+        """
+        rel = self.table(table)
+        values = rel.values(column)
+        typ = rel.type_of(column)
+        if values.size == 0:
+            raise DecompositionError(
+                f"cannot decompose empty column {table}.{column}"
+            )
+        plan = plan_decomposition(
+            values,
+            device_bits=device_bits,
+            residual_bits=residual_bits,
+            storage_bits=typ.storage_bits,
+            prefix_compression=prefix_compression,
+        )
+        bwd = BwdColumn.from_values(values, plan)
+        self._decomposed[(table, column)] = bwd
+        self._histograms.pop((table, column), None)  # stale under new split
+        return bwd
+
+    def histogram_of(self, table: str, column: str) -> "CodeHistogram":
+        """Code histogram of a decomposed column, built lazily and cached.
+
+        Feeds the cost-based predicate ordering (the paper's §III-A
+        future-work extension).
+        """
+        from .histogram import CodeHistogram
+
+        key = (table, column)
+        if key not in self._histograms:
+            bwd = self.decomposition_of(table, column)
+            if bwd is None:
+                raise StorageError(f"{table}.{column} is not decomposed")
+            self._histograms[key] = CodeHistogram.build(bwd)
+        return self._histograms[key]
+
+    def decomposition_of(self, table: str, column: str) -> BwdColumn | None:
+        """The registered decomposition, or ``None`` if the column is plain."""
+        return self._decomposed.get((table, column))
+
+    def is_decomposed(self, table: str, column: str) -> bool:
+        return (table, column) in self._decomposed
+
+    def decomposed_columns(self) -> Iterator[tuple[str, str, BwdColumn]]:
+        for (table, column), bwd in self._decomposed.items():
+            yield table, column, bwd
+
+    def device_footprint(self) -> int:
+        """Total device-resident bytes across all decomposed columns."""
+        return sum(b.approx_nbytes for b in self._decomposed.values())
+
+    def host_residual_footprint(self) -> int:
+        """Total host-resident residual bytes."""
+        return sum(b.residual_nbytes for b in self._decomposed.values())

@@ -1,0 +1,295 @@
+"""Bitwise decomposition & distribution (BWD) — paper §II-A.
+
+A column of (storage-)integers is split at bit granularity:
+
+* a global *prefix compression* base (the minimum value) is subtracted,
+  removing the shared leading bits ("leading zeros are removed"),
+* the offset codes are cut into *major* bits — the **approximation**, kept in
+  fast device memory — and *minor* bits — the **residual**, kept in slow
+  host memory.
+
+``approx_code = (v - base) >> residual_bits`` and
+``residual = (v - base) & (2**residual_bits - 1)``; bitwise concatenation
+(paper Algorithm 2's ``+bw``) reconstructs the exact value.
+
+The *resolution* (number of approximation bits) determines both the device
+memory footprint and the approximation error: an approximation code covers a
+bucket of ``2**residual_bits`` consecutive values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DecompositionError
+from ..util import bits_for_range, mask
+from .bitpack import gather_codes, pack_codes, packed_nbytes, unpack_codes
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """The shape of one column's bitwise split.
+
+    Attributes
+    ----------
+    base:
+        Prefix-compression base (frame of reference); the column minimum.
+    total_bits:
+        Effective code width after base removal (leading zeros dropped).
+    residual_bits:
+        Minor bits kept on the host.  ``0`` means the column is entirely
+        device-resident at full precision.
+    storage_bits:
+        The declared storage width the user's ``bwdecompose(col, n)`` call
+        referred to (e.g. 32 for an ``int`` column).
+    """
+
+    base: int
+    total_bits: int
+    residual_bits: int
+    storage_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 1 or self.total_bits > 64:
+            raise DecompositionError(
+                f"total_bits must be 1..64, got {self.total_bits}"
+            )
+        if not 0 <= self.residual_bits <= self.total_bits:
+            raise DecompositionError(
+                f"residual_bits must be 0..total_bits, got {self.residual_bits}"
+            )
+
+    @property
+    def approx_bits(self) -> int:
+        """Resolution of the approximation (major bits)."""
+        return self.total_bits - self.residual_bits
+
+    @property
+    def bucket(self) -> int:
+        """Values per approximation code: ``2**residual_bits``."""
+        return 1 << self.residual_bits
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable approximation code."""
+        if self.approx_bits == 0:
+            return 0
+        return mask(self.approx_bits)
+
+    @property
+    def max_error(self) -> int:
+        """Worst-case gap between a value and its approximation."""
+        return self.bucket - 1
+
+    # ------------------------------------------------------------------
+    # Scalar/array code conversions (the heart of predicate relaxation)
+    # ------------------------------------------------------------------
+    def approx_code_of(self, value: int) -> int:
+        """Approximation code of an arbitrary in-domain value (floor)."""
+        return (int(value) - self.base) >> self.residual_bits
+
+    def value_floor(self, code: int) -> int:
+        """Smallest exact value covered by approximation ``code``."""
+        return self.base + (int(code) << self.residual_bits)
+
+    def value_ceil(self, code: int) -> int:
+        """Largest exact value covered by approximation ``code``."""
+        return self.value_floor(code) + self.max_error
+
+    def split(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized value → (approx_code, residual)."""
+        offsets = np.asarray(values, dtype=np.int64) - self.base
+        if len(offsets) and (
+            int(offsets.min()) < 0 or bits_for_range(int(offsets.max())) > self.total_bits
+        ):
+            raise DecompositionError("value outside the decomposition's domain")
+        approx = (offsets >> self.residual_bits).astype(np.uint64)
+        residual = (offsets & mask(self.residual_bits)).astype(np.uint64)
+        return approx, residual
+
+    def combine(self, approx: np.ndarray, residual: np.ndarray | None) -> np.ndarray:
+        """Bitwise concatenation ``approx +bw residual`` back to exact values."""
+        approx = np.asarray(approx, dtype=np.int64)
+        out = approx << self.residual_bits
+        if self.residual_bits:
+            if residual is None:
+                raise DecompositionError("residual required to reconstruct values")
+            out = out | np.asarray(residual, dtype=np.int64)
+        return out + self.base
+
+    def approx_lower_bounds(self, approx: np.ndarray) -> np.ndarray:
+        """Per-row smallest exact value compatible with each approx code."""
+        return (np.asarray(approx, dtype=np.int64) << self.residual_bits) + self.base
+
+    def approx_upper_bounds(self, approx: np.ndarray) -> np.ndarray:
+        """Per-row largest exact value compatible with each approx code."""
+        return self.approx_lower_bounds(approx) + self.max_error
+
+
+def plan_decomposition(
+    values: np.ndarray,
+    *,
+    device_bits: int | None = None,
+    residual_bits: int | None = None,
+    storage_bits: int = 32,
+    prefix_compression: bool = True,
+) -> Decomposition:
+    """Choose a :class:`Decomposition` for concrete column data.
+
+    ``device_bits`` follows the paper's user API: ``bwdecompose(A, 24)``
+    keeps 24 of the declared ``storage_bits`` on the device, the remaining
+    ``storage_bits - device_bits`` become host-resident residual bits.
+    Alternatively the residual width can be pinned directly with
+    ``residual_bits``.  With ``prefix_compression`` disabled the base is 0
+    and leading zeros are kept (the ablation case).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        raise DecompositionError("cannot plan a decomposition for an empty column")
+    lo = int(values.min())
+    hi = int(values.max())
+    if not prefix_compression:
+        if lo < 0:
+            raise DecompositionError(
+                "prefix compression is required for negative values"
+            )
+        base = 0
+        total = max(bits_for_range(hi), 1)
+    else:
+        base = lo
+        total = bits_for_range(hi - lo)
+
+    if residual_bits is None:
+        if device_bits is None:
+            raise DecompositionError("specify device_bits or residual_bits")
+        if device_bits < 1:
+            raise DecompositionError(f"device_bits must be >= 1, got {device_bits}")
+        residual_bits = max(0, storage_bits - device_bits)
+    residual_bits = min(residual_bits, total)
+    return Decomposition(
+        base=base,
+        total_bits=total,
+        residual_bits=residual_bits,
+        storage_bits=storage_bits,
+    )
+
+
+class BwdColumn:
+    """A bitwise-decomposed column: packed approximation + packed residual.
+
+    The approximation stream is intended for device (GPU) memory, the
+    residual stream for host memory; actual placement/accounting is done by
+    the device layer, which registers the buffers with the respective
+    :class:`~repro.device.memory.MemoryPool`.
+    """
+
+    __slots__ = ("decomposition", "length", "_approx_words", "_residual_words")
+
+    def __init__(
+        self,
+        decomposition: Decomposition,
+        length: int,
+        approx_words: np.ndarray,
+        residual_words: np.ndarray | None,
+    ) -> None:
+        self.decomposition = decomposition
+        self.length = length
+        self._approx_words = approx_words
+        self._residual_words = residual_words
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: np.ndarray, decomposition: Decomposition) -> "BwdColumn":
+        approx, residual = decomposition.split(values)
+        approx_words = pack_codes(
+            approx, max(decomposition.approx_bits, 1)
+        )
+        residual_words = (
+            pack_codes(residual, decomposition.residual_bits)
+            if decomposition.residual_bits
+            else None
+        )
+        return cls(decomposition, len(values), approx_words, residual_words)
+
+    # ------------------------------------------------------------------
+    @property
+    def approx_nbytes(self) -> int:
+        """Device-resident footprint of the approximation."""
+        return packed_nbytes(self.length, max(self.decomposition.approx_bits, 1))
+
+    @property
+    def residual_nbytes(self) -> int:
+        """Host-resident footprint of the residual."""
+        if self.decomposition.residual_bits == 0:
+            return 0
+        return packed_nbytes(self.length, self.decomposition.residual_bits)
+
+    @property
+    def is_distributed(self) -> bool:
+        """True when part of the column lives on the host (residual > 0)."""
+        return self.decomposition.residual_bits > 0
+
+    # ------------------------------------------------------------------
+    def approx_codes(self) -> np.ndarray:
+        """Unpack the full approximation stream (a device-side scan)."""
+        return unpack_codes(
+            self._approx_words, max(self.decomposition.approx_bits, 1), self.length
+        )
+
+    def approx_at(self, positions: np.ndarray) -> np.ndarray:
+        """Random-access approximation codes (device-side gather)."""
+        return gather_codes(
+            self._approx_words,
+            max(self.decomposition.approx_bits, 1),
+            self.length,
+            positions,
+        )
+
+    def residuals(self) -> np.ndarray:
+        """Unpack the full residual stream (host-side scan)."""
+        if self.decomposition.residual_bits == 0:
+            return np.zeros(self.length, dtype=np.uint64)
+        return unpack_codes(
+            self._residual_words, self.decomposition.residual_bits, self.length
+        )
+
+    def residual_at(self, positions: np.ndarray) -> np.ndarray:
+        """Random-access residuals (host-side gather; the refine hot path)."""
+        if self.decomposition.residual_bits == 0:
+            positions = np.asarray(positions)
+            return np.zeros(len(positions), dtype=np.uint64)
+        return gather_codes(
+            self._residual_words,
+            self.decomposition.residual_bits,
+            self.length,
+            positions,
+        )
+
+    def reconstruct(self, positions: np.ndarray | None = None) -> np.ndarray:
+        """Exact values via bitwise concatenation, for all rows or a subset."""
+        if positions is None:
+            return self.decomposition.combine(self.approx_codes(), self.residuals())
+        return self.decomposition.combine(
+            self.approx_at(positions), self.residual_at(positions)
+        )
+
+
+def decompose_values(
+    values: np.ndarray,
+    *,
+    device_bits: int | None = None,
+    residual_bits: int | None = None,
+    storage_bits: int = 32,
+    prefix_compression: bool = True,
+) -> BwdColumn:
+    """Convenience: plan a decomposition for ``values`` and apply it."""
+    plan = plan_decomposition(
+        values,
+        device_bits=device_bits,
+        residual_bits=residual_bits,
+        storage_bits=storage_bits,
+        prefix_compression=prefix_compression,
+    )
+    return BwdColumn.from_values(np.asarray(values, dtype=np.int64), plan)

@@ -1,0 +1,114 @@
+"""Relations: named, aligned columns over dense-headed BATs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import StorageError
+from .bat import BAT
+from .column import ColumnType, IntType
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered column-name → column-type mapping for one table."""
+
+    columns: tuple[tuple[str, ColumnType], ...]
+
+    @classmethod
+    def of(cls, spec: Mapping[str, ColumnType] | Sequence[tuple[str, ColumnType]]) -> "Schema":
+        items = tuple(spec.items()) if isinstance(spec, Mapping) else tuple(spec)
+        names = [name for name, _ in items]
+        if len(set(names)) != len(names):
+            raise StorageError(f"duplicate column names in schema: {names}")
+        return cls(columns=items)
+
+    @property
+    def names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+    def type_of(self, name: str) -> ColumnType:
+        for col, typ in self.columns:
+            if col == name:
+                return typ
+        raise StorageError(f"no column {name!r} in schema")
+
+    def __contains__(self, name: str) -> bool:
+        return any(col == name for col, _ in self.columns)
+
+
+class Relation:
+    """A table: aligned persistent columns with void heads.
+
+    Values handed to :meth:`create` are encoded through the schema's column
+    types (decimals → scaled ints, dates → day numbers, strings → dictionary
+    codes) so the engine below only ever sees int64 storage values.
+    """
+
+    def __init__(self, name: str, schema: Schema, bats: dict[str, BAT]) -> None:
+        lengths = {len(b) for b in bats.values()}
+        if len(lengths) > 1:
+            raise StorageError(f"misaligned columns in relation {name!r}: {lengths}")
+        self.name = name
+        self.schema = schema
+        self._bats = bats
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        schema: Schema,
+        data: Mapping[str, Iterable],
+    ) -> "Relation":
+        missing = [c for c in schema.names if c not in data]
+        if missing:
+            raise StorageError(f"relation {name!r} missing columns: {missing}")
+        extra = [c for c in data if c not in schema]
+        if extra:
+            raise StorageError(f"relation {name!r} got unknown columns: {extra}")
+        bats = {}
+        for col, typ in schema.columns:
+            raw = data[col]
+            if isinstance(raw, np.ndarray) and raw.dtype.kind in "iu":
+                encoded = raw.astype(np.int64, copy=False)
+            else:
+                encoded = typ.encode(list(raw) if not isinstance(raw, np.ndarray) else raw)
+            bats[col] = BAT.dense(np.ascontiguousarray(encoded, dtype=np.int64))
+        return cls(name, schema, bats)
+
+    def __len__(self) -> int:
+        if not self._bats:
+            return 0
+        return len(next(iter(self._bats.values())))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {len(self)} rows, {len(self._bats)} cols)"
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.names
+
+    def column(self, name: str) -> BAT:
+        try:
+            return self._bats[name]
+        except KeyError:
+            raise StorageError(f"no column {name!r} in relation {self.name!r}") from None
+
+    def values(self, name: str) -> np.ndarray:
+        """Raw int64 storage values of a column."""
+        return self.column(name).tail
+
+    def type_of(self, name: str) -> ColumnType:
+        return self.schema.type_of(name)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._bats.values())
+
+
+def int_schema(*names: str) -> Schema:
+    """Shorthand for an all-int32 schema (microbenchmark tables)."""
+    return Schema.of([(n, IntType()) for n in names])

@@ -1,0 +1,46 @@
+"""Workload generators for the paper's three evaluation datasets.
+
+* :mod:`repro.workloads.microbench` — the §VI-B microbenchmark data:
+  unique, randomly shuffled integers with exactly controllable selectivity.
+* :mod:`repro.workloads.spatial` — synthetic GPS traces with the Table I
+  schema, replacing the proprietary navigation-device dataset.
+* :mod:`repro.workloads.tpch` — a dbgen-style generator for the TPC-H
+  subset the paper evaluates (lineitem + part; queries Q1, Q6, Q14).
+"""
+
+from .microbench import (
+    grouping_column,
+    selectivity_range,
+    unique_shuffled_ints,
+)
+from .spatial import (
+    SPATIAL_QUERY_SQL,
+    SpatialConfig,
+    build_spatial_session,
+    generate_trips,
+)
+from .tpch import (
+    TpchConfig,
+    build_tpch_session,
+    generate_lineitem,
+    generate_part,
+    q1_sql,
+    q6_sql,
+    q14_sql,
+)
+
+__all__ = [
+    "SPATIAL_QUERY_SQL",
+    "SpatialConfig",
+    "TpchConfig",
+    "build_spatial_session",
+    "build_tpch_session",
+    "generate_lineitem",
+    "generate_part",
+    "grouping_column",
+    "q14_sql",
+    "q1_sql",
+    "q6_sql",
+    "selectivity_range",
+    "unique_shuffled_ints",
+]

@@ -1,0 +1,49 @@
+"""The §VI-B microbenchmark workload.
+
+"All of them were performed on 100 million unique, randomly shuffled
+integers (value range 0 to 100 million)."  Uniqueness makes selectivity
+exactly controllable: a range predicate ``[0, k)`` over a permutation of
+``0..n-1`` matches exactly ``k`` tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.relax import ValueRange
+from ..util import rng
+
+#: The paper's microbenchmark size; scaled down by default in the benches.
+PAPER_N = 100_000_000
+
+
+def unique_shuffled_ints(n: int, seed: int | None = 0) -> np.ndarray:
+    """A random permutation of ``0..n-1`` (the paper's microbench column)."""
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    values = np.arange(n, dtype=np.int64)
+    rng(seed).shuffle(values)
+    return values
+
+
+def selectivity_range(n: int, fraction: float) -> ValueRange:
+    """A predicate matching exactly ``round(n * fraction)`` unique ints.
+
+    >>> selectivity_range(100, 0.25)
+    ValueRange(lo=None, hi=24)
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    k = int(round(n * fraction))
+    if k == 0:
+        return ValueRange.empty()
+    return ValueRange(None, k - 1)
+
+
+def grouping_column(n: int, n_groups: int, seed: int | None = 0) -> np.ndarray:
+    """A column with exactly ``n_groups`` distinct values (Fig 8f's input)."""
+    if n_groups < 1 or n_groups > n:
+        raise ValueError(f"need 1 <= n_groups <= n, got {n_groups}")
+    values = np.arange(n, dtype=np.int64) % n_groups
+    rng(seed).shuffle(values)
+    return values

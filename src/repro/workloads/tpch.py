@@ -1,0 +1,225 @@
+"""A dbgen-style generator for the paper's TPC-H subset (§VI-D).
+
+Generates ``lineitem`` and ``part`` with the value distributions the paper
+exploits:
+
+* ``l_quantity``: 50 distinct values → 6 bits,
+* ``l_discount``: 11 distinct values (0.00–0.10) → 4 bits,
+* ``l_shipdate``: 2526 distinct days (1992-01-02 .. 1998-12-01) → 12 bits,
+* ``l_linestatus`` is derived from the shipdate (before/after 1995-06-17)
+  and ``l_returnflag`` follows dbgen's A/N/R behaviour, producing Q1's
+  characteristic four groups,
+* ``p_type`` is the TPC-H syllable product, dictionary-encoded and sorted
+  so ``LIKE 'PROMO%'`` is a code range (the paper's Q14 rewrite).
+
+The three evaluated queries are provided as SQL builders: Q1 (selection +
+grouping + arithmetic aggregation), Q6 (three selections + sum of product)
+and Q14 (selection + FK join + CASE aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.session import Session
+from ..storage.column import (
+    DateType,
+    DecimalType,
+    DictionaryType,
+    IntType,
+    OrderedDictionary,
+)
+from ..util import rng
+
+#: TPC-H type syllables (dbgen's TYPE_S1/S2/S3).
+TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+#: Shipdate domain: 1992-01-02 .. 1998-12-01 (2526 distinct values, 12 bits).
+SHIPDATE_LO = DateType.encode_one("1992-01-02")
+SHIPDATE_HI = DateType.encode_one("1998-12-01")
+
+#: dbgen: linestatus is 'F' when the shipdate lies before the current date
+#: minus ~3.5 years of the 7-year window; effectively 1995-06-17.
+_LINESTATUS_CUTOFF = DateType.encode_one("1995-06-17")
+
+#: Rows per unit scale factor (TPC-H: ~6M lineitems, 200k parts at SF-1).
+LINEITEM_PER_SF = 6_000_000
+PART_PER_SF = 200_000
+
+
+def part_type_dictionary() -> OrderedDictionary:
+    """All 150 p_type strings, ordered — 'PROMO %' types form a code range."""
+    values = [
+        f"{s1} {s2} {s3}"
+        for s1 in TYPE_SYLLABLE_1
+        for s2 in TYPE_SYLLABLE_2
+        for s3 in TYPE_SYLLABLE_3
+    ]
+    return OrderedDictionary(values)
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """Scale and seeding; SF-10 (the paper's setting) ≈ 60M lineitems."""
+
+    scale_factor: float = 0.01
+    seed: int = 7
+
+    @property
+    def n_lineitem(self) -> int:
+        return max(1000, int(LINEITEM_PER_SF * self.scale_factor))
+
+    @property
+    def n_part(self) -> int:
+        return max(150, int(PART_PER_SF * self.scale_factor))
+
+
+def generate_part(config: TpchConfig = TpchConfig()) -> dict[str, np.ndarray]:
+    gen = rng(config.seed + 1)
+    n = config.n_part
+    dictionary = part_type_dictionary()
+    type_codes = gen.integers(0, len(dictionary), n)
+    retail = (90000 + (np.arange(n, dtype=np.int64) % 20001) * 10) // 10
+    return {
+        "key": np.arange(n, dtype=np.int64),
+        "p_type": type_codes.astype(np.int64),
+        "retailprice": retail,  # cents
+    }
+
+
+def generate_lineitem(config: TpchConfig = TpchConfig()) -> dict[str, np.ndarray]:
+    gen = rng(config.seed)
+    n = config.n_lineitem
+    n_part = config.n_part
+
+    quantity = gen.integers(1, 51, n)
+    partkey = gen.integers(0, n_part, n)
+    # extendedprice = quantity * a per-part price, in cents
+    base_price = 90_000 + (partkey % 20_001) * 10
+    extendedprice = quantity * base_price // 100
+    discount = gen.integers(0, 11, n)  # 0.00 .. 0.10, scale 2
+    tax = gen.integers(0, 9, n)  # 0.00 .. 0.08, scale 2
+    shipdate = gen.integers(SHIPDATE_LO, SHIPDATE_HI + 1, n)
+    linestatus = (shipdate > _LINESTATUS_CUTOFF).astype(np.int64)  # 0='F',1='O'
+    # dbgen: returnflag is 'N' when the item was received after the current
+    # date (receiptdate = shipdate + 1..30 days), else 'A' or 'R' evenly.
+    # Rows shipped just before the cutoff but received after it give Q1 its
+    # fourth (N, F) group.
+    receiptdate = shipdate + gen.integers(1, 31, n)
+    returnflag = np.where(
+        receiptdate > _LINESTATUS_CUTOFF, 1, np.where(gen.random(n) < 0.5, 0, 2)
+    ).astype(np.int64)  # 0='A', 1='N', 2='R'
+    return {
+        "quantity": quantity.astype(np.int64),
+        "extendedprice": extendedprice.astype(np.int64),
+        "discount": discount.astype(np.int64),
+        "tax": tax.astype(np.int64),
+        "shipdate": shipdate.astype(np.int64),
+        "returnflag": returnflag,
+        "linestatus": linestatus,
+        "partkey": partkey.astype(np.int64),
+    }
+
+
+#: Columns touched by the evaluated queries, with their logical types.
+LINEITEM_SCHEMA = {
+    "quantity": IntType(),
+    "extendedprice": DecimalType(12, 2),
+    "discount": DecimalType(4, 2),
+    "tax": DecimalType(4, 2),
+    "shipdate": DateType(),
+    "returnflag": IntType(),
+    "linestatus": IntType(),
+    "partkey": IntType(),
+}
+
+
+def build_tpch_session(
+    config: TpchConfig = TpchConfig(),
+    *,
+    space_constrained: bool = False,
+    session: Session | None = None,
+) -> Session:
+    """Create lineitem + part and decompose per the paper's two setups.
+
+    * default ("A & R"): every queried column fully device-resident — the
+      low bit-widths make this possible even at SF-10 (§VI-D1);
+    * ``space_constrained`` ("A & R Space Constraint"): ``l_shipdate`` is
+      decomposed 24-bit-GPU / 8-bit-CPU, so the most important selection
+      column must be refined.
+    """
+    session = session if session is not None else Session()
+    session.create_table("lineitem", LINEITEM_SCHEMA, generate_lineitem(config))
+    session.create_table(
+        "part",
+        {
+            "key": IntType(),
+            "p_type": DictionaryType(dictionary=part_type_dictionary()),
+            "retailprice": DecimalType(12, 2),
+        },
+        generate_part(config),
+    )
+    for column in ("quantity", "extendedprice", "discount", "tax",
+                   "returnflag", "linestatus", "partkey"):
+        session.bwdecompose("lineitem", column, 32)
+    session.bwdecompose("lineitem", "shipdate", 24 if space_constrained else 32)
+    session.bwdecompose("part", "p_type", 32)
+    return session
+
+
+# ----------------------------------------------------------------------
+# The evaluated queries
+# ----------------------------------------------------------------------
+def q1_sql(delta_days: int = 90) -> str:
+    """TPC-H Q1: the pricing summary report."""
+    cutoff = DateType.encode_one("1998-12-01") - delta_days
+    cutoff_iso = DateType().decode(np.array([cutoff]))[0].isoformat()
+    return (
+        "select returnflag, linestatus, "
+        "sum(quantity) as sum_qty, "
+        "sum(extendedprice) as sum_base_price, "
+        "sum(extendedprice * (1 - discount)) as sum_disc_price, "
+        "sum(extendedprice * (1 - discount) * (1 + tax)) as sum_charge, "
+        "avg(quantity) as avg_qty, "
+        "avg(extendedprice) as avg_price, "
+        "avg(discount) as avg_disc, "
+        "count(*) as count_order "
+        f"from lineitem where shipdate <= '{cutoff_iso}' "
+        "group by returnflag, linestatus"
+    )
+
+
+def q6_sql(year: int = 1994) -> str:
+    """TPC-H Q6: the forecasting revenue change query."""
+    return (
+        "select sum(extendedprice * discount) as revenue "
+        f"from lineitem where shipdate >= '{year}-01-01' "
+        f"and shipdate < '{year + 1}-01-01' "
+        "and discount between 0.05 and 0.07 "
+        "and quantity < 24"
+    )
+
+
+def q14_sql(month: str = "1995-09") -> str:
+    """TPC-H Q14: the promotion effect query (two sums; the caller forms
+    ``100 * promo / total``).  The string predicate is the dictionary range
+    selection of §VI-D1."""
+    start = f"{month}-01"
+    year, mon = int(month[:4]), int(month[5:7])
+    if mon == 12:
+        year, mon = year + 1, 1
+    else:
+        mon += 1
+    end = f"{year}-{mon:02d}-01"
+    return (
+        "select "
+        "sum(case when part.p_type like 'PROMO%' "
+        "then extendedprice * (1 - discount) else 0 end) as promo_revenue, "
+        "sum(extendedprice * (1 - discount)) as total_revenue "
+        "from lineitem join part on lineitem.partkey = part.key "
+        f"where shipdate >= '{start}' and shipdate < '{end}'"
+    )

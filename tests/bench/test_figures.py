@@ -1,0 +1,96 @@
+"""Smoke and shape tests for the figure runners at small scale.
+
+The benchmarks re-assert the paper's claims at benchmark scale; these tests
+guarantee the runners stay healthy under `pytest tests/` with tiny inputs.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import crossover_x
+from repro.workloads.spatial import SpatialConfig
+from repro.workloads.tpch import TpchConfig
+
+N = 120_000
+
+
+class TestFig8Selection:
+    def test_fig8a_series_complete(self):
+        exp = figures.fig8_selection(N, selectivities=(1, 10, 100))
+        assert {s.name for s in exp.series} == {
+            "MonetDB", "Approximate + Refine", "Approximate",
+            "Stream (Hypothetical)",
+        }
+        assert all(len(s.points) == 3 for s in exp.series)
+        assert crossover_x(exp, "Approximate + Refine", "MonetDB") is None
+
+    def test_fig8b_refinement_visible(self):
+        exp = figures.fig8_selection(N, residual_bits=8, selectivities=(1, 60))
+        ar = exp.get("Approximate + Refine")
+        approx = exp.get("Approximate")
+        assert ar.at(60).seconds > approx.at(60).seconds
+        assert ar.at(60).breakdown.get("bus", 0) > 0
+        assert ar.at(60).breakdown.get("cpu", 0) > 0
+
+    def test_fig8c_runs_with_custom_bits(self):
+        exp = figures.fig8c_selection_bits(
+            N, selectivities=(5.0, 0.05), bit_range=(10, 14)
+        )
+        assert exp.get("Approximate + Refine (5%)").xs == [10, 14]
+        assert len(exp.series) == 5  # 2x AR + 2x approx + stream
+
+
+class TestFig8ProjectionGrouping:
+    def test_fig8d_monetdb_grows_with_selectivity(self):
+        exp = figures.fig8_projection(N, selectivities=(1, 100))
+        m = exp.get("MonetDB")
+        assert m.at(100).seconds > m.at(1).seconds
+
+    def test_fig8e_distributed_has_bus_cost(self):
+        exp = figures.fig8_projection(N, residual_bits=8, selectivities=(50,))
+        assert exp.get("Approximate + Refine").at(50).breakdown.get("bus", 0) > 0
+
+    def test_fig8f_conflict_effect(self):
+        exp = figures.fig8f_grouping(N, group_counts=(10, 1000))
+        ar = exp.get("Approximate + Refine")
+        assert ar.at(10).seconds > ar.at(1000).seconds
+
+
+class TestBarFigures:
+    def test_fig9_breakdown_and_agreement(self):
+        exp = figures.fig9_spatial(SpatialConfig(n_points=60_000, seed=9))
+        ar = exp.get("A & R").points[0]
+        assert ar.breakdown.get("gpu", 0) > 0
+        assert "classic agrees" in exp.notes
+
+    @pytest.mark.parametrize("q", ["q1", "q6", "q14"])
+    def test_fig10_queries_run_and_agree(self, q):
+        exp = figures.fig10_tpch(q, TpchConfig(scale_factor=0.001))
+        assert "True" in exp.notes
+        assert exp.get("A & R").points[0].seconds > 0
+        assert exp.get("Stream (Hypothetical)").points[0].seconds > 0
+
+    def test_fig10_unknown_query(self):
+        with pytest.raises(KeyError):
+            figures.fig10_tpch("q99", TpchConfig(scale_factor=0.001))
+
+
+class TestFig11:
+    def test_throughput_series(self):
+        exp = figures.fig11_throughput(
+            SpatialConfig(n_points=60_000, seed=4), thread_counts=(1, 2, 32)
+        )
+        classic = exp.get("Classic (CPU parallel)")
+        assert [int(x) for x in classic.xs] == [1, 2, 32]
+        qps = {int(p.x): 1 / p.seconds for p in classic.points}
+        assert qps[2] > qps[1]
+        cumulative = 1 / exp.get("Cumulative").points[0].seconds
+        assert cumulative > 1 / exp.get("CPU w/ A&R").points[0].seconds
+
+
+class TestFig1:
+    def test_static_background_data(self):
+        exp = figures.fig1_flash_background()
+        assert {s.name for s in exp.series} == {"SLC-1", "MLC-1", "MLC-2", "TLC-3"}
+        for series in exp.series:
+            assert series.seconds == sorted(series.seconds, reverse=True)

@@ -1,0 +1,89 @@
+"""Tests for the experiment/series containers and their rendering."""
+
+import pytest
+
+from repro.bench.harness import Experiment, Point, Series, crossover_x
+
+
+def make_experiment():
+    exp = Experiment(exp_id="figX", title="Test", x_label="selectivity")
+    a = exp.new_series("A")
+    b = exp.new_series("B")
+    for x, (sa, sb) in zip((1, 10, 100), ((0.1, 0.2), (0.2, 0.2), (0.4, 0.3))):
+        a.add(x, sa)
+        b.add(x, sb)
+    return exp
+
+
+class TestSeries:
+    def test_add_and_at(self):
+        s = Series("x")
+        s.add(1, 0.5, {"gpu": 0.5})
+        assert s.at(1).seconds == 0.5
+        assert s.at(1).breakdown == {"gpu": 0.5}
+        with pytest.raises(KeyError):
+            s.at(2)
+
+    def test_xs_and_seconds(self):
+        exp = make_experiment()
+        assert exp.get("A").xs == [1, 10, 100]
+        assert exp.get("A").seconds == [0.1, 0.2, 0.4]
+
+
+class TestExperiment:
+    def test_get_unknown_series(self):
+        with pytest.raises(KeyError):
+            make_experiment().get("Z")
+
+    def test_speedup_at_x(self):
+        exp = make_experiment()
+        assert exp.speedup("B", "A", x=1) == pytest.approx(2.0)
+
+    def test_speedup_single_point(self):
+        exp = Experiment(exp_id="bar", title="t", x_label="")
+        exp.new_series("slow").add(0, 4.0, {"cpu": 4.0})
+        exp.new_series("fast").add(0, 1.0, {"gpu": 1.0})
+        assert exp.speedup("slow", "fast") == pytest.approx(4.0)
+
+    def test_render_sweep_table(self):
+        text = make_experiment().render()
+        assert "figX" in text
+        assert "selectivity" in text
+        assert "100 ms" in text or "100.0" in text or "ms" in text
+        # one row per x value
+        assert text.count("\n") >= 5
+
+    def test_render_bar_style_appends_breakdown(self):
+        exp = Experiment(exp_id="bar", title="t", x_label="")
+        exp.new_series("A & R").add(0, 2.0, {"gpu": 1.5, "cpu": 0.5})
+        exp.new_series("MonetDB").add(0, 4.0, {"cpu": 4.0})
+        text = exp.render()
+        assert "GPU" in text and "CPU" in text
+
+    def test_render_handles_missing_points(self):
+        exp = Experiment(exp_id="x", title="t", x_label="n")
+        exp.new_series("A").add(1, 0.5)
+        exp.new_series("B").add(2, 0.7)
+        text = exp.render()
+        assert "—" in text
+
+    def test_notes_rendered(self):
+        exp = make_experiment()
+        exp.notes = "calibration note"
+        assert "calibration note" in exp.render()
+
+
+class TestCrossover:
+    def test_crossover_found(self):
+        exp = make_experiment()
+        # A beats B at x=1, ties at 10 → crossover (>=) at 10
+        assert crossover_x(exp, "A", "B") == 10
+
+    def test_no_crossover(self):
+        exp = Experiment(exp_id="y", title="t", x_label="n")
+        a = exp.new_series("A")
+        b = exp.new_series("B")
+        for x in (1, 2):
+            a.add(x, 0.1)
+            b.add(x, 0.9)
+        assert crossover_x(exp, "A", "B") is None

@@ -1,0 +1,49 @@
+"""Tests for the EXPERIMENTS.md report generator (small-scale build)."""
+
+import os
+
+import pytest
+
+from repro.bench.report import build_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Tiny scales keep this test fast while exercising every section.
+    old = {k: os.environ.get(k) for k in
+           ("REPRO_BENCH_N", "REPRO_BENCH_POINTS", "REPRO_BENCH_SF")}
+    os.environ["REPRO_BENCH_N"] = "150000"
+    os.environ["REPRO_BENCH_POINTS"] = "60000"
+    os.environ["REPRO_BENCH_SF"] = "0.002"
+    try:
+        yield build_report()
+    finally:
+        for k, v in old.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+class TestReport:
+    def test_every_figure_has_a_section(self, report_text):
+        for fig in ("Fig 8a", "Fig 8b", "Fig 8c", "Fig 8d", "Fig 8e",
+                    "Fig 8f", "Fig 9", "Fig 10a", "Fig 10b", "Fig 10c",
+                    "Fig 11", "Fig 1"):
+            assert f"## {fig}" in report_text, fig
+
+    def test_paper_numbers_quoted(self, report_text):
+        assert "0.134" in report_text  # Fig 9 A&R seconds
+        assert "16.666" in report_text  # Fig 10a MonetDB seconds
+        assert "26.0" in report_text  # Fig 11 cumulative throughput
+
+    def test_tables_rendered(self, report_text):
+        assert report_text.count("```") >= 24  # one fenced table per figure
+
+    def test_deviations_documented(self, report_text):
+        assert "## Summary of deviations" in report_text
+        assert "Deviation" in report_text or "deviation" in report_text
+
+    def test_scale_knobs_recorded(self, report_text):
+        assert "150,000" in report_text
+        assert "60,000" in report_text

@@ -1,0 +1,196 @@
+"""Tests for error-bound interval arithmetic — DESIGN.md invariant 4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, IntervalColumn
+from repro.errors import ExecutionError
+
+
+def column(pairs):
+    lo = np.array([p[0] for p in pairs], dtype=np.int64)
+    hi = np.array([p[1] for p in pairs], dtype=np.int64)
+    return IntervalColumn.from_bounds(lo, hi)
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(2.0, 6.0)
+        assert iv.width == 4.0
+        assert iv.midpoint == 4.0
+        assert not iv.is_exact
+        assert iv.contains(2.0) and iv.contains(6.0) and not iv.contains(6.1)
+
+    def test_exact_interval(self):
+        assert Interval(3.0, 3.0).is_exact
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ExecutionError):
+            Interval(5.0, 4.0)
+
+
+class TestIntervalColumnConstruction:
+    def test_exact_constructor(self):
+        c = IntervalColumn.exact(np.array([1, 2, 3]))
+        assert c.is_exact and c.refinable
+        assert c.max_error == 0
+
+    def test_from_bounds_detects_exactness(self):
+        assert column([(1, 1), (2, 2)]).refinable
+        assert not column([(1, 2)]).refinable
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ExecutionError):
+            IntervalColumn(np.array([1, 2]), np.array([3]), refinable=False)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ExecutionError):
+            column([(5, 3)])
+
+    def test_take(self):
+        c = column([(0, 1), (2, 3), (4, 5)]).take(np.array([2, 0]))
+        assert np.array_equal(c.lo, [4, 0])
+        assert np.array_equal(c.hi, [5, 1])
+
+    def test_len_and_nbytes(self):
+        c = column([(0, 1), (2, 3)])
+        assert len(c) == 2
+        assert c.nbytes == 32
+
+
+class TestArithmetic:
+    def test_add(self):
+        c = column([(1, 2)]).add(column([(10, 20)]))
+        assert (c.lo[0], c.hi[0]) == (11, 22)
+
+    def test_sub(self):
+        c = column([(1, 2)]).sub(column([(10, 20)]))
+        assert (c.lo[0], c.hi[0]) == (-19, -8)
+
+    def test_neg(self):
+        c = column([(1, 2)]).neg()
+        assert (c.lo[0], c.hi[0]) == (-2, -1)
+
+    def test_mul_mixed_signs(self):
+        c = column([(-2, 3)]).mul(column([(-5, 4)]))
+        assert (c.lo[0], c.hi[0]) == (-15, 12)
+
+    def test_mul_destroys_refinability(self):
+        """§IV-G destructive distributivity: inexact × anything ⇒ not refinable."""
+        inexact = column([(1, 2)])
+        exact = IntervalColumn.exact(np.array([3]))
+        assert not inexact.mul(exact).refinable
+        assert not inexact.mul(inexact).refinable
+        assert exact.mul(exact).refinable
+
+    def test_add_refinability(self):
+        """Exact + exact stays refinable; inexact inputs are conservatively
+        marked non-refinable (our engine recomputes on the host)."""
+        assert column([(1, 2)]).add(column([(3, 9)])).refinable is False
+        a = IntervalColumn.exact(np.array([1]))
+        assert a.add(a).refinable
+
+    def test_floordiv(self):
+        c = column([(10, 20)]).floordiv(column([(2, 4)]))
+        assert (c.lo[0], c.hi[0]) == (2, 10)
+
+    def test_floordiv_zero_rejected(self):
+        with pytest.raises(ExecutionError):
+            column([(1, 2)]).floordiv(column([(-1, 1)]))
+
+    def test_sqrt_floor_brackets(self):
+        c = column([(16, 26)]).sqrt_floor()
+        assert c.lo[0] <= 4 and c.hi[0] >= 5
+
+    def test_sqrt_negative_rejected(self):
+        with pytest.raises(ExecutionError):
+            column([(-4, 4)]).sqrt_floor()
+
+    def test_power_odd(self):
+        c = column([(-2, 3)]).power(3)
+        assert (c.lo[0], c.hi[0]) == (-8, 27)
+
+    def test_power_even_crossing_zero(self):
+        c = column([(-2, 3)]).power(2)
+        assert (c.lo[0], c.hi[0]) == (0, 9)
+
+    def test_power_negative_exponent_rejected(self):
+        with pytest.raises(ExecutionError):
+            column([(1, 2)]).power(-1)
+
+    def test_scalar_ops(self):
+        c = column([(1, 2)])
+        assert (c.add_scalar(5).lo[0], c.add_scalar(5).hi[0]) == (6, 7)
+        assert (c.mul_scalar(3).lo[0], c.mul_scalar(3).hi[0]) == (3, 6)
+        neg = c.mul_scalar(-3)
+        assert (neg.lo[0], neg.hi[0]) == (-6, -3)
+
+
+class TestAggregateBounds:
+    def test_sum_interval(self):
+        iv = column([(1, 2), (10, 20)]).sum_interval()
+        assert (iv.lo, iv.hi) == (11.0, 22.0)
+
+    def test_sum_empty(self):
+        iv = column([]).sum_interval()
+        assert iv.is_exact and iv.lo == 0
+
+    def test_min_max_mean(self):
+        c = column([(1, 4), (2, 3)])
+        assert (c.min_interval().lo, c.min_interval().hi) == (1.0, 3.0)
+        assert (c.max_interval().lo, c.max_interval().hi) == (2.0, 4.0)
+        assert (c.mean_interval().lo, c.mean_interval().hi) == (1.5, 3.5)
+
+    def test_empty_min_rejected(self):
+        with pytest.raises(ExecutionError):
+            column([]).min_interval()
+
+
+# ----------------------------------------------------------------------
+# Property: soundness — op(concrete) ∈ op(intervals)
+# ----------------------------------------------------------------------
+_bound_pairs = st.tuples(st.integers(-200, 200), st.integers(0, 50)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    a=_bound_pairs, b=_bound_pairs,
+    fa=st.floats(0, 1), fb=st.floats(0, 1),
+    op=st.sampled_from(["add", "sub", "mul"]),
+)
+def test_property_arithmetic_soundness(a, b, fa, fb, op):
+    ca, cb = column([a]), column([b])
+    va = round(a[0] + fa * (a[1] - a[0]))
+    vb = round(b[0] + fb * (b[1] - b[0]))
+    out = getattr(ca, op)(cb)
+    concrete = {"add": va + vb, "sub": va - vb, "mul": va * vb}[op]
+    assert out.lo[0] <= concrete <= out.hi[0]
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=_bound_pairs, d=st.integers(1, 40), fa=st.floats(0, 1))
+def test_property_division_soundness(a, d, fa):
+    ca = column([a])
+    cd = IntervalColumn.exact(np.array([d]))
+    va = round(a[0] + fa * (a[1] - a[0]))
+    out = ca.floordiv(cd)
+    assert out.lo[0] <= va // d <= out.hi[0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pairs=st.lists(_bound_pairs, min_size=1, max_size=30),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_sum_bounds_contain_concrete_sum(pairs, seed):
+    rng = np.random.default_rng(seed)
+    c = column(pairs)
+    concrete = np.array(
+        [rng.integers(lo, hi + 1) for lo, hi in zip(c.lo, c.hi)], dtype=np.int64
+    )
+    iv = c.sum_interval()
+    assert iv.lo <= float(concrete.sum()) <= iv.hi

@@ -1,0 +1,358 @@
+"""Tests for the paired A&R operators: approximate halves vs refined truth.
+
+These are the operator-level correctness theorems: for random data, random
+decompositions and random predicates, the approximation yields a superset
+and the refinement yields exactly what a classic full-precision operator
+would (DESIGN.md invariant 5 at operator granularity).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approximate import (
+    avg_approx,
+    count_approx,
+    fk_join_approx,
+    minmax_approx,
+    project_approx,
+    select_approx,
+    select_approx_narrow,
+    select_on_payload_approx,
+    sum_approx,
+)
+from repro.core.candidates import Approximation
+from repro.core.refine import (
+    align_via_translucent,
+    avg_refine,
+    count_refine,
+    fk_join_refine,
+    minmax_refine,
+    project_refine,
+    reconstruct_exact,
+    select_refine,
+    ship_candidates,
+    sum_refine,
+)
+from repro.core.relax import ValueRange
+from repro.device.machine import Machine
+from repro.errors import ExecutionError
+from repro.storage.decompose import decompose_values
+
+
+@pytest.fixture()
+def machine():
+    return Machine.paper_testbed()
+
+
+def load(machine, values, residual_bits, label="col"):
+    col = decompose_values(np.asarray(values), residual_bits=residual_bits)
+    machine.gpu.load_column(label, col, None)
+    return col
+
+
+def full_candidates(n):
+    """An all-rows candidate set (the scan of an unfiltered table)."""
+    return Approximation(ids=np.arange(n, dtype=np.int64))
+
+
+class TestSelectPair:
+    def test_approx_is_superset_refine_is_exact(self, machine):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 10_000, 5_000)
+        col = load(machine, values, residual_bits=6)
+        tl = machine.new_timeline()
+        vr = ValueRange.between(2_500, 5_000)
+
+        approx = select_approx(machine.gpu, tl, col, "a", vr)
+        truth = np.flatnonzero(vr.evaluate(values))
+        assert set(truth) <= set(approx.ids)
+        assert not approx.exact
+
+        ship_candidates(machine.bus, tl, approx, payload_bytes_per_row=4)
+        refined = select_refine(machine.cpu, tl, col, "a", vr, approx)
+        assert set(refined.ids) == set(truth)
+        assert np.array_equal(
+            np.sort(refined.payload("a").lo), np.sort(values[truth])
+        )
+        assert refined.payload("a").is_exact
+
+    def test_zero_residual_is_exact_and_refine_is_noop(self, machine):
+        values = np.arange(1_000)
+        col = load(machine, values, residual_bits=0)
+        tl = machine.new_timeline()
+        vr = ValueRange.between(10, 20)
+        approx = select_approx(machine.gpu, tl, col, "a", vr)
+        assert approx.exact
+        assert set(approx.ids) == set(range(10, 21))
+        refined = select_refine(machine.cpu, tl, col, "a", vr, approx)
+        assert refined is approx
+
+    def test_scramble_breaks_order_but_not_results(self, machine):
+        values = np.arange(2_000)
+        col = load(machine, values, residual_bits=4)
+        tl = machine.new_timeline()
+        vr = ValueRange.between(100, 1500)
+        approx = select_approx(machine.gpu, tl, col, "a", vr, scramble=True)
+        assert not approx.order_preserved
+        assert not np.all(np.diff(approx.ids) > 0)  # genuinely scrambled
+        refined = select_refine(machine.cpu, tl, col, "a", vr, approx)
+        assert set(refined.ids) == set(range(100, 1501))
+
+    def test_conjunction_via_narrow(self, machine):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 1000, 3_000)
+        b = rng.integers(0, 1000, 3_000)
+        col_a = load(machine, a, residual_bits=5, label="a")
+        col_b = load(machine, b, residual_bits=5, label="b")
+        tl = machine.new_timeline()
+        vr_a, vr_b = ValueRange(100, 400), ValueRange(500, 900)
+
+        cand = select_approx(machine.gpu, tl, col_a, "a", vr_a)
+        cand = select_approx_narrow(machine.gpu, tl, col_b, "b", vr_b, cand)
+        truth = np.flatnonzero(vr_a.evaluate(a) & vr_b.evaluate(b))
+        assert set(truth) <= set(cand.ids)
+
+        refined = select_refine(machine.cpu, tl, col_a, "a", vr_a, cand)
+        refined = select_refine(machine.cpu, tl, col_b, "b", vr_b, refined)
+        assert set(refined.ids) == set(truth)
+
+    def test_empty_result(self, machine):
+        values = np.arange(100)
+        col = load(machine, values, residual_bits=3)
+        tl = machine.new_timeline()
+        vr = ValueRange.between(1_000, 2_000)
+        approx = select_approx(machine.gpu, tl, col, "a", vr)
+        assert len(approx) == 0
+        refined = select_refine(machine.cpu, tl, col, "a", vr, approx)
+        assert len(refined) == 0
+
+    def test_timeline_records_phases(self, machine):
+        values = np.arange(1_000)
+        col = load(machine, values, residual_bits=4)
+        tl = machine.new_timeline()
+        vr = ValueRange.between(0, 500)
+        approx = select_approx(machine.gpu, tl, col, "a", vr)
+        ship_candidates(machine.bus, tl, approx, 4)
+        select_refine(machine.cpu, tl, col, "a", vr, approx)
+        kinds = tl.seconds_by_kind()
+        assert set(kinds) == {"gpu", "bus", "cpu"}
+        assert tl.approximate_seconds() > 0
+        assert tl.refine_seconds() > 0
+
+
+class TestProjectPair:
+    def test_project_then_refine_matches_gather(self, machine):
+        rng = np.random.default_rng(2)
+        sel = rng.integers(0, 1000, 4_000)
+        prj = rng.integers(0, 100_000, 4_000)
+        col_sel = load(machine, sel, residual_bits=4, label="sel")
+        col_prj = load(machine, prj, residual_bits=8, label="prj")
+        tl = machine.new_timeline()
+        vr = ValueRange(200, 600)
+
+        cand = select_approx(machine.gpu, tl, col_sel, "sel", vr)
+        cand = project_approx(machine.gpu, tl, col_prj, "prj", cand)
+        assert not cand.payload("prj").is_exact
+        refined = select_refine(machine.cpu, tl, col_sel, "sel", vr, cand)
+        refined = project_refine(machine.cpu, tl, col_prj, "prj", refined)
+
+        expected = {i: prj[i] for i in np.flatnonzero(vr.evaluate(sel))}
+        got = dict(zip(refined.ids.tolist(), refined.payload("prj").lo.tolist()))
+        assert got == expected
+
+    def test_fully_resident_projection_needs_no_refinement(self, machine):
+        prj = np.arange(500) * 3
+        col_prj = load(machine, prj, residual_bits=0, label="prj")
+        tl = machine.new_timeline()
+        cand = full_candidates(500)
+        cand = project_approx(machine.gpu, tl, col_prj, "prj", cand)
+        assert cand.payload("prj").is_exact
+        out = project_refine(machine.cpu, tl, col_prj, "prj", cand)
+        assert np.array_equal(out.payload("prj").lo, prj)
+
+
+class TestTranslucentAlignment:
+    def test_align_payload_with_refined_subset(self, machine):
+        """Fig 3's join of SELECT(refine) output with PROJECT(approximate)."""
+        rng = np.random.default_rng(3)
+        sel = rng.integers(0, 100, 2_000)
+        col_sel = load(machine, sel, residual_bits=3, label="sel")
+        prj = rng.integers(0, 50_000, 2_000)
+        col_prj = load(machine, prj, residual_bits=0, label="prj")
+        tl = machine.new_timeline()
+        vr = ValueRange(10, 60)
+
+        cand = select_approx(machine.gpu, tl, col_sel, "sel", vr)
+        cand = project_approx(machine.gpu, tl, col_prj, "prj", cand)
+        refined = select_refine(machine.cpu, tl, col_sel, "sel", vr, cand)
+
+        aligned = align_via_translucent(machine.cpu, tl, cand, refined.ids)
+        assert np.array_equal(aligned.ids, refined.ids)
+        assert np.array_equal(aligned.payload("prj").lo, prj[refined.ids])
+
+
+class TestFkJoinPair:
+    def test_fk_join_gathers_dimension_values(self, machine):
+        rng = np.random.default_rng(4)
+        dim = rng.integers(0, 1000, 128)  # dimension payload
+        fk = rng.integers(0, 128, 5_000)  # fact fks
+        col_fk = load(machine, fk, residual_bits=0, label="fk")
+        col_dim = load(machine, dim, residual_bits=0, label="dim")
+        tl = machine.new_timeline()
+        cand = full_candidates(5_000)
+        cand = fk_join_approx(machine.gpu, tl, col_fk, col_dim, "dim", cand)
+        assert np.array_equal(cand.payload("dim").lo, dim[fk])
+        assert cand.payload("dim").is_exact
+
+    def test_fk_join_with_decomposed_target(self, machine):
+        rng = np.random.default_rng(5)
+        dim = rng.integers(0, 100_000, 64)
+        fk = rng.integers(0, 64, 1_000)
+        col_fk = load(machine, fk, residual_bits=0, label="fk")
+        col_dim = load(machine, dim, residual_bits=8, label="dim")
+        tl = machine.new_timeline()
+        cand = fk_join_approx(
+            machine.gpu, tl, col_fk, col_dim, "dim", full_candidates(1_000)
+        )
+        payload = cand.payload("dim")
+        assert np.all(payload.lo <= dim[fk])
+        assert np.all(dim[fk] <= payload.hi)
+        refined = fk_join_refine(machine.cpu, tl, col_dim, "dim", cand)
+        assert np.array_equal(refined.payload("dim").lo, dim[fk])
+        assert refined.payload("dim").is_exact
+
+    def test_lossy_fk_rejected(self, machine):
+        fk = np.arange(1_000) % 64
+        dim = np.arange(64)
+        col_fk = load(machine, fk, residual_bits=2, label="fk")
+        col_dim = load(machine, dim, residual_bits=0, label="dim")
+        with pytest.raises(ExecutionError):
+            fk_join_approx(
+                machine.gpu, machine.new_timeline(), col_fk, col_dim, "dim",
+                full_candidates(1_000),
+            )
+
+
+class TestPayloadSelect:
+    def test_select_on_computed_bounds(self, machine):
+        values = np.arange(0, 1000)
+        col = load(machine, values, residual_bits=4)
+        tl = machine.new_timeline()
+        cand = full_candidates(1000)
+        cand = project_approx(machine.gpu, tl, col, "v", cand)
+        vr = ValueRange(100, 200)
+        narrowed = select_on_payload_approx(tl, machine.gpu, cand, "v", vr)
+        truth = np.flatnonzero(vr.evaluate(values))
+        assert set(truth) <= set(narrowed.ids)
+
+
+class TestAggregates:
+    def setup_candidates(self, machine, values, residual_bits, vrange):
+        col = load(machine, values, residual_bits=residual_bits)
+        tl = machine.new_timeline()
+        cand = select_approx(machine.gpu, tl, col, "v", vrange)
+        return col, tl, cand
+
+    def test_count_bounds_and_refined_count(self, machine):
+        rng = np.random.default_rng(6)
+        values = rng.integers(0, 1000, 4_000)
+        vr = ValueRange(100, 300)
+        col, tl, cand = self.setup_candidates(machine, values, 5, vr)
+        bounds = count_approx(machine.gpu, tl, cand, [("v", vr)])
+        truth = int(vr.evaluate(values).sum())
+        assert bounds.lo <= truth <= bounds.hi
+        refined = select_refine(machine.cpu, tl, col, "v", vr, cand)
+        assert count_refine(machine.cpu, tl, refined) == truth
+
+    def test_sum_bounds_contain_truth(self, machine):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 10_000, 3_000)
+        vr = ValueRange(2_000, 8_000)
+        col, tl, cand = self.setup_candidates(machine, values, 6, vr)
+        refined = select_refine(machine.cpu, tl, col, "v", vr, cand)
+        truth = int(values[vr.evaluate(values)].sum())
+        # the approximate sum over *refined* candidates brackets the truth
+        bounds = sum_approx(machine.gpu, tl, refined, "v")
+        assert bounds.lo <= truth <= bounds.hi
+        assert sum_refine(
+            machine.cpu, tl, refined.payload("v").lo, "v"
+        ) == truth
+
+    def test_avg_bounds_and_refined(self, machine):
+        rng = np.random.default_rng(8)
+        values = rng.integers(0, 1000, 2_000)
+        vr = ValueRange(None, None)
+        col, tl, cand = self.setup_candidates(machine, values, 4, vr)
+        bounds = avg_approx(machine.gpu, tl, cand, "v")
+        assert bounds.lo <= float(values.mean()) <= bounds.hi
+        exact = reconstruct_exact(machine.cpu, tl, col, "v", cand)
+        assert avg_refine(machine.cpu, tl, exact, "v") == pytest.approx(
+            values[cand.ids].mean()
+        )
+
+    def test_minmax_candidate_contains_true_min(self, machine):
+        """Fig 6's hazard: the false positive with the smallest approximate
+        value must not evict the true minimum from the candidate set."""
+        rng = np.random.default_rng(9)
+        x = rng.integers(0, 1000, 5_000)
+        y = rng.integers(0, 1000, 5_000)
+        col_x = load(machine, x, residual_bits=6, label="x")
+        col_y = load(machine, y, residual_bits=6, label="y")
+        tl = machine.new_timeline()
+        vr = ValueRange(600, None)  # x > 599
+
+        cand = select_approx(machine.gpu, tl, col_x, "x", vr)
+        cand = project_approx(machine.gpu, tl, col_y, "y", cand)
+        pruned = minmax_approx(
+            machine.gpu, tl, cand, "y", [("x", vr)], find_min=True
+        )
+        qualifying = vr.evaluate(x)
+        true_min_ids = np.flatnonzero(qualifying & (y == y[qualifying].min()))
+        assert set(true_min_ids) & set(pruned.ids), "true minimum evicted"
+
+        # full refinement: exact selection, then exact min
+        refined = select_refine(machine.cpu, tl, col_x, "x", vr, pruned)
+        refined = project_refine(machine.cpu, tl, col_y, "y", refined)
+        got = minmax_refine(
+            machine.cpu, tl, refined.payload("y").lo, "y", find_min=True
+        )
+        assert got == int(y[qualifying].min())
+
+    def test_minmax_empty_rejected(self, machine):
+        with pytest.raises(ExecutionError):
+            minmax_refine(
+                machine.cpu, machine.new_timeline(), np.array([], dtype=np.int64),
+                "v", find_min=True,
+            )
+
+    def test_avg_empty_rejected(self, machine):
+        with pytest.raises(ExecutionError):
+            avg_refine(machine.cpu, machine.new_timeline(), np.array([]), "v")
+
+
+# ----------------------------------------------------------------------
+# Property: the operator-level A&R theorem for selections
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    residual_bits=st.integers(0, 10),
+    lo=st.integers(0, 900),
+    width=st.integers(0, 400),
+)
+def test_property_select_pair_equals_classic(seed, residual_bits, lo, width):
+    machine = Machine.paper_testbed()
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 1000, 700)
+    col = decompose_values(values, residual_bits=residual_bits)
+    machine.gpu.load_column("v", col, None)
+    tl = machine.new_timeline()
+    vr = ValueRange.between(lo, lo + width)
+
+    approx = select_approx(machine.gpu, tl, col, "v", vr)
+    refined = select_refine(machine.cpu, tl, col, "v", vr, approx)
+    truth = set(np.flatnonzero(vr.evaluate(values)))
+    assert truth <= set(approx.ids.tolist())
+    assert set(refined.ids.tolist()) == truth

@@ -1,0 +1,253 @@
+"""Tests for predicate relaxation (paper §IV-B) — soundness and tightness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relax import (
+    EMPTY_CODE_RANGE,
+    CompareOp,
+    ValueRange,
+    candidate_mask_for_intervals,
+    certain_code_range,
+    certain_mask_for_intervals,
+    relax_to_code_range,
+)
+from repro.errors import PlanError
+from repro.storage.decompose import Decomposition, plan_decomposition
+
+
+class TestCompareOp:
+    def test_from_symbol_aliases(self):
+        assert CompareOp.from_symbol("==") is CompareOp.EQ
+        assert CompareOp.from_symbol("!=") is CompareOp.NE
+        assert CompareOp.from_symbol("<=") is CompareOp.LE
+
+    def test_unknown_symbol(self):
+        with pytest.raises(PlanError):
+            CompareOp.from_symbol("~")
+
+    def test_flip(self):
+        assert CompareOp.LT.flip() is CompareOp.GT
+        assert CompareOp.GE.flip() is CompareOp.LE
+        assert CompareOp.EQ.flip() is CompareOp.EQ
+
+
+class TestValueRange:
+    def test_normalization_of_each_operator(self):
+        assert ValueRange.from_comparison(CompareOp.EQ, 5) == ValueRange(5, 5)
+        assert ValueRange.from_comparison(CompareOp.GT, 5) == ValueRange(6, None)
+        assert ValueRange.from_comparison(CompareOp.GE, 5) == ValueRange(5, None)
+        assert ValueRange.from_comparison(CompareOp.LT, 5) == ValueRange(None, 4)
+        assert ValueRange.from_comparison(CompareOp.LE, 5) == ValueRange(None, 5)
+
+    def test_ne_not_representable(self):
+        with pytest.raises(PlanError):
+            ValueRange.from_comparison(CompareOp.NE, 5)
+
+    def test_between(self):
+        assert ValueRange.between(2, 9) == ValueRange(2, 9)
+
+    def test_empty_normalized(self):
+        assert ValueRange(9, 2).is_empty
+        assert ValueRange.empty().is_empty
+        assert not ValueRange(2, 2).is_empty
+
+    def test_intersect(self):
+        assert ValueRange(1, 10).intersect(ValueRange(5, None)) == ValueRange(5, 10)
+        assert ValueRange(None, None).intersect(ValueRange(3, 4)) == ValueRange(3, 4)
+        assert ValueRange(1, 3).intersect(ValueRange(5, 9)).is_empty
+
+    def test_evaluate_exact_mask(self):
+        values = np.array([1, 5, 6, 10, 11])
+        assert np.array_equal(
+            ValueRange(5, 10).evaluate(values), [False, True, True, True, False]
+        )
+        assert not ValueRange.empty().evaluate(values).any()
+        assert ValueRange(None, None).evaluate(values).all()
+
+
+class TestRelaxToCodeRange:
+    """The paper's adaptation function f, via normalized intervals."""
+
+    def decomposition(self):
+        # base 0, 8-bit domain, 3 residual bits → buckets of 8
+        return Decomposition(base=0, total_bits=8, residual_bits=3)
+
+    def test_equality_selects_one_bucket(self):
+        d = self.decomposition()
+        assert relax_to_code_range(ValueRange(17, 17), d) == (2, 2)
+
+    def test_gt_keeps_boundary_bucket(self):
+        """f('> x') must include x's own bucket: values above x share it."""
+        d = self.decomposition()
+        vr = ValueRange.from_comparison(CompareOp.GT, 17)
+        lo, hi = relax_to_code_range(vr, d)
+        assert lo == 2  # bucket of 18
+        assert hi == d.max_code
+
+    def test_gt_on_bucket_ceiling_skips_bucket(self):
+        """x = bucket max (23): v > 23 starts exactly at the next bucket."""
+        d = self.decomposition()
+        vr = ValueRange.from_comparison(CompareOp.GT, 23)
+        assert relax_to_code_range(vr, d)[0] == 3
+
+    def test_lt_keeps_boundary_bucket(self):
+        d = self.decomposition()
+        vr = ValueRange.from_comparison(CompareOp.LT, 17)
+        lo, hi = relax_to_code_range(vr, d)
+        assert (lo, hi) == (0, 2)
+
+    def test_lt_on_bucket_floor_skips_bucket(self):
+        """x = bucket floor (16): v < 16 ends exactly at the previous bucket."""
+        d = self.decomposition()
+        vr = ValueRange.from_comparison(CompareOp.LT, 16)
+        assert relax_to_code_range(vr, d)[1] == 1
+
+    def test_out_of_domain_empty(self):
+        d = Decomposition(base=100, total_bits=4, residual_bits=1)
+        assert relax_to_code_range(ValueRange(0, 50), d) == EMPTY_CODE_RANGE
+        assert relax_to_code_range(ValueRange(200, 300), d) == EMPTY_CODE_RANGE
+
+    def test_unbounded_range_full_domain(self):
+        d = self.decomposition()
+        assert relax_to_code_range(ValueRange(None, None), d) == (0, d.max_code)
+
+    def test_empty_range(self):
+        assert relax_to_code_range(ValueRange.empty(), self.decomposition()) == (
+            EMPTY_CODE_RANGE
+        )
+
+
+class TestCertainCodeRange:
+    def test_fully_contained_buckets_only(self):
+        d = Decomposition(base=0, total_bits=8, residual_bits=3)
+        # [10, 30]: buckets fully inside are [16..23] (code 2)
+        assert certain_code_range(ValueRange(10, 30), d) == (2, 2)
+
+    def test_aligned_range_is_certain(self):
+        d = Decomposition(base=0, total_bits=8, residual_bits=3)
+        assert certain_code_range(ValueRange(16, 31), d) == (2, 3)
+
+    def test_no_certain_bucket(self):
+        d = Decomposition(base=0, total_bits=8, residual_bits=3)
+        assert certain_code_range(ValueRange(17, 20), d) == EMPTY_CODE_RANGE
+
+    def test_unbounded_side(self):
+        d = Decomposition(base=0, total_bits=8, residual_bits=3)
+        lo, hi = certain_code_range(ValueRange(17, None), d)
+        assert (lo, hi) == (3, d.max_code)
+
+    def test_zero_residual_certain_equals_candidates(self):
+        d = Decomposition(base=0, total_bits=8, residual_bits=0)
+        vr = ValueRange(10, 200)
+        assert certain_code_range(vr, d) == relax_to_code_range(vr, d)
+
+    def test_hi_below_first_bucket(self):
+        d = Decomposition(base=0, total_bits=8, residual_bits=3)
+        assert certain_code_range(ValueRange(None, 5), d) == EMPTY_CODE_RANGE
+
+
+class TestIntervalMasks:
+    def test_candidate_intersects(self):
+        lo = np.array([0, 10, 20])
+        hi = np.array([5, 15, 25])
+        mask = candidate_mask_for_intervals(lo, hi, ValueRange(12, 22))
+        assert np.array_equal(mask, [False, True, True])
+
+    def test_certain_contained(self):
+        lo = np.array([0, 12, 20])
+        hi = np.array([5, 14, 25])
+        mask = certain_mask_for_intervals(lo, hi, ValueRange(12, 22))
+        assert np.array_equal(mask, [False, True, False])
+
+    def test_empty_range_masks(self):
+        lo, hi = np.array([1]), np.array([2])
+        assert not candidate_mask_for_intervals(lo, hi, ValueRange.empty()).any()
+        assert not certain_mask_for_intervals(lo, hi, ValueRange.empty()).any()
+
+    def test_certain_implies_candidate(self):
+        rng = np.random.default_rng(0)
+        lo = rng.integers(0, 100, 200)
+        hi = lo + rng.integers(0, 20, 200)
+        vr = ValueRange(25, 60)
+        certain = certain_mask_for_intervals(lo, hi, vr)
+        candidate = candidate_mask_for_intervals(lo, hi, vr)
+        assert np.all(~certain | candidate)
+
+
+# ----------------------------------------------------------------------
+# Property tests: DESIGN.md invariant 2 (soundness + tightness)
+# ----------------------------------------------------------------------
+_ops = st.sampled_from(
+    [CompareOp.EQ, CompareOp.LT, CompareOp.LE, CompareOp.GT, CompareOp.GE]
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 1023), min_size=1, max_size=80),
+    residual_bits=st.integers(0, 10),
+    op=_ops,
+    operand=st.integers(-5, 1030),
+)
+def test_property_relaxation_soundness(values, residual_bits, op, operand):
+    """Every exact match is a candidate: relaxed ⊇ precise."""
+    arr = np.array(values, dtype=np.int64)
+    d = plan_decomposition(arr, residual_bits=residual_bits)
+    approx, _ = d.split(arr)
+    vr = ValueRange.from_comparison(op, operand)
+    lo_code, hi_code = relax_to_code_range(vr, d)
+    candidate = (approx.astype(np.int64) >= lo_code) & (
+        approx.astype(np.int64) <= hi_code
+    )
+    precise = vr.evaluate(arr)
+    assert np.all(~precise | candidate)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 1023), min_size=1, max_size=80),
+    residual_bits=st.integers(0, 10),
+    op=_ops,
+    operand=st.integers(0, 1023),
+)
+def test_property_certain_implies_precise(values, residual_bits, op, operand):
+    """Certain rows satisfy the precise predicate for any residual."""
+    arr = np.array(values, dtype=np.int64)
+    d = plan_decomposition(arr, residual_bits=residual_bits)
+    approx, _ = d.split(arr)
+    vr = ValueRange.from_comparison(op, operand)
+    lo_code, hi_code = certain_code_range(vr, d)
+    certain = (approx.astype(np.int64) >= lo_code) & (
+        approx.astype(np.int64) <= hi_code
+    )
+    precise = vr.evaluate(arr)
+    assert np.all(~certain | precise)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    residual_bits=st.integers(0, 8),
+    operand=st.integers(0, 255),
+    op=_ops,
+)
+def test_property_relaxation_tightness(residual_bits, operand, op):
+    """The relaxed code range is minimal: each boundary bucket contains a
+    value satisfying the precise predicate (whenever the range is non-empty
+    and within the domain)."""
+    arr = np.arange(256, dtype=np.int64)
+    d = plan_decomposition(arr, residual_bits=residual_bits)
+    vr = ValueRange.from_comparison(op, operand)
+    lo_code, hi_code = relax_to_code_range(vr, d)
+    if lo_code > hi_code:
+        return
+    precise = vr.evaluate(arr)
+    approx, _ = d.split(arr)
+    for boundary in {lo_code, hi_code}:
+        bucket_rows = approx.astype(np.int64) == boundary
+        if bucket_rows.any():
+            assert bool(precise[bucket_rows].any()), (
+                f"boundary bucket {boundary} holds no true positive"
+            )

@@ -1,0 +1,156 @@
+"""Tests for fixed-length string-prefix approximation (§VII-B extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strings import (
+    StringPredicate,
+    StringPrefixColumn,
+    encode_prefix,
+    string_select_approx,
+    string_select_refine,
+)
+from repro.device.machine import Machine
+from repro.errors import ExecutionError
+
+WORDS = [
+    "alpha", "alphabet", "beta", "gamma", "gamut", "delta", "del",
+    "promo brushed", "promo plated", "standard tin", "", "zz", "promo",
+]
+
+
+@pytest.fixture()
+def machine():
+    return Machine.paper_testbed()
+
+
+def run_ar(machine, column, predicate):
+    tl = machine.new_timeline()
+    candidates = string_select_approx(machine.gpu, tl, column, predicate)
+    refined = string_select_refine(machine.cpu, tl, column, predicate, candidates)
+    return candidates, refined, tl
+
+
+class TestEncodePrefix:
+    def test_order_preserving(self):
+        assert encode_prefix("abc", 4) < encode_prefix("abd", 4)
+        assert encode_prefix("ab", 4) < encode_prefix("abc", 4)
+        assert encode_prefix("b", 4) > encode_prefix("azzz", 4)
+
+    def test_truncation(self):
+        assert encode_prefix("alphabet", 4) == encode_prefix("alpha", 4)
+
+    def test_empty_string(self):
+        assert encode_prefix("", 4) == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ExecutionError):
+            encode_prefix("x", 0)
+        with pytest.raises(ExecutionError):
+            encode_prefix("x", 9)
+
+
+class TestStringPrefixColumn:
+    def test_footprints(self):
+        col = StringPrefixColumn(WORDS, prefix_bytes=4)
+        assert col.device_nbytes == len(WORDS) * 4  # fixed width!
+        assert col.host_nbytes == sum(len(w.encode()) for w in WORDS)
+        assert len(col) == len(WORDS)
+        assert col.string_at(2) == "beta"
+
+    def test_invalid_width(self):
+        with pytest.raises(ExecutionError):
+            StringPrefixColumn(WORDS, prefix_bytes=0)
+
+
+class TestPredicates:
+    def test_equality(self, machine):
+        col = StringPrefixColumn(WORDS, prefix_bytes=4)
+        cand, refined, _ = run_ar(machine, col, StringPredicate.equals("alpha"))
+        # "alphabet" shares the 4-byte prefix: candidate but not result
+        assert WORDS.index("alphabet") in cand
+        assert refined.tolist() == [WORDS.index("alpha")]
+
+    def test_prefix_short_needs_no_refinement(self, machine):
+        col = StringPrefixColumn(WORDS, prefix_bytes=4)
+        pred = StringPredicate.startswith("pro")
+        cand, refined, tl = run_ar(machine, col, pred)
+        expected = [i for i, w in enumerate(WORDS) if w.startswith("pro")]
+        assert sorted(refined.tolist()) == expected
+        assert np.array_equal(cand, refined)  # no false positives
+        assert "cpu" not in tl.seconds_by_kind()  # refinement skipped
+
+    def test_prefix_longer_than_code(self, machine):
+        col = StringPrefixColumn(WORDS, prefix_bytes=4)
+        pred = StringPredicate.startswith("promo b")
+        cand, refined, _ = run_ar(machine, col, pred)
+        assert sorted(refined.tolist()) == [WORDS.index("promo brushed")]
+        assert set(refined) <= set(cand)
+
+    def test_range(self, machine):
+        col = StringPrefixColumn(WORDS, prefix_bytes=4)
+        pred = StringPredicate.between("beta", "gamma")
+        _, refined, _ = run_ar(machine, col, pred)
+        expected = sorted(i for i, w in enumerate(WORDS) if "beta" <= w <= "gamma")
+        assert sorted(refined.tolist()) == expected
+
+    def test_unknown_kind(self):
+        with pytest.raises(ExecutionError):
+            StringPredicate("like", "x").code_range(4)
+        with pytest.raises(ExecutionError):
+            StringPredicate("like", "x").evaluate_exact(["a"])
+
+    def test_empty_candidates_short_circuit(self, machine):
+        col = StringPrefixColumn(["aaa"], prefix_bytes=4)
+        pred = StringPredicate.equals("zzz")
+        cand, refined, _ = run_ar(machine, col, pred)
+        assert cand.size == 0 and refined.size == 0
+
+
+_word = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=12
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    words=st.lists(_word, min_size=1, max_size=40),
+    needle=_word,
+    prefix_bytes=st.integers(1, 8),
+    kind=st.sampled_from(["eq", "prefix"]),
+)
+def test_property_string_ar_soundness(words, needle, prefix_bytes, kind):
+    """Candidates ⊇ exact matches; refinement ≡ exact evaluation."""
+    machine = Machine.paper_testbed()
+    col = StringPrefixColumn(words, prefix_bytes=prefix_bytes)
+    pred = (
+        StringPredicate.equals(needle) if kind == "eq"
+        else StringPredicate.startswith(needle)
+    )
+    tl = machine.new_timeline()
+    cand = string_select_approx(machine.gpu, tl, col, pred)
+    refined = string_select_refine(machine.cpu, tl, col, pred, cand)
+    truth = np.flatnonzero(pred.evaluate_exact(words))
+    assert set(truth) <= set(cand.tolist())
+    assert sorted(refined.tolist()) == sorted(truth.tolist())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    words=st.lists(_word, min_size=1, max_size=30),
+    lo=_word, hi=_word,
+    prefix_bytes=st.integers(1, 8),
+)
+def test_property_string_range_soundness(words, lo, hi, prefix_bytes):
+    if lo > hi:
+        lo, hi = hi, lo
+    machine = Machine.paper_testbed()
+    col = StringPrefixColumn(words, prefix_bytes=prefix_bytes)
+    pred = StringPredicate.between(lo, hi)
+    tl = machine.new_timeline()
+    cand = string_select_approx(machine.gpu, tl, col, pred)
+    refined = string_select_refine(machine.cpu, tl, col, pred, cand)
+    truth = sorted(np.flatnonzero(pred.evaluate_exact(words)).tolist())
+    assert sorted(refined.tolist()) == truth

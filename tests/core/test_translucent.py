@@ -1,0 +1,137 @@
+"""Tests for the translucent join (Algorithm 1) — DESIGN.md invariant 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.translucent import (
+    invisible_join,
+    translucent_join,
+    translucent_join_reference,
+)
+from repro.errors import RefinementError
+
+
+class TestInvisibleJoin:
+    def test_positional_lookup(self):
+        pos = invisible_join(100, 10, np.array([103, 101, 109]))
+        assert np.array_equal(pos, [3, 1, 9])
+
+    def test_out_of_range(self):
+        with pytest.raises(RefinementError):
+            invisible_join(100, 10, np.array([110]))
+        with pytest.raises(RefinementError):
+            invisible_join(100, 10, np.array([99]))
+
+    def test_empty(self):
+        assert invisible_join(0, 5, np.array([], dtype=np.int64)).size == 0
+
+
+class TestReferenceAlgorithm:
+    def test_paper_figure5_example(self):
+        """Fig 5's shape: an unsorted approximation id list joined with a
+        subset that shares its permutation."""
+        a_ids = np.array([13, 0, 11, 9, 3, 1, 5, 7])
+        r_ids = np.array([0, 9, 1, 5, 7])  # same relative order as in A
+        pos = translucent_join_reference(a_ids, r_ids)
+        assert np.array_equal(pos, [1, 3, 5, 6, 7])
+        assert np.array_equal(a_ids[pos], r_ids)
+
+    def test_identity_join(self):
+        ids = np.array([5, 3, 8])
+        assert np.array_equal(translucent_join_reference(ids, ids), [0, 1, 2])
+
+    def test_empty_subset(self):
+        assert translucent_join_reference(np.array([1, 2]), np.array([], dtype=np.int64)).size == 0
+
+    def test_not_a_subset_raises(self):
+        with pytest.raises(RefinementError):
+            translucent_join_reference(np.array([1, 2, 3]), np.array([4]))
+
+    def test_wrong_permutation_raises(self):
+        # 3 appears before 1 in A but after in R → precondition 3 violated
+        with pytest.raises(RefinementError):
+            translucent_join_reference(np.array([3, 1]), np.array([1, 3]))
+
+
+class TestVectorizedJoin:
+    def test_dense_sorted_uses_invisible_path(self):
+        a_ids = np.arange(50, 60)
+        pos = translucent_join(a_ids, np.array([53, 51, 59]))
+        assert np.array_equal(pos, [3, 1, 9])
+
+    def test_scrambled_superset(self):
+        a_ids = np.array([13, 0, 11, 9, 3, 1, 5, 7])
+        r_ids = np.array([0, 9, 1, 5, 7])
+        pos = translucent_join(a_ids, r_ids)
+        assert np.array_equal(a_ids[pos], r_ids)
+
+    def test_empty_refined(self):
+        assert translucent_join(np.array([3, 1]), np.array([], dtype=np.int64)).size == 0
+
+    def test_empty_approximation_raises(self):
+        with pytest.raises(RefinementError):
+            translucent_join(np.array([], dtype=np.int64), np.array([1]))
+
+    def test_subset_violation_raises(self):
+        with pytest.raises(RefinementError):
+            translucent_join(np.array([5, 2, 9]), np.array([2, 7]))
+
+    def test_permutation_violation_raises(self):
+        with pytest.raises(RefinementError):
+            translucent_join(np.array([5, 2, 9]), np.array([9, 2]))
+
+    def test_single_element(self):
+        assert np.array_equal(translucent_join(np.array([42]), np.array([42])), [0])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ids=st.lists(st.integers(0, 10_000), min_size=1, max_size=120, unique=True),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_vectorized_matches_reference(ids, seed):
+    """Vectorized ≡ Algorithm 1 on arbitrary permutations and subsets."""
+    rng = np.random.default_rng(seed)
+    a_ids = np.array(ids, dtype=np.int64)
+    rng.shuffle(a_ids)
+    keep = rng.random(len(a_ids)) < 0.6
+    r_ids = a_ids[keep]
+    expected = translucent_join_reference(a_ids, r_ids)
+    got = translucent_join(a_ids, r_ids)
+    assert np.array_equal(got, expected)
+    assert np.array_equal(a_ids[got], r_ids)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    start=st.integers(0, 1000),
+    n=st.integers(1, 100),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_dense_path_equals_reference(start, n, seed):
+    """The invisible fast path agrees with Algorithm 1 on dense inputs."""
+    rng = np.random.default_rng(seed)
+    a_ids = np.arange(start, start + n, dtype=np.int64)
+    keep = rng.random(n) < 0.5
+    r_ids = a_ids[keep]
+    assert np.array_equal(
+        translucent_join(a_ids, r_ids), translucent_join_reference(a_ids, r_ids)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ids=st.lists(st.integers(0, 5000), min_size=2, max_size=60, unique=True),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_join_complexity_preserving(ids, seed):
+    """Join output positions are strictly increasing — one forward pass."""
+    rng = np.random.default_rng(seed)
+    a_ids = np.array(ids, dtype=np.int64)
+    rng.shuffle(a_ids)
+    r_ids = a_ids[rng.random(len(a_ids)) < 0.5]
+    pos = translucent_join(a_ids, r_ids)
+    if pos.size > 1:
+        assert np.all(np.diff(pos) > 0)

@@ -1,0 +1,172 @@
+"""Tests for the simulated GPU kernels and residency enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.device.gpu import SimulatedGPU
+from repro.device.machine import Machine
+from repro.device.model import DeviceSpec
+from repro.device.timeline import Timeline
+from repro.errors import DataNotResident, DeviceOutOfMemory
+from repro.storage.decompose import decompose_values
+
+
+def small_gpu(capacity=10**6) -> SimulatedGPU:
+    spec = DeviceSpec(
+        name="tiny-gpu", kind="gpu", memory_capacity=capacity,
+        seq_bandwidth=150e9, random_bandwidth=20e9, launch_overhead=5e-6,
+    )
+    return SimulatedGPU(spec, processing_reserve_fraction=0.1)
+
+
+def loaded_column(gpu, values, residual_bits=4):
+    col = decompose_values(np.asarray(values), residual_bits=residual_bits)
+    gpu.load_column("col", col, None)
+    return col
+
+
+class TestResidency:
+    def test_kernel_requires_loaded_column(self):
+        gpu = small_gpu()
+        col = decompose_values(np.arange(100), residual_bits=4)
+        with pytest.raises(DataNotResident):
+            gpu.scan_code_range(col, 0, 1, Timeline())
+
+    def test_load_and_evict(self):
+        gpu = small_gpu()
+        col = loaded_column(gpu, np.arange(100))
+        assert gpu.is_resident(col)
+        assert gpu.pool.holds("col")
+        gpu.evict_column(col)
+        assert not gpu.is_resident(col)
+        with pytest.raises(DataNotResident):
+            gpu.evict_column(col)
+
+    def test_capacity_enforced(self):
+        gpu = small_gpu(capacity=1000)
+        col = decompose_values(np.arange(10_000), residual_bits=0)
+        with pytest.raises(DeviceOutOfMemory):
+            gpu.load_column("big", col)
+
+    def test_processing_reserve_held_back(self):
+        gpu = small_gpu(capacity=1000)
+        assert gpu.pool.available == 900
+
+    def test_load_charges_load_phase(self):
+        gpu = small_gpu()
+        col = decompose_values(np.arange(100), residual_bits=4)
+        t = Timeline()
+        gpu.load_column("c", col, t)
+        (span,) = t.spans
+        assert span.phase == "load"
+
+
+class TestScanKernels:
+    def test_scan_code_range_positions(self):
+        gpu = small_gpu()
+        values = np.array([5, 100, 17, 42, 99, 6])
+        col = loaded_column(gpu, values, residual_bits=0)
+        t = Timeline()
+        hits = gpu.scan_code_range(
+            col, col.decomposition.approx_code_of(17),
+            col.decomposition.approx_code_of(99), t,
+        )
+        assert np.array_equal(np.sort(values[hits]), [17, 42, 99])
+        assert t.seconds_by_kind()["gpu"] > 0
+
+    def test_probe_restricts_candidates(self):
+        gpu = small_gpu()
+        values = np.arange(64)
+        col = loaded_column(gpu, values, residual_bits=0)
+        t = Timeline()
+        initial = np.array([1, 10, 20, 40, 63])
+        out = gpu.refine_positions_code_range(col, initial, 10, 40, t)
+        assert np.array_equal(out, [10, 20, 40])
+
+    def test_gather_codes(self):
+        gpu = small_gpu()
+        values = np.array([10, 20, 30, 40])
+        col = loaded_column(gpu, values, residual_bits=0)
+        t = Timeline()
+        out = gpu.gather_codes(col, np.array([3, 1]), t)
+        assert np.array_equal(
+            col.decomposition.combine(out, np.zeros(2, dtype=np.uint64)), [40, 20]
+        )
+
+    def test_full_scan_matches_codes(self):
+        gpu = small_gpu()
+        values = np.arange(100, 200)
+        col = loaded_column(gpu, values, residual_bits=3)
+        t = Timeline()
+        assert np.array_equal(gpu.full_scan_codes(col, t), col.approx_codes())
+
+
+class TestGroupingKernel:
+    def test_group_ids_positionally_aligned(self):
+        gpu = small_gpu()
+        codes = np.array([7, 3, 7, 9, 3])
+        t = Timeline()
+        gids, uniques = gpu.hash_group(codes, t)
+        assert np.array_equal(uniques[gids], codes)
+        assert len(uniques) == 3
+
+    def test_fewer_groups_cost_more(self):
+        """§VI-B Fig 8f: fewer groups → more write conflicts → slower."""
+        gpu = small_gpu()
+        few = np.zeros(10_000, dtype=np.int64)
+        many = np.arange(10_000, dtype=np.int64) % 1000
+        t_few, t_many = Timeline(), Timeline()
+        gpu.hash_group(few, t_few)
+        gpu.hash_group(many, t_many)
+        assert t_few.total_seconds() > t_many.total_seconds()
+
+
+class TestMinMaxKernel:
+    def test_min_keeps_all_codes_at_or_below_certain_bound(self):
+        gpu = small_gpu()
+        codes = np.array([5, 2, 9, 2, 7])
+        certain = np.array([False, False, True, False, True])
+        t = Timeline()
+        keep = gpu.minmax_candidates(codes, certain, t, find_min=True)
+        # best certain code is 7 → candidates are codes ≤ 7
+        assert np.array_equal(keep, [0, 1, 3, 4])
+
+    def test_max_symmetric(self):
+        gpu = small_gpu()
+        codes = np.array([5, 2, 9, 2, 7])
+        certain = np.array([True, False, False, False, False])
+        t = Timeline()
+        keep = gpu.minmax_candidates(codes, certain, t, find_min=False)
+        assert np.array_equal(keep, [0, 2, 4])
+
+    def test_no_certain_rows_keeps_everything(self):
+        gpu = small_gpu()
+        codes = np.array([5, 2, 9])
+        t = Timeline()
+        keep = gpu.minmax_candidates(codes, None, t, find_min=True)
+        assert np.array_equal(keep, [0, 1, 2])
+
+    def test_slack_widens_candidates(self):
+        gpu = small_gpu()
+        codes = np.array([5, 2, 9, 7])
+        certain = np.array([False, False, False, True])
+        t = Timeline()
+        no_slack = gpu.minmax_candidates(codes, certain, t, find_min=True)
+        with_slack = gpu.minmax_candidates(
+            codes, certain, t, find_min=True, slack_codes=2
+        )
+        assert set(no_slack) <= set(with_slack)
+        assert 2 in with_slack  # code 9 within slack 2 of bound 7
+
+
+class TestMachine:
+    def test_paper_testbed_wiring(self):
+        m = Machine.paper_testbed()
+        assert m.gpu.spec.name == "GTX 680"
+        assert m.cpu.spec.threads == 32
+        assert m.bus.spec.seq_bandwidth == pytest.approx(3.95e9)
+        assert isinstance(m.new_timeline(), Timeline)
+
+    def test_reserve_fraction_validated(self):
+        with pytest.raises(ValueError):
+            Machine.paper_testbed(gpu_processing_reserve_fraction=1.5)

@@ -1,0 +1,96 @@
+"""Tests for alternative memory hierarchies (§VII-B's disk instance)."""
+
+import numpy as np
+import pytest
+
+from repro import IntType, Session
+from repro.device.hierarchies import (
+    HDD_AS_SLOW,
+    SATA_LINK,
+    SSD_AS_FAST,
+    disk_hierarchy,
+)
+
+
+class TestSpecs:
+    def test_roles(self):
+        assert SSD_AS_FAST.kind == "gpu"
+        assert HDD_AS_SLOW.kind == "cpu"
+        assert SATA_LINK.kind == "bus"
+
+    def test_fast_tier_is_faster(self):
+        assert SSD_AS_FAST.seq_bandwidth > HDD_AS_SLOW.seq_bandwidth
+        assert SSD_AS_FAST.random_bandwidth > 50 * HDD_AS_SLOW.random_bandwidth
+
+    def test_machine_wiring(self):
+        m = disk_hierarchy()
+        assert m.gpu.spec.name.startswith("SATA SSD")
+        assert m.cpu.spec.name.startswith("7200rpm")
+
+
+class TestArOnDisks:
+    def test_same_plans_same_answers(self):
+        """The A&R engine is hierarchy-agnostic: swap the machine, keep
+        the plans, get identical exact results."""
+        rng = np.random.default_rng(4)
+        data = {"v": rng.integers(0, 100_000, 50_000)}
+        sql = "select count(*) from t where v between 10000 and 30000"
+
+        gpu_session = Session()
+        gpu_session.create_table("t", {"v": IntType()}, data)
+        gpu_session.execute("select bwdecompose(v, 24) from t")
+
+        disk_session = Session(disk_hierarchy())
+        disk_session.create_table("t", {"v": IntType()}, data)
+        disk_session.execute("select bwdecompose(v, 24) from t")
+
+        a = gpu_session.execute(sql)
+        b = disk_session.execute(sql)
+        assert a.scalar("count_0") == b.scalar("count_0")
+
+    def test_ar_beats_slow_tier_scan(self):
+        """The paradigm's value on disks: scan the SSD-resident
+        approximation instead of the HDD-resident full data."""
+        rng = np.random.default_rng(5)
+        session = Session(disk_hierarchy())
+        session.create_table(
+            "t", {"v": IntType()}, {"v": rng.integers(0, 100_000, 200_000)}
+        )
+        session.execute("select bwdecompose(v, 24) from t")
+        sql = "select count(*) from t where v < 5000"
+        ar = session.execute(sql)
+        classic = session.execute(sql, mode="classic")
+        assert ar.scalar("count_0") == classic.scalar("count_0")
+        assert ar.timeline.total_seconds() < classic.timeline.total_seconds()
+
+    def test_disk_constants_differ_from_gpu(self):
+        """The modeled times must reflect the hierarchy, not be copies."""
+        rng = np.random.default_rng(6)
+        data = {"v": rng.integers(0, 100_000, 50_000)}
+        sql = "select count(*) from t where v between 10000 and 30000"
+        gpu_session = Session()
+        gpu_session.create_table("t", {"v": IntType()}, data)
+        gpu_session.execute("select bwdecompose(v, 24) from t")
+        disk_session = Session(disk_hierarchy())
+        disk_session.create_table("t", {"v": IntType()}, data)
+        disk_session.execute("select bwdecompose(v, 24) from t")
+        t_gpu = gpu_session.execute(sql).timeline.total_seconds()
+        t_disk = disk_session.execute(sql).timeline.total_seconds()
+        assert t_disk > 10 * t_gpu  # storage tiers are much slower
+
+    def test_capacity_still_enforced(self):
+        from repro.device.machine import Machine
+        from repro.device.model import DeviceSpec
+        from repro.errors import DeviceOutOfMemory
+
+        tiny_ssd = DeviceSpec(
+            name="tiny-ssd", kind="gpu", memory_capacity=1000,
+            seq_bandwidth=500e6, random_bandwidth=250e6,
+        )
+        session = Session(Machine(gpu_spec=tiny_ssd, cpu_spec=HDD_AS_SLOW,
+                                  bus_spec=SATA_LINK))
+        session.create_table(
+            "t", {"v": IntType()}, {"v": np.arange(100_000)}
+        )
+        with pytest.raises(DeviceOutOfMemory):
+            session.execute("select bwdecompose(v, 32) from t")

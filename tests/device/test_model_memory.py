@@ -1,0 +1,138 @@
+"""Tests for device specs, the transfer model and memory accounting."""
+
+import pytest
+
+from repro.device.model import (
+    GTX_680,
+    PCIE_GEN2,
+    XEON_E5_2650_X2,
+    AccessPattern,
+    DeviceSpec,
+)
+from repro.device.memory import MemoryPool
+from repro.errors import DeviceError, DeviceOutOfMemory
+
+
+def spec(**overrides) -> DeviceSpec:
+    base = dict(
+        name="dev",
+        kind="cpu",
+        memory_capacity=1000,
+        seq_bandwidth=100.0,
+        random_bandwidth=10.0,
+        launch_overhead=0.0,
+        threads=4,
+        saturation_bandwidth=250.0,
+    )
+    base.update(overrides)
+    return DeviceSpec(**base)
+
+
+class TestDeviceSpec:
+    def test_transfer_time_is_bytes_over_bandwidth(self):
+        assert spec().transfer_seconds(200) == pytest.approx(2.0)
+
+    def test_random_pattern_uses_random_bandwidth(self):
+        assert spec().transfer_seconds(200, AccessPattern.RANDOM) == pytest.approx(20.0)
+
+    def test_launch_overhead_added(self):
+        s = spec(launch_overhead=0.5)
+        assert s.transfer_seconds(100) == pytest.approx(1.5)
+
+    def test_thread_scaling_until_saturation(self):
+        s = spec()
+        t1 = s.transfer_seconds(1000, threads=1)
+        t2 = s.transfer_seconds(1000, threads=2)
+        t4 = s.transfer_seconds(1000, threads=4)
+        assert t2 == pytest.approx(t1 / 2)
+        # 4 threads would give 400 B/s but saturation caps at 250 B/s.
+        assert t4 == pytest.approx(1000 / 250.0)
+
+    def test_threads_clamped_to_hardware(self):
+        s = spec(saturation_bandwidth=None)
+        assert s.transfer_seconds(1000, threads=99) == s.transfer_seconds(
+            1000, threads=4
+        )
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            spec(kind="fpga")
+        with pytest.raises(DeviceError):
+            spec(seq_bandwidth=0)
+        with pytest.raises(DeviceError):
+            spec(memory_capacity=0)
+        with pytest.raises(DeviceError):
+            spec(threads=0)
+        with pytest.raises(DeviceError):
+            spec().transfer_seconds(-1)
+
+    def test_paper_presets(self):
+        from repro.device.model import OpClass
+
+        assert GTX_680.memory_capacity == 2 * 1024**3
+        assert PCIE_GEN2.seq_bandwidth == pytest.approx(3.95e9)
+        assert XEON_E5_2650_X2.threads == 32
+        # Calibration anchors (see DESIGN.md §5): a branch-free CPU select
+        # costs ~2.4 cycles/tuple, the GPU kernels a flat 0.4 ns/tuple.
+        assert XEON_E5_2650_X2.per_tuple[OpClass.SCAN] == pytest.approx(1.2e-9)
+        assert GTX_680.per_tuple[OpClass.SCAN] == pytest.approx(0.4e-9)
+        assert XEON_E5_2650_X2.saturation_bandwidth == pytest.approx(18e9)
+
+    def test_tuple_seconds(self):
+        from repro.device.model import OpClass
+
+        s = spec()
+        assert s.tuple_seconds(OpClass.SCAN, 100) == 0.0  # no per-tuple cost set
+        with pytest.raises(DeviceError):
+            s.tuple_seconds(OpClass.SCAN, -1)
+
+
+class TestMemoryPool:
+    def test_allocate_and_free(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 60)
+        assert pool.allocated == 60
+        assert pool.available == 40
+        assert pool.holds("a")
+        assert pool.size_of("a") == 60
+        assert pool.free("a") == 60
+        assert pool.allocated == 0
+
+    def test_oom_reports_requested_and_available(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 80)
+        with pytest.raises(DeviceOutOfMemory) as exc:
+            pool.allocate("b", 30)
+        assert exc.value.requested == 30
+        assert exc.value.available == 20
+
+    def test_unbounded_pool(self):
+        pool = MemoryPool("ram", None)
+        pool.allocate("big", 10**15)
+        assert pool.available is None
+
+    def test_duplicate_label_rejected(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 1)
+        with pytest.raises(DeviceError):
+            pool.allocate("a", 1)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(DeviceError):
+            MemoryPool("gpu", 100).free("nope")
+
+    def test_free_all(self):
+        pool = MemoryPool("gpu", 100)
+        pool.allocate("a", 10)
+        pool.allocate("b", 20)
+        pool.free_all()
+        assert pool.allocated == 0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(DeviceError):
+            MemoryPool("gpu", 100).allocate("a", -1)
+
+    def test_repr_mentions_usage(self):
+        pool = MemoryPool("gpu", 2 * 1024**3)
+        pool.allocate("a", 1024**3)
+        assert "1.0 GiB" in repr(pool)

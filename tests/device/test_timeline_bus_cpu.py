@@ -1,0 +1,134 @@
+"""Tests for timelines, the PCI bus model and the CPU scaling model."""
+
+import pytest
+
+from repro.device.bus import PciBus
+from repro.device.cpu import Cpu
+from repro.device.model import AccessPattern, DeviceSpec, PCIE_GEN2, XEON_E5_2650_X2
+from repro.device.timeline import Timeline
+
+
+class TestTimeline:
+    def test_record_and_totals(self):
+        t = Timeline()
+        t.record("gpu0", "gpu", "select.approx", 100, 1.0, "approximate")
+        t.record("cpu0", "cpu", "select.refine", 50, 2.0, "refine")
+        t.record("pci", "bus", "candidates", 10, 0.5, "refine")
+        assert t.total_seconds() == pytest.approx(3.5)
+        assert t.approximate_seconds() == pytest.approx(1.0)
+        assert t.refine_seconds() == pytest.approx(2.5)
+
+    def test_breakdown_by_kind(self):
+        t = Timeline()
+        t.record("gpu0", "gpu", "a", 0, 1.0)
+        t.record("gpu0", "gpu", "b", 0, 0.5)
+        t.record("cpu0", "cpu", "c", 0, 2.0)
+        kinds = t.seconds_by_kind()
+        assert kinds["gpu"] == pytest.approx(1.5)
+        assert kinds["cpu"] == pytest.approx(2.0)
+        assert "bus" not in kinds
+
+    def test_phase_filter(self):
+        t = Timeline()
+        t.record("gpu0", "gpu", "a", 0, 1.0, "approximate")
+        t.record("pci", "bus", "load", 0, 9.0, "load")
+        assert t.total_seconds(phases=("approximate", "refine")) == pytest.approx(1.0)
+
+    def test_bytes_by_kind(self):
+        t = Timeline()
+        t.record("gpu0", "gpu", "a", 100, 1.0)
+        t.record("gpu0", "gpu", "b", 11, 1.0)
+        assert t.bytes_by_kind() == {"gpu": 111}
+
+    def test_extend_merges(self):
+        a, b = Timeline(), Timeline()
+        a.record("x", "gpu", "a", 0, 1.0)
+        b.record("y", "cpu", "b", 0, 2.0)
+        a.extend(b)
+        assert len(a) == 2
+        assert a.total_seconds() == pytest.approx(3.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().record("x", "gpu", "a", 0, -1.0)
+
+    def test_render_readable(self):
+        t = Timeline()
+        t.record("gpu0", "gpu", "select.approx", 128, 0.004)
+        text = t.render()
+        assert "select.approx" in text
+        assert "total" in text
+
+
+class TestPciBus:
+    def test_transfer_charges_bus_span(self):
+        bus = PciBus(PCIE_GEN2)
+        t = Timeline()
+        secs = bus.transfer(t, int(3.95e9), "candidates")
+        assert secs == pytest.approx(1.0, rel=1e-3)
+        assert t.seconds_by_kind()["bus"] == pytest.approx(secs)
+
+    def test_streaming_baseline_matches_paper_measurement(self):
+        """§VI-C: streaming the 1.8 GB spatial input ≈ 0.453 s."""
+        bus = PciBus(PCIE_GEN2)
+        assert bus.streaming_seconds(int(1.79e9)) == pytest.approx(0.453, rel=0.01)
+
+
+class TestCpuScaling:
+    def test_charge_records_refine_phase_by_default(self):
+        cpu = Cpu(XEON_E5_2650_X2)
+        t = Timeline()
+        cpu.charge(t, "select.refine", 10**9)
+        (span,) = t.spans
+        assert span.phase == "refine"
+        assert span.seconds == pytest.approx(0.2)
+
+    def test_random_pattern_slower(self):
+        cpu = Cpu(XEON_E5_2650_X2)
+        t = Timeline()
+        seq = cpu.charge(t, "a", 10**8, pattern=AccessPattern.SEQUENTIAL)
+        rnd = cpu.charge(t, "a", 10**8, pattern=AccessPattern.RANDOM)
+        assert rnd > seq
+
+    def test_fig11_throughput_shape(self):
+        """Fig 11: near-linear scaling, saturation ~16 q/s at 32 threads."""
+        cpu = Cpu(XEON_E5_2650_X2)
+        # spatial query stream: ~0.5 s and ~1.1 GB of memory traffic each
+        secs, q_bytes = 0.51, 1.1e9
+        q1 = cpu.stream_throughput(secs, q_bytes, 1)
+        q2 = cpu.stream_throughput(secs, q_bytes, 2)
+        q16 = cpu.stream_throughput(secs, q_bytes, 16)
+        q32 = cpu.stream_throughput(secs, q_bytes, 32)
+        assert q1 == pytest.approx(1.96, rel=0.05)
+        assert q2 == pytest.approx(2 * q1, rel=0.01)
+        assert q32 == pytest.approx(16.2, rel=0.05)
+        assert q32 <= q16 * 1.05  # saturated: no gain past the memory wall
+
+    def test_thread_count_clamped(self):
+        cpu = Cpu(XEON_E5_2650_X2)
+        assert cpu.stream_throughput(0.5, 1e9, 64) == cpu.stream_throughput(
+            0.5, 1e9, 32
+        )
+
+    def test_invalid_query_cost(self):
+        with pytest.raises(ValueError):
+            Cpu(XEON_E5_2650_X2).stream_throughput(0, 1e9, 1)
+
+    def test_per_tuple_cost_added(self):
+        cpu = Cpu(XEON_E5_2650_X2)
+        t = Timeline()
+        from repro.device.model import OpClass
+
+        plain = cpu.charge(t, "a", 0, tuples=0)
+        with_tuples = cpu.charge(t, "a", 0, tuples=10**6, op_class=OpClass.HASH)
+        assert plain == 0.0
+        assert with_tuples == pytest.approx(15e-3)
+
+
+class TestCustomSpecValidation:
+    def test_bus_kind_allowed(self):
+        spec = DeviceSpec(
+            name="nvlink", kind="bus", memory_capacity=None,
+            seq_bandwidth=25e9, random_bandwidth=25e9,
+        )
+        assert PciBus(spec).streaming_seconds(25 * 10**9) == pytest.approx(1.0)

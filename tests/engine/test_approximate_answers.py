@@ -1,0 +1,135 @@
+"""Tests for the free approximate answers (paper §III advantage 4).
+
+The approximation subplan's outputs are strict bounds; these tests pin the
+bracketing guarantees in every aggregate shape — scalar, grouped, under
+candidate uncertainty, and for data the device cannot see at all.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IntType, Session
+
+
+def make_session(n=20_000, seed=0, amount_bits=20):
+    session = Session()
+    rng = np.random.default_rng(seed)
+    session.create_table(
+        "t",
+        {"g": IntType(), "v": IntType(), "host_only": IntType()},
+        {
+            "g": rng.integers(0, 6, n),
+            "v": rng.integers(-500, 10_000, n),
+            "host_only": rng.integers(0, 100, n),
+        },
+    )
+    session.bwdecompose("t", "g", 32)
+    session.bwdecompose("t", "v", amount_bits)
+    return session
+
+
+class TestScalarBounds:
+    @pytest.mark.parametrize("agg", ["count(*)", "sum(v)", "min(v)", "max(v)", "avg(v)"])
+    def test_bounds_bracket_exact(self, agg):
+        session = make_session()
+        sql = f"select {agg} as out from t where v between 100 and 5000"
+        approx = session.execute(sql, mode="approximate")
+        exact = session.execute(sql, mode="classic").scalar("out")
+        bound = approx.approximate.bound("out")
+        assert bound.lo <= exact <= bound.hi, agg
+
+    def test_negative_values_in_sum_bounds(self):
+        """Uncertain rows with negative values must widen the lower bound."""
+        session = make_session()
+        sql = "select sum(v) as s from t where v <= 0"
+        approx = session.execute(sql, mode="approximate")
+        exact = session.execute(sql, mode="classic").scalar("s")
+        bound = approx.approximate.bound("s")
+        assert bound.lo <= exact <= bound.hi
+        assert exact < 0
+
+    def test_bounds_tighten_with_resolution(self):
+        sql = "select sum(v) as s from t where v >= 0"
+        widths = []
+        for bits in (16, 24, 32):
+            session = make_session(amount_bits=bits)
+            bound = session.execute(sql, mode="approximate").approximate.bound("s")
+            widths.append(bound.width)
+        assert widths[0] >= widths[1] >= widths[2]
+        assert widths[2] == 0.0  # fully resident: exact bounds
+
+    def test_host_only_aggregate_has_no_bounds(self):
+        session = make_session()
+        sql = "select sum(host_only) as s from t where v >= 0"
+        approx = session.execute(sql, mode="approximate")
+        assert approx.approximate.bound("s") is None
+
+    def test_candidate_rows_reported(self):
+        session = make_session()
+        sql = "select count(*) as n from t where v between 0 and 100"
+        approx = session.execute(sql, mode="approximate")
+        exact = session.execute(sql, mode="classic").scalar("n")
+        assert approx.approximate.candidate_rows >= exact
+
+    def test_unknown_alias_raises(self):
+        session = make_session()
+        approx = session.execute(
+            "select count(*) as n from t where v > 0", mode="approximate"
+        )
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            approx.approximate.bound("nope")
+
+
+class TestGroupedBounds:
+    def test_grouped_count_bounds_cover_every_group(self):
+        session = make_session()
+        sql = (
+            "select g, count(*) as n from t "
+            "where v between 200 and 4000 group by g"
+        )
+        approx = session.execute(sql, mode="approximate")
+        classic = session.execute(sql, mode="classic").sorted_by("g")
+        bounds = approx.approximate.bound("n")
+        assert approx.approximate.n_groups is not None
+        assert len(bounds) == approx.approximate.n_groups
+        # g is fully device-resident: approximate groups are the exact
+        # groups of the *candidate* rows, so totals must cover exact counts
+        total_exact = int(np.sum(classic.column("n")))
+        assert sum(b.lo for b in bounds) <= total_exact <= sum(b.hi for b in bounds)
+
+    def test_grouped_sum_bounds_cover_totals(self):
+        session = make_session()
+        sql = "select g, sum(v) as s from t where v >= 100 group by g"
+        approx = session.execute(sql, mode="approximate")
+        classic = session.execute(sql, mode="classic")
+        bounds = approx.approximate.bound("s")
+        total_exact = int(np.sum(classic.column("s")))
+        assert sum(b.lo for b in bounds) <= total_exact <= sum(b.hi for b in bounds)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    bits=st.integers(14, 32),
+    lo=st.integers(-500, 9_000),
+    width=st.integers(0, 5_000),
+    agg=st.sampled_from(["count(*)", "sum(v)", "min(v)", "max(v)"]),
+)
+def test_property_bounds_always_bracket(seed, bits, lo, width, agg):
+    session = make_session(n=800, seed=seed, amount_bits=bits)
+    sql = f"select {agg} as out from t where v between {lo} and {lo + width}"
+    from repro.errors import ExecutionError
+
+    try:
+        exact = session.execute(sql, mode="classic").scalar("out")
+    except ExecutionError:
+        return  # empty min/max
+    approx = session.execute(sql, mode="approximate")
+    bound = approx.approximate.bound("out")
+    if bound is None:
+        return
+    assert bound.lo <= exact <= bound.hi

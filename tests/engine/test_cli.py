@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import build_demo_session, main, render_result
+from repro.errors import ReproError
+
+
+class TestDemoSessions:
+    def test_spatial_demo(self):
+        session = build_demo_session("spatial", scale=0.05)
+        assert "trips" in session.catalog
+        assert session.catalog.is_decomposed("trips", "lon")
+
+    def test_tpch_demo(self):
+        session = build_demo_session("tpch", scale=0.1)
+        assert "lineitem" in session.catalog and "part" in session.catalog
+
+    def test_unknown_demo(self):
+        with pytest.raises(ReproError):
+            build_demo_session("webscale", 1.0)
+
+
+class TestMain:
+    def test_runs_query(self, capsys):
+        rc = main([
+            "--demo", "spatial", "--scale", "0.05",
+            "select count(lon) from trips where lon between 2 and 3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "count_0" in out
+        assert "modeled time" in out
+
+    def test_classic_mode(self, capsys):
+        rc = main([
+            "--demo", "spatial", "--scale", "0.05", "--mode", "classic",
+            "select count(lon) from trips where lat > 50",
+        ])
+        assert rc == 0
+        assert "modeled time" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        rc = main([
+            "--demo", "spatial", "--scale", "0.05", "--explain",
+            "select count(lon) from trips where lon between 2 and 3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "uselectapproximate" in out
+        assert "PCI-E" in out
+
+    def test_no_pushdown_flag(self, capsys):
+        rc = main([
+            "--demo", "spatial", "--scale", "0.05", "--explain", "--no-pushdown",
+            "select count(lon) from trips where lon between 2 and 3 and lat > 50",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pushdown=off" in out
+
+    def test_bad_sql_reports_error(self, capsys):
+        rc = main(["--demo", "spatial", "--scale", "0.05", "select nope from trips"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_multiple_statements(self, capsys):
+        rc = main([
+            "--demo", "tpch", "--scale", "0.1",
+            "select count(*) from lineitem where quantity < 10",
+            "select count(*) from lineitem where quantity >= 10",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("count_0") >= 2
+
+
+class TestRenderResult:
+    def test_truncates_long_results(self):
+        import numpy as np
+
+        from repro.device.timeline import Timeline
+        from repro.engine.result import Result
+
+        result = Result(
+            columns={"x": np.arange(100)}, row_count=100, timeline=Timeline()
+        )
+        text = render_result(result)
+        assert "100 rows total" in text

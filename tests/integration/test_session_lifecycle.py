@@ -1,0 +1,149 @@
+"""Integration tests: whole-session lifecycles across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DecimalType,
+    DeviceOutOfMemory,
+    IntType,
+    Machine,
+    Session,
+    SqlError,
+)
+from repro.device.model import DeviceSpec, GTX_680
+
+
+class TestDecomposeLifecycle:
+    def test_redecompose_frees_device_memory(self):
+        session = Session()
+        session.create_table("t", {"v": IntType()}, {"v": np.arange(100_000)})
+        session.execute("select bwdecompose(v, 32) from t")
+        first = session.machine.gpu.pool.allocated
+        session.execute("select bwdecompose(v, 12) from t")
+        second = session.machine.gpu.pool.allocated
+        assert second < first  # old approximation was evicted
+
+    def test_queries_track_latest_decomposition(self):
+        session = Session()
+        session.create_table("t", {"v": IntType()}, {"v": np.arange(10_000)})
+        sql = "select count(*) from t where v < 1000"
+        session.execute("select bwdecompose(v, 32) from t")
+        exact_time = session.execute(sql).timeline.total_seconds()
+        session.execute("select bwdecompose(v, 20) from t")
+        lossy = session.execute(sql)
+        assert lossy.scalar("count_0") == 1000  # still exact after refinement
+        assert lossy.timeline.refine_seconds() > 0  # but refinement now runs
+        assert exact_time > 0
+
+    def test_oom_leaves_catalog_consistent(self):
+        tiny = DeviceSpec(
+            name="tiny", kind="gpu", memory_capacity=40_000,
+            seq_bandwidth=GTX_680.seq_bandwidth,
+            random_bandwidth=GTX_680.random_bandwidth,
+            per_tuple=GTX_680.per_tuple,
+        )
+        session = Session(Machine(gpu_spec=tiny))
+        session.create_table("t", {"v": IntType()}, {"v": np.arange(100_000)})
+        with pytest.raises(DeviceOutOfMemory):
+            session.execute("select bwdecompose(v, 32) from t")
+        # lower resolution still fits and works end to end
+        session.bwdecompose("t", "v", residual_bits=16)
+        result = session.execute("select count(*) from t where v < 5000")
+        assert result.scalar("count_0") == 5000
+
+
+class TestMultiTableWorkflows:
+    @pytest.fixture()
+    def session(self):
+        s = Session()
+        rng = np.random.default_rng(9)
+        n = 20_000
+        s.create_table(
+            "sales",
+            {
+                "store": IntType(),
+                "amount": DecimalType(10, 2),
+                "day": IntType(),
+            },
+            {
+                "store": rng.integers(0, 8, n),
+                "amount": rng.uniform(1, 500, n).round(2),
+                "day": rng.integers(0, 365, n),
+            },
+        )
+        s.create_table(
+            "stores",
+            {"key": IntType(), "region": IntType()},
+            {"key": np.arange(8), "region": [0, 0, 1, 1, 2, 2, 3, 3]},
+        )
+        for col, bits in (("store", 32), ("amount", 18), ("day", 32)):
+            s.bwdecompose("sales", col, bits)
+        s.bwdecompose("stores", "region", 32)
+        return s
+
+    def test_join_group_aggregate_roundtrip(self, session):
+        sql = (
+            "select stores.region, sum(amount) as revenue, count(*) as n "
+            "from sales join stores on sales.store = stores.key "
+            "where day between 100 and 200 "
+            "group by stores.region"
+        )
+        ar = session.execute(sql).sorted_by("stores.region")
+        classic = session.execute(sql, mode="classic").sorted_by("stores.region")
+        assert np.array_equal(ar.column("revenue"), classic.column("revenue"))
+        assert np.array_equal(ar.column("n"), classic.column("n"))
+        assert ar.row_count == 4
+
+    def test_repeated_queries_accumulate_nothing(self, session):
+        sql = "select count(*) from sales where day < 50"
+        first = session.execute(sql)
+        for _ in range(5):
+            again = session.execute(sql)
+            assert again.scalar("count_0") == first.scalar("count_0")
+            assert again.timeline.total_seconds() == pytest.approx(
+                first.timeline.total_seconds()
+            )
+
+    def test_all_modes_and_orders_agree(self, session):
+        sql = (
+            "select sum(amount) as s from sales "
+            "where day between 10 and 300 and amount >= 250.00"
+        )
+        baseline = session.execute(sql, mode="classic").scalar("s")
+        for pushdown in (True, False):
+            for order in ("query", "selectivity"):
+                got = session.execute(
+                    sql, pushdown=pushdown, predicate_order=order
+                ).scalar("s")
+                assert got == baseline, (pushdown, order)
+
+    def test_drop_and_recreate_table(self, session):
+        session.catalog.drop("sales")
+        assert "sales" not in session.catalog
+        with pytest.raises(Exception):
+            session.execute("select count(*) from sales")
+        session.create_table(
+            "sales", {"x": IntType()}, {"x": np.arange(10)}
+        )
+        session.bwdecompose("sales", "x", 32)
+        assert session.execute("select count(*) from sales where x < 5").scalar(
+            "count_0"
+        ) == 5
+
+
+class TestErrorSurface:
+    def test_sql_errors_carry_position_or_message(self):
+        session = Session()
+        session.create_table("t", {"v": IntType()}, {"v": np.arange(10)})
+        with pytest.raises(SqlError):
+            session.execute("select v from t where v like 'x%'")
+
+    def test_timeline_isolation_between_queries(self):
+        session = Session()
+        session.create_table("t", {"v": IntType()}, {"v": np.arange(1000)})
+        session.execute("select bwdecompose(v, 32) from t")
+        a = session.execute("select count(*) from t where v < 10")
+        b = session.execute("select count(*) from t where v < 999")
+        assert len(a.timeline.spans) > 0
+        assert a.timeline is not b.timeline

@@ -1,0 +1,118 @@
+"""Property-based SQL round trips: generated queries, three engines, one
+answer.
+
+Generates random (but valid) SQL over a fixed schema, executes it through
+the A&R pipeline with and without pushdown, with both predicate orders, and
+against the classic engine — all five answers must be identical, and any
+approximate bounds must bracket them.  This is DESIGN.md invariant 5
+exercised at the outermost API.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IntType, Session
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = Session()
+    rng = np.random.default_rng(99)
+    n = 5_000
+    s.create_table(
+        "f",
+        {"a": IntType(), "b": IntType(), "k": IntType(), "plain": IntType()},
+        {
+            "a": rng.integers(0, 2_000, n),
+            "b": rng.integers(0, 2_000, n),
+            "k": rng.integers(0, 12, n),
+            "plain": rng.integers(0, 40, n),
+        },
+    )
+    s.create_table(
+        "d",
+        {"key": IntType(), "w": IntType()},
+        {"key": np.arange(12), "w": rng.integers(0, 9, 12)},
+    )
+    s.bwdecompose("f", "a", 26)
+    s.bwdecompose("f", "b", 24)
+    s.bwdecompose("f", "k", 32)
+    s.bwdecompose("d", "w", 32)
+    return s
+
+
+_cols = st.sampled_from(["a", "b", "k", "plain"])
+_ops = st.sampled_from(["<", "<=", ">", ">=", "=", "<>"])
+
+
+@st.composite
+def predicates(draw):
+    col = draw(_cols)
+    hi = {"a": 2000, "b": 2000, "k": 12, "plain": 40}[col]
+    if draw(st.booleans()):
+        lo = draw(st.integers(0, hi))
+        width = draw(st.integers(0, hi))
+        return f"{col} between {lo} and {lo + width}"
+    op = draw(_ops)
+    val = draw(st.integers(0, hi))
+    return f"{col} {op} {val}"
+
+
+@st.composite
+def select_queries(draw):
+    preds = draw(st.lists(predicates(), min_size=0, max_size=3))
+    agg = draw(st.sampled_from(
+        ["count(*)", "sum(a)", "sum(a * (2 - k))", "min(b)", "max(b)",
+         "avg(a)", "sum(d.w)"]
+    ))
+    group = draw(st.sampled_from([None, "k", "plain"]))
+    joins = " join d on f.k = d.key" if "d.w" in agg else ""
+    where = (" where " + " and ".join(preds)) if preds else ""
+    if group:
+        return (
+            f"select {group}, {agg} as out from f{joins}{where} "
+            f"group by {group}"
+        )
+    return f"select {agg} as out from f{joins}{where}"
+
+
+@settings(max_examples=50, deadline=None)
+@given(sql=select_queries())
+def test_property_five_ways_one_answer(session, sql):
+    from repro.errors import ExecutionError
+
+    try:
+        classic = session.execute(sql, mode="classic")
+    except ExecutionError:
+        # empty min/max/avg: the A&R engine must refuse identically
+        with pytest.raises(ExecutionError):
+            session.execute(sql)
+        return
+
+    variants = [
+        session.execute(sql),
+        session.execute(sql, pushdown=False),
+        session.execute(sql, predicate_order="selectivity"),
+        session.execute(sql, pushdown=False, predicate_order="selectivity"),
+    ]
+    baseline = classic.sorted_by(*classic.columns.keys())
+    for variant in variants:
+        got = variant.sorted_by(*variant.columns.keys())
+        assert got.row_count == baseline.row_count, sql
+        for name in baseline.columns:
+            a = np.asarray(got.columns[name])
+            c = np.asarray(baseline.columns[name])
+            if a.dtype.kind == "f" or c.dtype.kind == "f":
+                assert np.allclose(a, c), (sql, name)
+            else:
+                assert np.array_equal(a, c), (sql, name)
+
+    # Approximate bounds (when defined) must bracket the classic scalar.
+    if baseline.row_count == 1 and "out" in baseline.columns:
+        from repro import Interval
+
+        bound = variants[0].approximate.bound("out")
+        if isinstance(bound, Interval):  # scalar aggregate (not grouped)
+            assert bound.lo <= float(baseline.columns["out"][0]) <= bound.hi, sql

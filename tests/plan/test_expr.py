@@ -1,0 +1,146 @@
+"""Tests for expression trees: exact evaluation, interval propagation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import IntervalColumn
+from repro.core.relax import ValueRange
+from repro.errors import PlanError
+from repro.plan.expr import BinOp, Case, ColRef, Const, Neg, Predicate
+
+
+def exact_resolver(env):
+    return lambda name: np.asarray(env[name], dtype=np.int64)
+
+
+def interval_resolver(env):
+    def resolve(name):
+        lo, hi = env[name]
+        return IntervalColumn.from_bounds(np.asarray(lo), np.asarray(hi))
+    return resolve
+
+
+class TestExactEvaluation:
+    def test_column_and_const(self):
+        expr = ColRef("x") + Const(5)
+        out = expr.eval_exact(exact_resolver({"x": [1, 2]}))
+        assert np.array_equal(out, [6, 7])
+
+    def test_arithmetic_combination(self):
+        # price * (1 - disc): the Q1/Q14 revenue shape
+        expr = ColRef("price") * (Const(100) - ColRef("disc"))
+        out = expr.eval_exact(exact_resolver({"price": [200], "disc": [5]}))
+        assert np.array_equal(out, [200 * 95])
+
+    def test_negation(self):
+        out = Neg(ColRef("x")).eval_exact(exact_resolver({"x": [3, -4]}))
+        assert np.array_equal(out, [-3, 4])
+
+    def test_operator_sugar_with_ints(self):
+        expr = ColRef("x") - 2
+        assert isinstance(expr, BinOp)
+        assert np.array_equal(expr.eval_exact(exact_resolver({"x": [5]})), [3])
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(PlanError):
+            ColRef("x") + "nope"
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(PlanError):
+            BinOp("%", ColRef("x"), Const(2))
+
+    def test_columns_collection(self):
+        expr = (ColRef("a") + ColRef("b")) * ColRef("a")
+        assert expr.columns() == {"a", "b"}
+
+    def test_case_exact(self):
+        pred = Predicate(ColRef("t"), ValueRange(1, 2))
+        expr = Case(pred, ColRef("x"), Const(0))
+        out = expr.eval_exact(exact_resolver({"t": [0, 1, 2, 3], "x": [10, 11, 12, 13]}))
+        assert np.array_equal(out, [0, 11, 12, 0])
+
+    def test_repr_readable(self):
+        expr = ColRef("price") * (Const(1) - ColRef("disc"))
+        assert "price" in repr(expr) and "*" in repr(expr)
+
+
+class TestIntervalEvaluation:
+    def test_add_scalar_folding(self):
+        expr = ColRef("x") + Const(10)
+        iv = expr.eval_interval(interval_resolver({"x": ([1, 2], [3, 4])}))
+        assert np.array_equal(iv.lo, [11, 12])
+        assert np.array_equal(iv.hi, [13, 14])
+
+    def test_const_minus_column(self):
+        expr = Const(100) - ColRef("x")
+        iv = expr.eval_interval(interval_resolver({"x": ([1], [5])}))
+        assert (iv.lo[0], iv.hi[0]) == (95, 99)
+
+    def test_product_bounds(self):
+        expr = ColRef("x") * ColRef("y")
+        iv = expr.eval_interval(
+            interval_resolver({"x": ([2], [3]), "y": ([10], [20])})
+        )
+        assert (iv.lo[0], iv.hi[0]) == (20, 60)
+
+    def test_case_interval_hull(self):
+        pred = Predicate(ColRef("t"), ValueRange(10, 20))
+        expr = Case(pred, ColRef("x"), Const(0))
+        env = {
+            # row0: certainly in range; row1: certainly out; row2: undecided
+            "t": ([12, 30, 5], [15, 40, 15]),
+            "x": ([100, 100, 100], [110, 110, 110]),
+        }
+        iv = expr.eval_interval(interval_resolver(env))
+        assert (iv.lo[0], iv.hi[0]) == (100, 110)  # THEN bounds
+        assert (iv.lo[1], iv.hi[1]) == (0, 0)  # ELSE bounds
+        assert (iv.lo[2], iv.hi[2]) == (0, 110)  # hull
+
+
+class TestPredicate:
+    def test_exact_and_negated(self):
+        pred = Predicate(ColRef("x"), ValueRange(5, 10))
+        env = exact_resolver({"x": [4, 5, 10, 11]})
+        assert np.array_equal(pred.evaluate_exact(env), [False, True, True, False])
+        neg = Predicate(ColRef("x"), ValueRange(5, 10), negated=True)
+        assert np.array_equal(neg.evaluate_exact(env), [True, False, False, True])
+
+    def test_candidate_and_certain_masks(self):
+        pred = Predicate(ColRef("x"), ValueRange(10, 20))
+        env = interval_resolver({"x": ([5, 12, 25], [9, 15, 30])})
+        assert np.array_equal(pred.candidate_mask(env), [False, True, False])
+        assert np.array_equal(pred.certain_mask(env), [False, True, False])
+
+    def test_negated_masks_swap_roles(self):
+        pred = Predicate(ColRef("x"), ValueRange(10, 20), negated=True)
+        env = interval_resolver({"x": ([5, 12, 8], [9, 15, 12])})
+        # row2 straddles the boundary: candidate for NE, not certain
+        assert np.array_equal(pred.candidate_mask(env), [True, False, True])
+        assert np.array_equal(pred.certain_mask(env), [True, False, False])
+
+    def test_is_simple_column(self):
+        assert Predicate(ColRef("x"), ValueRange(0, 1)).is_simple_column
+        assert not Predicate(ColRef("x"), ValueRange(0, 1), negated=True).is_simple_column
+        assert not Predicate(ColRef("x") + Const(1), ValueRange(0, 1)).is_simple_column
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    lo=st.integers(-100, 100), width=st.integers(0, 50),
+    c=st.integers(-20, 20), seed=st.integers(0, 2**31 - 1),
+)
+def test_property_interval_eval_brackets_exact_eval(lo, width, c, seed):
+    """For any expression over bracketed inputs, exact result ∈ interval."""
+    rng = np.random.default_rng(seed)
+    exact = rng.integers(lo, lo + width + 1, 20)
+    slack_lo = rng.integers(0, 5, 20)
+    slack_hi = rng.integers(0, 5, 20)
+    expr = (ColRef("x") + Const(c)) * (Const(2) - ColRef("x"))
+    out_exact = expr.eval_exact(exact_resolver({"x": exact}))
+    iv = expr.eval_interval(
+        interval_resolver({"x": (exact - slack_lo, exact + slack_hi)})
+    )
+    assert np.all(iv.lo <= out_exact)
+    assert np.all(out_exact <= iv.hi)

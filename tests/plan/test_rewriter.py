@@ -1,0 +1,255 @@
+"""Tests for the bwd_pipe rewriter: plan shape, pushdown, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.relax import ValueRange
+from repro.errors import PlanError
+from repro.plan.expr import ColRef, Const, Predicate
+from repro.plan.explain import explain
+from repro.plan.logical import Aggregate, FkJoin, Query
+from repro.plan.physical import (
+    AllRows,
+    ApproxFkJoin,
+    ApproxGroup,
+    ApproxProbeSelect,
+    ApproxProject,
+    ApproxScanSelect,
+    CpuProject,
+    CpuSelect,
+    PhysicalPlan,
+    RefineAggregate,
+    RefineGroup,
+    RefineSelect,
+    ShipCandidates,
+)
+from repro.plan.rewriter import rewrite_to_ar_plan
+from repro.storage.catalog import Catalog
+from repro.storage.relation import Relation, int_schema
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    rng = np.random.default_rng(0)
+    n = 500
+    cat.register(
+        Relation.create(
+            "fact",
+            int_schema("a", "b", "c", "fk", "plain"),
+            {
+                "a": rng.integers(0, 1000, n),
+                "b": rng.integers(0, 1000, n),
+                "c": rng.integers(0, 100, n),
+                "fk": rng.integers(0, 16, n),
+                "plain": rng.integers(0, 50, n),
+            },
+        )
+    )
+    cat.register(
+        Relation.create(
+            "dim", int_schema("key", "payload"),
+            {"key": np.arange(16), "payload": rng.integers(0, 99, 16)},
+        )
+    )
+    cat.bwdecompose("fact", "a", 24)
+    cat.bwdecompose("fact", "b", 24)
+    cat.bwdecompose("fact", "c", 32)  # fully device-resident
+    cat.bwdecompose("fact", "fk", 32)
+    cat.bwdecompose("dim", "payload", 32)
+    return cat
+
+
+def pred(col, lo, hi):
+    return Predicate(ColRef(col), ValueRange(lo, hi))
+
+
+def op_types(plan: PhysicalPlan) -> list[type]:
+    return [type(op) for op in plan.ops]
+
+
+class TestPlanShape:
+    def test_single_selection(self, catalog):
+        q = Query(table="fact", where=(pred("a", 0, 100),), select=("a",))
+        plan = rewrite_to_ar_plan(q, catalog)
+        types = op_types(plan)
+        assert types[0] is ApproxScanSelect
+        assert ShipCandidates in types
+        assert RefineSelect in types
+
+    def test_conjunction_scan_then_probes(self, catalog):
+        q = Query(
+            table="fact",
+            where=(pred("a", 0, 100), pred("b", 50, 60)),
+            select=("a",),
+        )
+        plan = rewrite_to_ar_plan(q, catalog)
+        types = op_types(plan)
+        assert types[0] is ApproxScanSelect
+        assert types[1] is ApproxProbeSelect
+
+    def test_no_drivable_predicate_seeds_all_rows(self, catalog):
+        q = Query(
+            table="fact", where=(pred("plain", 0, 10),), select=("plain",)
+        )
+        plan = rewrite_to_ar_plan(q, catalog)
+        types = op_types(plan)
+        assert types[0] is AllRows
+        assert CpuSelect in types
+        assert CpuProject in types  # plain column gathered on host
+
+    def test_fully_resident_predicate_needs_no_refine_select(self, catalog):
+        q = Query(table="fact", where=(pred("c", 0, 10),), aggregates=(
+            Aggregate("count", None, "n"),
+        ))
+        plan = rewrite_to_ar_plan(q, catalog)
+        assert RefineSelect not in op_types(plan)
+
+    def test_group_by_gets_both_halves(self, catalog):
+        q = Query(
+            table="fact",
+            where=(pred("a", 0, 500),),
+            group_by=("c",),
+            aggregates=(Aggregate("count", None, "n"),),
+        )
+        plan = rewrite_to_ar_plan(q, catalog)
+        types = op_types(plan)
+        assert ApproxGroup in types
+        assert RefineGroup in types
+        assert RefineAggregate in types
+
+    def test_fk_join_emits_approx_join(self, catalog):
+        q = Query(
+            table="fact",
+            joins=(FkJoin("fk", "dim"),),
+            where=(pred("a", 0, 500),),
+            aggregates=(
+                Aggregate("sum", ColRef("dim.payload"), "s"),
+            ),
+        )
+        plan = rewrite_to_ar_plan(q, catalog)
+        assert ApproxFkJoin in op_types(plan)
+
+    def test_aggregate_over_resident_column_skips_exact_projection(self, catalog):
+        q = Query(
+            table="fact",
+            where=(pred("c", 0, 50),),
+            aggregates=(Aggregate("sum", ColRef("c"), "s"),),
+        )
+        plan = rewrite_to_ar_plan(q, catalog)
+        types = op_types(plan)
+        assert ApproxProject in types
+        from repro.plan.physical import RefineProject
+
+        assert RefineProject not in types
+
+    def test_aggregate_over_distributed_column_needs_refine_project(self, catalog):
+        q = Query(
+            table="fact",
+            where=(pred("c", 0, 50),),
+            aggregates=(Aggregate("sum", ColRef("a"), "s"),),
+        )
+        plan = rewrite_to_ar_plan(q, catalog)
+        from repro.plan.physical import RefineProject
+
+        assert RefineProject in op_types(plan)
+
+
+class TestPushdown:
+    def test_pushdown_approx_prefix(self, catalog):
+        q = Query(
+            table="fact",
+            where=(pred("a", 0, 100), pred("b", 0, 100)),
+            select=("a",),
+        )
+        plan = rewrite_to_ar_plan(q, catalog, pushdown=True)
+        phases = [op.phase for op in plan.ops]
+        first_refine = phases.index("refine")
+        assert all(p == "refine" for p in phases[first_refine:])
+        assert sum(isinstance(op, ShipCandidates) for op in plan.ops) == 1
+
+    def test_no_pushdown_interleaves_and_ships_repeatedly(self, catalog):
+        q = Query(
+            table="fact",
+            where=(pred("a", 0, 100), pred("b", 0, 100)),
+            select=("a",),
+        )
+        plan = rewrite_to_ar_plan(q, catalog, pushdown=False)
+        ships = sum(isinstance(op, ShipCandidates) for op in plan.ops)
+        assert ships >= 2  # one per selection plus the final one
+
+    def test_validation_rejects_approx_after_refine_under_pushdown(self, catalog):
+        q = Query(table="fact", where=(pred("a", 0, 1),), select=("a",))
+        plan = rewrite_to_ar_plan(q, catalog)
+        # Manually corrupt the plan: approximate op after a refine op.
+        plan.ops.append(ApproxScanSelect("a", pred("a", 0, 1)))
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_validation_requires_ship(self, catalog):
+        q = Query(table="fact", where=(pred("a", 0, 1),), select=("a",))
+        plan = rewrite_to_ar_plan(q, catalog)
+        plan.ops = [op for op in plan.ops if not isinstance(op, ShipCandidates)]
+        with pytest.raises(PlanError):
+            plan.validate()
+
+
+class TestExplain:
+    def test_explain_mentions_operators_and_bus(self, catalog):
+        q = Query(
+            table="fact",
+            where=(pred("a", 0, 100),),
+            group_by=("c",),
+            aggregates=(Aggregate("sum", ColRef("b"), "s"),),
+        )
+        text = explain(rewrite_to_ar_plan(q, catalog))
+        assert "uselectapproximate" in text
+        assert "uselectrefine" in text
+        assert "PCI-E" in text
+        assert "groupapproximate" in text
+        assert "sumrefine" in text
+
+    def test_explain_marks_pushdown_state(self, catalog):
+        q = Query(table="fact", where=(pred("a", 0, 1),), select=("a",))
+        assert "pushdown=on" in explain(rewrite_to_ar_plan(q, catalog))
+        assert "pushdown=off" in explain(
+            rewrite_to_ar_plan(q, catalog, pushdown=False)
+        )
+
+
+class TestQueryValidation:
+    def test_query_needs_output(self):
+        with pytest.raises(PlanError):
+            Query(table="t")
+
+    def test_group_by_needs_aggregates(self):
+        with pytest.raises(PlanError):
+            Query(table="t", group_by=("a",), select=("a",))
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(PlanError):
+            Query(
+                table="t",
+                aggregates=(
+                    Aggregate("count", None, "x"),
+                    Aggregate("count", None, "x"),
+                ),
+            )
+
+    def test_unknown_agg_func(self):
+        with pytest.raises(PlanError):
+            Aggregate("median", ColRef("a"), "m")
+
+    def test_count_requires_no_arg_others_do(self):
+        with pytest.raises(PlanError):
+            Aggregate("sum", None, "s")
+
+    def test_referenced_columns(self, catalog):
+        q = Query(
+            table="fact",
+            joins=(FkJoin("fk", "dim"),),
+            where=(pred("a", 0, 1),),
+            group_by=("c",),
+            aggregates=(Aggregate("sum", ColRef("dim.payload"), "s"),),
+        )
+        assert q.referenced_columns() == {"a", "c", "fk", "dim.payload"}

@@ -1,0 +1,222 @@
+"""Tests for the SQL binder and SQL-to-result round trips."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DateType,
+    DecimalType,
+    DictionaryType,
+    IntType,
+    OrderedDictionary,
+    Session,
+    SqlError,
+)
+
+
+@pytest.fixture()
+def session():
+    s = Session()
+    rng = np.random.default_rng(0)
+    n = 3_000
+    p_types = OrderedDictionary(
+        ["ECONOMY BRASS", "PROMO BRUSHED", "PROMO PLATED", "STANDARD TIN"]
+    )
+    s.create_table(
+        "lineitem",
+        {
+            "quantity": IntType(),
+            "price": DecimalType(10, 2),
+            "discount": DecimalType(4, 2),
+            "shipdate": DateType(),
+            "partkey": IntType(),
+        },
+        {
+            "quantity": rng.integers(1, 51, n),
+            "price": rng.uniform(10, 1000, n).round(2),
+            "discount": rng.integers(0, 11, n) / 100.0,
+            "shipdate": rng.integers(8036, 10561, n),  # 1992..1998 day numbers
+            "partkey": rng.integers(0, 8, n),
+        },
+    )
+    s.create_table(
+        "part",
+        {"key": IntType(), "p_type": DictionaryType(dictionary=p_types)},
+        {
+            "key": np.arange(8),
+            "p_type": [p_types.values[i % 4] for i in range(8)],
+        },
+    )
+    for col, bits in [("quantity", 32), ("price", 16), ("discount", 32),
+                      ("shipdate", 24), ("partkey", 32)]:
+        s.bwdecompose("lineitem", col, bits)
+    s.bwdecompose("part", "p_type", 32)
+    return s
+
+
+class TestBinding:
+    def test_decimal_literal_scaled(self, session):
+        r_ar = session.execute(
+            "select count(*) from lineitem where discount between 0.05 and 0.07"
+        )
+        r_classic = session.execute(
+            "select count(*) from lineitem where discount between 0.05 and 0.07",
+            mode="classic",
+        )
+        assert r_ar.scalar("count_0") == r_classic.scalar("count_0") > 0
+
+    def test_date_literal_encoded(self, session):
+        sql = "select count(*) from lineitem where shipdate >= '1995-01-01'"
+        assert session.execute(sql).scalar("count_0") == session.execute(
+            sql, mode="classic"
+        ).scalar("count_0")
+
+    def test_like_prefix_becomes_range(self, session):
+        sql = (
+            "select count(*) from lineitem "
+            "join part on lineitem.partkey = part.key "
+            "where part.p_type like 'PROMO%'"
+        )
+        assert session.execute(sql).scalar("count_0") == session.execute(
+            sql, mode="classic"
+        ).scalar("count_0")
+
+    def test_string_equality_via_dictionary(self, session):
+        sql = (
+            "select count(*) from lineitem "
+            "join part on lineitem.partkey = part.key "
+            "where part.p_type = 'STANDARD TIN'"
+        )
+        assert session.execute(sql).scalar("count_0") == session.execute(
+            sql, mode="classic"
+        ).scalar("count_0")
+
+    def test_scale_unification_in_arithmetic(self, session):
+        # price(scale 2) * (1 - discount(scale 2)): literal 1 → 100
+        sql = "select sum(price * (1 - discount)) as rev from lineitem"
+        result = session.execute(sql)
+        classic = session.execute(sql, mode="classic")
+        assert result.scalar("rev") == classic.scalar("rev")
+        assert result.decimal_scales["rev"] == 4  # 2 + 2
+        assert result.decoded("rev")[0] == result.scalar("rev") / 10**4
+
+    def test_ne_predicate(self, session):
+        sql = "select count(*) from lineitem where quantity <> 25"
+        assert session.execute(sql).scalar("count_0") == session.execute(
+            sql, mode="classic"
+        ).scalar("count_0")
+
+    def test_reversed_comparison(self, session):
+        a = session.execute("select count(*) from lineitem where 25 > quantity")
+        b = session.execute("select count(*) from lineitem where quantity < 25")
+        assert a.scalar("count_0") == b.scalar("count_0")
+
+    def test_group_by_with_key_output(self, session):
+        sql = "select quantity, count(*) as n from lineitem group by quantity"
+        ar = session.execute(sql).sorted_by("quantity")
+        classic = session.execute(sql, mode="classic").sorted_by("quantity")
+        assert np.array_equal(ar.column("quantity"), classic.column("quantity"))
+        assert np.array_equal(ar.column("n"), classic.column("n"))
+
+    def test_case_when_q14_shape(self, session):
+        sql = (
+            "select sum(case when part.p_type like 'PROMO%' "
+            "then price * (1 - discount) else 0 end) as promo, "
+            "sum(price * (1 - discount)) as total "
+            "from lineitem join part on lineitem.partkey = part.key "
+            "where shipdate between '1995-09-01' and '1995-09-30'"
+        )
+        ar = session.execute(sql)
+        classic = session.execute(sql, mode="classic")
+        assert ar.scalar("promo") == classic.scalar("promo")
+        assert ar.scalar("total") == classic.scalar("total")
+
+    def test_bwdecompose_statement(self, session):
+        result = session.execute("select bwdecompose(quantity, 26) from lineitem")
+        assert result.row_count == 0
+        bwd = session.catalog.decomposition_of("lineitem", "quantity")
+        assert bwd.decomposition.residual_bits == 6
+
+
+class TestBinderErrors:
+    def test_unknown_column(self, session):
+        with pytest.raises(SqlError):
+            session.execute("select nope from lineitem")
+
+    def test_unknown_table(self, session):
+        with pytest.raises(Exception):
+            session.execute("select a from nope")
+
+    def test_unjoined_dim_reference(self, session):
+        with pytest.raises(SqlError):
+            session.execute("select count(*) from lineitem where part.p_type = 'X'")
+
+    def test_naked_column_next_to_aggregate(self, session):
+        with pytest.raises(SqlError):
+            session.execute("select quantity, count(*) from lineitem")
+
+    def test_string_on_numeric_column(self, session):
+        with pytest.raises(SqlError):
+            session.execute("select count(*) from lineitem where quantity = 'x'")
+
+    def test_literal_finer_than_scale(self, session):
+        with pytest.raises(SqlError):
+            session.execute(
+                "select count(*) from lineitem where discount > 0.051"
+            )
+
+    def test_unknown_dictionary_string(self, session):
+        with pytest.raises(SqlError):
+            session.execute(
+                "select count(*) from lineitem "
+                "join part on lineitem.partkey = part.key "
+                "where part.p_type = 'NO SUCH TYPE'"
+            )
+
+    def test_like_on_non_dictionary(self, session):
+        with pytest.raises(SqlError):
+            session.execute(
+                "select count(*) from lineitem where quantity like '1%'"
+            )
+
+    def test_infix_pattern_rejected(self, session):
+        with pytest.raises(SqlError):
+            session.execute(
+                "select count(*) from lineitem "
+                "join part on lineitem.partkey = part.key "
+                "where part.p_type like '%BRASS'"
+            )
+
+    def test_literal_vs_literal_rejected(self, session):
+        with pytest.raises(SqlError):
+            session.execute("select count(*) from lineitem where 1 = 1")
+
+    def test_non_dense_join_key_rejected(self, session):
+        session.create_table(
+            "sparse_dim", {"key": IntType(), "v": IntType()},
+            {"key": [3, 9, 17], "v": [1, 2, 3]},
+        )
+        with pytest.raises(SqlError, match="dense"):
+            session.execute(
+                "select count(*) from lineitem "
+                "join sparse_dim on lineitem.partkey = sparse_dim.key"
+            )
+
+
+class TestApproximateAnswersViaSql:
+    def test_bounds_bracket_truth(self, session):
+        sql = (
+            "select sum(price) as s, count(*) as n from lineitem "
+            "where shipdate >= '1996-01-01'"
+        )
+        approx = session.execute(sql, mode="approximate")
+        classic = session.execute(sql, mode="classic")
+        for alias in ("s", "n"):
+            bound = approx.approximate.bound(alias)
+            assert bound.lo <= classic.scalar(alias) <= bound.hi
+
+    def test_approximate_is_cheaper_than_full(self, session):
+        sql = "select count(*) from lineitem where shipdate >= '1996-01-01'"
+        approx = session.execute(sql, mode="approximate")
+        full = session.execute(sql)
+        assert approx.timeline.total_seconds() < full.timeline.total_seconds()

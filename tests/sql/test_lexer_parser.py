@@ -1,0 +1,141 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("SELECT Sum FROM t")
+        assert [t.kind for t in toks] == ["kw", "kw", "kw", "ident", "eof"]
+        assert toks[0].text == "select"
+
+    def test_numbers_and_floats(self):
+        toks = tokenize("12 3.45 0.07")
+        assert [t.text for t in toks[:-1]] == ["12", "3.45", "0.07"]
+        assert all(t.kind == "number" for t in toks[:-1])
+
+    def test_qualified_name_is_three_tokens(self):
+        toks = tokenize("part.p_type")
+        assert [t.kind for t in toks[:-1]] == ["ident", "op", "ident"]
+
+    def test_strings(self):
+        toks = tokenize("'PROMO%' '1995-03-15'")
+        assert toks[0] == toks[0].__class__("string", "PROMO%", 0)
+        assert toks[1].text == "1995-03-15"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select 'oops")
+
+    def test_multichar_operators(self):
+        toks = tokenize("<= >= <> != =")
+        assert [t.text for t in toks[:-1]] == ["<=", ">=", "<>", "!=", "="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+
+class TestParserSelect:
+    def test_simple_select(self):
+        stmt = parse("select a, b from t")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert stmt.table == "t"
+        assert [i.expr.name for i in stmt.items] == ["a", "b"]
+
+    def test_count_star_and_alias(self):
+        stmt = parse("select count(*) as n from t")
+        item = stmt.items[0]
+        assert isinstance(item.expr, ast.AggCall)
+        assert item.expr.func == "count" and item.expr.argument is None
+        assert item.alias == "n"
+
+    def test_aggregates_with_expressions(self):
+        stmt = parse("select sum(price * (1 - disc)) from t")
+        agg = stmt.items[0].expr
+        assert agg.func == "sum"
+        assert isinstance(agg.argument, ast.Arith) and agg.argument.op == "*"
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select sum(*) from t")
+
+    def test_where_conjunction(self):
+        stmt = parse("select a from t where a > 5 and b between 1 and 9 and c = 2")
+        assert len(stmt.where) == 3
+        assert isinstance(stmt.where[0], ast.Compare)
+        assert isinstance(stmt.where[1], ast.Between)
+
+    def test_group_by(self):
+        stmt = parse("select flag, count(*) from t group by flag, status")
+        assert stmt.group_by == ("flag", "status")
+
+    def test_join_clause(self):
+        stmt = parse(
+            "select count(*) from lineitem join part on lineitem.partkey = part.key"
+        )
+        (join,) = stmt.joins
+        assert join.dim_table == "part"
+        assert join.fk_column == "lineitem.partkey"
+        assert join.dim_key == "key"
+
+    def test_join_sides_may_swap(self):
+        stmt = parse("select count(*) from f join d on d.key = f.fk")
+        (join,) = stmt.joins
+        assert join.fk_column == "f.fk" and join.dim_key == "key"
+
+    def test_join_must_mention_dim(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select count(*) from f join d on f.a = f.b")
+
+    def test_like_predicate(self):
+        stmt = parse("select count(*) from part where p_type like 'PROMO%'")
+        (pred,) = stmt.where
+        assert isinstance(pred, ast.Like)
+        assert pred.pattern == "PROMO%"
+
+    def test_case_when(self):
+        stmt = parse(
+            "select sum(case when kind = 1 then price else 0 end) from t"
+        )
+        arg = stmt.items[0].expr.argument
+        assert isinstance(arg, ast.CaseWhen)
+        assert isinstance(arg.condition, ast.Compare)
+
+    def test_unary_minus(self):
+        stmt = parse("select a from t where a > -5")
+        pred = stmt.where[0]
+        assert isinstance(pred.right, ast.Negate)
+
+    def test_precedence_mul_over_add(self):
+        stmt = parse("select sum(a + b * c) from t")
+        arg = stmt.items[0].expr.argument
+        assert arg.op == "+"
+        assert isinstance(arg.right, ast.Arith) and arg.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse("select sum((a + b) * c) from t")
+        arg = stmt.items[0].expr.argument
+        assert arg.op == "*"
+
+    def test_division_rejected_with_hint(self):
+        with pytest.raises(SqlSyntaxError, match="ratio"):
+            parse("select sum(a / b) from t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select a from t limit 5")
+
+    def test_bwdecompose(self):
+        stmt = parse("select bwdecompose(lon, 24) from trips")
+        assert isinstance(stmt, ast.BwDecompose)
+        assert (stmt.table, stmt.column, stmt.device_bits) == ("trips", "lon", 24)
+
+    def test_bwdecompose_rejects_float_bits(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select bwdecompose(lon, 2.4) from trips")

@@ -1,0 +1,106 @@
+"""Tests for the Binary Association Table primitive."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.bat import BAT
+
+
+class TestConstruction:
+    def test_dense_head_is_void(self):
+        bat = BAT.dense(np.array([5, 6, 7]))
+        assert bat.has_void_head
+        assert np.array_equal(bat.head, [0, 1, 2])
+
+    def test_dense_head_with_seqbase(self):
+        bat = BAT.dense(np.array([5, 6]), hseqbase=10)
+        assert np.array_equal(bat.head, [10, 11])
+
+    def test_pairs_materializes_head(self):
+        bat = BAT.pairs(np.array([3, 1]), np.array([30, 10]))
+        assert not bat.has_void_head
+        assert np.array_equal(bat.head, [3, 1])
+
+    def test_misaligned_head_rejected(self):
+        with pytest.raises(StorageError):
+            BAT.pairs(np.array([1, 2, 3]), np.array([1, 2]))
+
+    def test_2d_tail_rejected(self):
+        with pytest.raises(StorageError):
+            BAT.dense(np.zeros((2, 2)))
+
+    def test_len_and_repr(self):
+        bat = BAT.dense(np.array([1, 2, 3]))
+        assert len(bat) == 3
+        assert "void" in repr(bat)
+        assert "oid" in repr(bat.materialize_head())
+
+
+class TestHeadProperties:
+    def test_void_head_sorted_and_dense(self):
+        bat = BAT.dense(np.array([9, 8, 7]))
+        assert bat.head_is_sorted()
+        assert bat.head_is_dense()
+
+    def test_sorted_but_not_dense(self):
+        bat = BAT.pairs(np.array([1, 3, 7]), np.array([0, 0, 0]))
+        assert bat.head_is_sorted()
+        assert not bat.head_is_dense()
+
+    def test_unsorted_head(self):
+        bat = BAT.pairs(np.array([3, 1, 7]), np.array([0, 0, 0]))
+        assert not bat.head_is_sorted()
+        assert not bat.head_is_dense()
+
+    def test_empty_bat_is_dense(self):
+        bat = BAT.pairs(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert bat.head_is_dense()
+
+    def test_nbytes_counts_materialized_head(self):
+        tail = np.zeros(8, dtype=np.int64)
+        assert BAT.dense(tail).nbytes == tail.nbytes
+        assert BAT.pairs(np.arange(8), tail).nbytes == 2 * tail.nbytes
+
+
+class TestOperations:
+    def test_take_keeps_original_ids(self):
+        bat = BAT.dense(np.array([10, 20, 30, 40]))
+        sub = bat.take(np.array([2, 0]))
+        assert np.array_equal(sub.tail, [30, 10])
+        assert np.array_equal(sub.head, [2, 0])
+
+    def test_project_onto_is_positional(self):
+        bat = BAT.dense(np.array([10, 20, 30, 40]), hseqbase=100)
+        out = bat.project_onto(np.array([103, 101]))
+        assert np.array_equal(out.tail, [40, 20])
+        assert np.array_equal(out.head, [103, 101])
+
+    def test_project_onto_requires_void_head(self):
+        bat = BAT.pairs(np.array([0, 1]), np.array([1, 2]))
+        with pytest.raises(StorageError):
+            bat.project_onto(np.array([0]))
+
+    def test_project_onto_range_checked(self):
+        bat = BAT.dense(np.array([1, 2]))
+        with pytest.raises(StorageError):
+            bat.project_onto(np.array([2]))
+
+    def test_slice_void_adjusts_seqbase(self):
+        bat = BAT.dense(np.array([10, 20, 30, 40]), hseqbase=5)
+        sub = bat.slice(1, 3)
+        assert sub.has_void_head
+        assert np.array_equal(sub.head, [6, 7])
+        assert np.array_equal(sub.tail, [20, 30])
+
+    def test_slice_materialized(self):
+        bat = BAT.pairs(np.array([9, 4, 6]), np.array([1, 2, 3]))
+        sub = bat.slice(1, 3)
+        assert np.array_equal(sub.head, [4, 6])
+
+    def test_with_tail_checks_alignment(self):
+        bat = BAT.dense(np.array([1, 2, 3]))
+        out = bat.with_tail(np.array([4, 5, 6]))
+        assert np.array_equal(out.tail, [4, 5, 6])
+        with pytest.raises(StorageError):
+            bat.with_tail(np.array([1]))

@@ -1,0 +1,142 @@
+"""Unit and property tests for dense k-bit code packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BitWidthError
+from repro.storage.bitpack import gather_codes, pack_codes, packed_nbytes, unpack_codes
+
+
+class TestPackedNbytes:
+    def test_exact_word_fit(self):
+        assert packed_nbytes(8, 8) == 8
+
+    def test_partial_word_rounds_up(self):
+        assert packed_nbytes(1, 1) == 8
+        assert packed_nbytes(3, 24) == 16
+
+    def test_zero_count(self):
+        assert packed_nbytes(0, 13) == 0
+
+    def test_full_width(self):
+        assert packed_nbytes(5, 64) == 40
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(BitWidthError):
+            packed_nbytes(4, 0)
+        with pytest.raises(BitWidthError):
+            packed_nbytes(4, 65)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            packed_nbytes(-1, 8)
+
+
+class TestPackUnpackRoundtrip:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 7, 8, 12, 13, 24, 31, 32, 33, 63, 64])
+    def test_roundtrip_random(self, bits):
+        rng = np.random.default_rng(bits)
+        hi = (1 << bits) - 1
+        codes = rng.integers(0, hi, size=257, endpoint=True, dtype=np.uint64)
+        packed = pack_codes(codes, bits)
+        assert np.array_equal(unpack_codes(packed, bits, len(codes)), codes)
+
+    def test_roundtrip_empty(self):
+        packed = pack_codes(np.empty(0, dtype=np.uint64), 9)
+        assert packed.size == 0
+        assert unpack_codes(packed, 9, 0).size == 0
+
+    def test_single_max_code(self):
+        codes = np.array([(1 << 24) - 1], dtype=np.uint64)
+        packed = pack_codes(codes, 24)
+        assert np.array_equal(unpack_codes(packed, 24, 1), codes)
+
+    def test_packing_is_dense(self):
+        codes = np.arange(100, dtype=np.uint64) % 8
+        assert pack_codes(codes, 3).nbytes == packed_nbytes(100, 3)
+
+    def test_accepts_signed_nonnegative(self):
+        codes = np.array([0, 1, 5], dtype=np.int64)
+        assert np.array_equal(
+            unpack_codes(pack_codes(codes, 3), 3, 3), codes.astype(np.uint64)
+        )
+
+    def test_rejects_negative_codes(self):
+        with pytest.raises(BitWidthError):
+            pack_codes(np.array([-1], dtype=np.int64), 8)
+
+    def test_rejects_overflowing_codes(self):
+        with pytest.raises(BitWidthError):
+            pack_codes(np.array([8], dtype=np.uint64), 3)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(BitWidthError):
+            pack_codes(np.zeros((2, 2), dtype=np.uint64), 4)
+
+    def test_rejects_float_codes(self):
+        with pytest.raises(BitWidthError):
+            pack_codes(np.array([1.0, 2.0]), 4)
+
+    def test_unpack_rejects_short_stream(self):
+        with pytest.raises(BitWidthError):
+            unpack_codes(np.zeros(1, dtype=np.uint64), 33, 3)
+
+
+class TestGather:
+    def test_gather_matches_unpack(self):
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 1 << 13, size=500, dtype=np.uint64)
+        packed = pack_codes(codes, 13)
+        pos = rng.integers(0, 500, size=64)
+        assert np.array_equal(gather_codes(packed, 13, 500, pos), codes[pos])
+
+    def test_gather_empty_positions(self):
+        packed = pack_codes(np.arange(4, dtype=np.uint64), 4)
+        assert gather_codes(packed, 4, 4, np.empty(0, dtype=np.int64)).size == 0
+
+    def test_gather_out_of_range(self):
+        packed = pack_codes(np.arange(4, dtype=np.uint64), 4)
+        with pytest.raises(IndexError):
+            gather_codes(packed, 4, 4, np.array([4]))
+        with pytest.raises(IndexError):
+            gather_codes(packed, 4, 4, np.array([-1]))
+
+    def test_gather_preserves_duplicates_and_order(self):
+        codes = np.array([10, 20, 30, 40], dtype=np.uint64)
+        packed = pack_codes(codes, 8)
+        got = gather_codes(packed, 8, 4, np.array([3, 0, 3]))
+        assert np.array_equal(got, [40, 10, 40])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_property_pack_unpack_identity(bits, data):
+    """Round-trip identity for arbitrary widths and code streams."""
+    hi = (1 << bits) - 1
+    codes = data.draw(
+        st.lists(st.integers(min_value=0, max_value=hi), min_size=0, max_size=70)
+    )
+    arr = np.array(codes, dtype=np.uint64)
+    assert np.array_equal(unpack_codes(pack_codes(arr, bits), bits, len(arr)), arr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=63),
+    n=st.integers(min_value=1, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_gather_agrees_with_full_unpack(bits, n, seed):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 1 << bits, size=n, dtype=np.uint64)
+    packed = pack_codes(codes, bits)
+    pos = rng.integers(0, n, size=min(n, 17))
+    assert np.array_equal(
+        gather_codes(packed, bits, n, pos),
+        unpack_codes(packed, bits, n)[pos],
+    )

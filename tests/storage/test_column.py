@@ -1,0 +1,127 @@
+"""Tests for logical column types (int, decimal, date, dictionary)."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.column import (
+    DateType,
+    DecimalType,
+    DictionaryType,
+    IntType,
+    OrderedDictionary,
+)
+
+
+class TestIntType:
+    def test_encode_passthrough(self):
+        t = IntType()
+        assert np.array_equal(t.encode([1, -2, 3]), [1, -2, 3])
+        assert t.storage_bits == 32
+        assert t.name == "int32"
+
+
+class TestDecimalType:
+    def test_scaled_int_roundtrip(self):
+        t = DecimalType(8, 5)
+        encoded = t.encode([2.68288, -12.62427])
+        assert encoded.dtype == np.int64
+        assert np.array_equal(encoded, [268288, -1262427])
+        assert np.allclose(t.decode(encoded), [2.68288, -12.62427])
+
+    def test_encode_one_literal(self):
+        assert DecimalType(8, 5).encode_one(50.4222) == 5042220
+
+    def test_rounding_to_nearest(self):
+        assert DecimalType(4, 2).encode_one(1.004) == 100
+        assert DecimalType(4, 2).encode_one(1.006) == 101
+
+    def test_precision_overflow_rejected(self):
+        with pytest.raises(StorageError):
+            DecimalType(4, 2).encode([100.0])
+
+    def test_invalid_precision_scale(self):
+        with pytest.raises(StorageError):
+            DecimalType(0, 0)
+        with pytest.raises(StorageError):
+            DecimalType(4, 5)
+
+    def test_name(self):
+        assert DecimalType(7, 5).name == "decimal(7,5)"
+
+
+class TestDateType:
+    def test_epoch_is_zero(self):
+        assert DateType.encode_one("1970-01-01") == 0
+
+    def test_roundtrip(self):
+        t = DateType()
+        days = t.encode(["1995-03-15", "1998-12-01"])
+        assert t.decode(days) == [date(1995, 3, 15), date(1998, 12, 1)]
+
+    def test_accepts_date_objects_and_ints(self):
+        assert DateType.encode_one(date(1970, 1, 2)) == 1
+        assert DateType.encode_one(42) == 42
+
+    def test_rejects_garbage(self):
+        with pytest.raises(StorageError):
+            DateType.encode_one(3.14)
+
+    def test_tpch_shipdate_width(self):
+        """The paper notes l_shipdate spans 2526 values, i.e. 12 bits."""
+        lo = DateType.encode_one("1992-01-02")
+        hi = DateType.encode_one("1998-12-01")
+        assert (hi - lo).bit_length() == 12
+
+
+class TestOrderedDictionary:
+    def test_codes_are_sorted_positions(self):
+        d = OrderedDictionary(["banana", "apple", "cherry", "apple"])
+        assert d.values == ["apple", "banana", "cherry"]
+        assert d.code_of("banana") == 1
+
+    def test_encode_decode(self):
+        d = OrderedDictionary(["x", "y"])
+        codes = d.encode(["y", "x", "y"])
+        assert np.array_equal(codes, [1, 0, 1])
+        assert d.decode(codes) == ["y", "x", "y"]
+
+    def test_missing_value(self):
+        with pytest.raises(KeyError):
+            OrderedDictionary(["a"]).code_of("b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            OrderedDictionary([])
+
+    def test_prefix_range_contiguous(self):
+        """Prefix predicates become code ranges (the TPC-H Q14 rewrite)."""
+        d = OrderedDictionary(
+            ["ECONOMY BRASS", "PROMO BRUSHED", "PROMO PLATED", "STANDARD TIN"]
+        )
+        lo, hi = d.prefix_range("PROMO")
+        assert (lo, hi) == (1, 2)
+        assert all(v.startswith("PROMO") for v in d.values[lo : hi + 1])
+
+    def test_prefix_range_empty(self):
+        lo, hi = OrderedDictionary(["abc"]).prefix_range("zz")
+        assert lo > hi
+
+    def test_prefix_range_all(self):
+        lo, hi = OrderedDictionary(["aa", "ab"]).prefix_range("a")
+        assert (lo, hi) == (0, 1)
+
+
+class TestDictionaryType:
+    def test_encode_through_type(self):
+        d = OrderedDictionary(["n", "p"])
+        t = DictionaryType(dictionary=d)
+        assert np.array_equal(t.encode(["p", "n"]), [1, 0])
+        assert t.decode(np.array([0])) == ["n"]
+        assert t.name == "dictionary[2]"
+
+    def test_requires_dictionary(self):
+        with pytest.raises(StorageError):
+            DictionaryType()

@@ -1,0 +1,217 @@
+"""Tests for bitwise decomposition & prefix compression (paper §II-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.storage.decompose import (
+    BwdColumn,
+    Decomposition,
+    decompose_values,
+    plan_decomposition,
+)
+
+
+class TestDecompositionShape:
+    def test_paper_example_figure2(self):
+        """Fig 2: 747979 as 32-bit int → 13 major bits + 7 minor bits.
+
+        With the leading zeros removed the value 747979 needs 20 bits; the
+        figure splits them 13 (fast memory) / 7 (slow memory).
+        """
+        d = Decomposition(base=0, total_bits=20, residual_bits=7)
+        assert d.approx_bits == 13
+        v = 747979
+        code = d.approx_code_of(v)
+        residual = v - d.value_floor(code)
+        assert code == v >> 7
+        assert residual == v & 0b1111111
+        assert d.combine(np.array([code]), np.array([residual]))[0] == v
+
+    def test_bucket_and_error(self):
+        d = Decomposition(base=0, total_bits=16, residual_bits=4)
+        assert d.bucket == 16
+        assert d.max_error == 15
+        assert d.max_code == (1 << 12) - 1
+
+    def test_zero_residual(self):
+        d = Decomposition(base=0, total_bits=8, residual_bits=0)
+        assert d.bucket == 1
+        assert d.max_error == 0
+
+    def test_invalid_shapes(self):
+        with pytest.raises(DecompositionError):
+            Decomposition(base=0, total_bits=0, residual_bits=0)
+        with pytest.raises(DecompositionError):
+            Decomposition(base=0, total_bits=8, residual_bits=9)
+        with pytest.raises(DecompositionError):
+            Decomposition(base=0, total_bits=65, residual_bits=0)
+
+    def test_value_bounds(self):
+        d = Decomposition(base=100, total_bits=10, residual_bits=3)
+        assert d.value_floor(0) == 100
+        assert d.value_ceil(0) == 107
+        assert d.value_floor(1) == 108
+
+
+class TestPlanDecomposition:
+    def test_device_bits_api_matches_paper(self):
+        """bwdecompose(A, 24) on a 32-bit int → 8 residual bits (§V-A)."""
+        values = np.arange(1 << 20)  # needs 20 effective bits
+        plan = plan_decomposition(values, device_bits=24, storage_bits=32)
+        assert plan.residual_bits == 8
+        assert plan.total_bits == 20
+        assert plan.approx_bits == 12
+
+    def test_prefix_compression_uses_min_as_base(self):
+        values = np.array([1000, 1010, 1023])
+        plan = plan_decomposition(values, residual_bits=2)
+        assert plan.base == 1000
+        assert plan.total_bits == 5  # span 23 → 5 bits
+
+    def test_prefix_compression_handles_negatives(self):
+        values = np.array([-50, -10, 20])
+        plan = plan_decomposition(values, residual_bits=3)
+        assert plan.base == -50
+        assert plan.total_bits == 7  # span 70
+
+    def test_no_prefix_compression(self):
+        values = np.array([1000, 1023])
+        plan = plan_decomposition(values, residual_bits=2, prefix_compression=False)
+        assert plan.base == 0
+        assert plan.total_bits == 10
+
+    def test_no_prefix_compression_rejects_negatives(self):
+        with pytest.raises(DecompositionError):
+            plan_decomposition(
+                np.array([-1, 4]), residual_bits=1, prefix_compression=False
+            )
+
+    def test_residual_clamped_to_total(self):
+        values = np.array([0, 3])  # 2 effective bits
+        plan = plan_decomposition(values, device_bits=1, storage_bits=32)
+        assert plan.residual_bits == 2
+        assert plan.approx_bits == 0  # degenerate but legal
+
+    def test_requires_some_split_spec(self):
+        with pytest.raises(DecompositionError):
+            plan_decomposition(np.array([1, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DecompositionError):
+            plan_decomposition(np.array([], dtype=np.int64), device_bits=8)
+
+    def test_rejects_nonpositive_device_bits(self):
+        with pytest.raises(DecompositionError):
+            plan_decomposition(np.array([1, 2]), device_bits=0)
+
+    def test_constant_column(self):
+        plan = plan_decomposition(np.array([7, 7, 7]), device_bits=24)
+        assert plan.total_bits == 1
+        assert plan.base == 7
+
+
+class TestSplitCombine:
+    def test_roundtrip(self):
+        values = np.array([100, 163, 101, 255, 100])
+        d = plan_decomposition(values, residual_bits=4)
+        approx, residual = d.split(values)
+        assert np.array_equal(d.combine(approx, residual), values)
+
+    def test_split_out_of_domain_rejected(self):
+        d = Decomposition(base=10, total_bits=4, residual_bits=1)
+        with pytest.raises(DecompositionError):
+            d.split(np.array([9]))
+        with pytest.raises(DecompositionError):
+            d.split(np.array([10 + 16]))
+
+    def test_combine_requires_residual_when_split(self):
+        d = Decomposition(base=0, total_bits=8, residual_bits=2)
+        with pytest.raises(DecompositionError):
+            d.combine(np.array([1]), None)
+
+    def test_bounds_bracket_values(self):
+        values = np.array([0, 5, 63, 64, 200])
+        d = plan_decomposition(values, residual_bits=5)
+        approx, _ = d.split(values)
+        lo = d.approx_lower_bounds(approx)
+        hi = d.approx_upper_bounds(approx)
+        assert np.all(lo <= values)
+        assert np.all(values <= hi)
+        assert np.all(hi - lo == d.max_error)
+
+
+class TestBwdColumn:
+    def test_reconstruct_full(self):
+        rng = np.random.default_rng(3)
+        values = rng.integers(-1000, 100000, size=999)
+        col = decompose_values(values, device_bits=24)
+        assert np.array_equal(col.reconstruct(), values)
+
+    def test_reconstruct_subset(self):
+        values = np.arange(500, 0, -1)
+        col = decompose_values(values, residual_bits=3)
+        pos = np.array([0, 17, 499])
+        assert np.array_equal(col.reconstruct(pos), values[pos])
+
+    def test_fully_resident_column(self):
+        values = np.array([3, 1, 2])
+        col = decompose_values(values, device_bits=32)
+        assert not col.is_distributed
+        assert col.residual_nbytes == 0
+        assert np.array_equal(col.reconstruct(), values)
+        assert np.array_equal(col.residual_at(np.array([0, 2])), [0, 0])
+
+    def test_footprints_scale_with_resolution(self):
+        values = np.arange(1 << 16)
+        wide = decompose_values(values, residual_bits=0)
+        narrow = decompose_values(values, residual_bits=8)
+        assert narrow.approx_nbytes < wide.approx_nbytes
+        assert narrow.residual_nbytes > 0
+
+    def test_prefix_compression_saves_space(self):
+        """§VI-C2: factoring out the common prefix shrinks the footprint."""
+        values = np.arange(2_000_000, 2_000_000 + 4096)
+        with_pc = decompose_values(values, residual_bits=4)
+        without_pc = decompose_values(values, residual_bits=4, prefix_compression=False)
+        total_with = with_pc.approx_nbytes + with_pc.residual_nbytes
+        total_without = without_pc.approx_nbytes + without_pc.residual_nbytes
+        assert total_with < total_without
+
+    def test_approx_codes_monotone_in_values(self):
+        values = np.sort(np.random.default_rng(0).integers(0, 10**6, size=256))
+        col = decompose_values(values, residual_bits=8)
+        codes = col.approx_codes().astype(np.int64)
+        assert np.all(np.diff(codes) >= 0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=60
+    ),
+    residual_bits=st.integers(min_value=0, max_value=41),
+)
+def test_property_decompose_reconstruct_identity(values, residual_bits):
+    """Invariant 1: reconstruct(decompose(v)) == v for any split."""
+    arr = np.array(values, dtype=np.int64)
+    col = decompose_values(arr, residual_bits=residual_bits)
+    assert np.array_equal(col.reconstruct(), arr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=50
+    ),
+    residual_bits=st.integers(min_value=0, max_value=32),
+)
+def test_property_approximation_brackets_value(values, residual_bits):
+    """approx floor ≤ v ≤ approx floor + max_error, always."""
+    arr = np.array(values, dtype=np.int64)
+    d = plan_decomposition(arr, residual_bits=residual_bits)
+    approx, _ = d.split(arr)
+    assert np.all(d.approx_lower_bounds(approx) <= arr)
+    assert np.all(arr <= d.approx_upper_bounds(approx))

@@ -1,0 +1,137 @@
+"""Tests for relations, schemas and the catalog / bwdecompose registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError, StorageError
+from repro.storage.catalog import Catalog
+from repro.storage.column import DecimalType, IntType
+from repro.storage.relation import Relation, Schema, int_schema
+
+
+def make_relation(n=100, name="r"):
+    rng = np.random.default_rng(1)
+    return Relation.create(
+        name,
+        int_schema("a", "b"),
+        {"a": rng.integers(0, 1000, n), "b": rng.integers(0, 50, n)},
+    )
+
+
+class TestSchema:
+    def test_ordered_names(self):
+        s = Schema.of([("x", IntType()), ("y", IntType())])
+        assert s.names == ["x", "y"]
+        assert "x" in s and "z" not in s
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(StorageError):
+            Schema.of([("x", IntType()), ("x", IntType())])
+
+    def test_type_of(self):
+        s = Schema.of({"d": DecimalType(8, 5)})
+        assert s.type_of("d").name == "decimal(8,5)"
+        with pytest.raises(StorageError):
+            s.type_of("nope")
+
+
+class TestRelation:
+    def test_create_encodes_through_types(self):
+        rel = Relation.create(
+            "t",
+            Schema.of({"price": DecimalType(8, 2)}),
+            {"price": [19.99, 5.00]},
+        )
+        assert np.array_equal(rel.values("price"), [1999, 500])
+
+    def test_integer_arrays_pass_through(self):
+        rel = Relation.create(
+            "t", Schema.of({"d": DecimalType(8, 2)}), {"d": np.array([123, 456])}
+        )
+        assert np.array_equal(rel.values("d"), [123, 456])
+
+    def test_missing_and_extra_columns(self):
+        with pytest.raises(StorageError):
+            Relation.create("t", int_schema("a", "b"), {"a": [1]})
+        with pytest.raises(StorageError):
+            Relation.create("t", int_schema("a"), {"a": [1], "z": [2]})
+
+    def test_misaligned_columns(self):
+        with pytest.raises(StorageError):
+            Relation.create("t", int_schema("a", "b"), {"a": [1, 2], "b": [1]})
+
+    def test_len_columns_nbytes(self):
+        rel = make_relation(64)
+        assert len(rel) == 64
+        assert rel.column_names == ["a", "b"]
+        assert rel.nbytes == 2 * 64 * 8
+        with pytest.raises(StorageError):
+            rel.column("zzz")
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        cat = Catalog()
+        rel = make_relation()
+        cat.register(rel)
+        assert cat.table("r") is rel
+        assert "r" in cat
+        assert list(cat.tables()) == [rel]
+
+    def test_duplicate_and_missing(self):
+        cat = Catalog()
+        cat.register(make_relation())
+        with pytest.raises(StorageError):
+            cat.register(make_relation())
+        with pytest.raises(StorageError):
+            cat.table("missing")
+
+    def test_drop_removes_decompositions(self):
+        cat = Catalog()
+        cat.register(make_relation())
+        cat.bwdecompose("r", "a", 24)
+        cat.drop("r")
+        assert "r" not in cat
+        assert cat.decomposition_of("r", "a") is None
+        with pytest.raises(StorageError):
+            cat.drop("r")
+
+    def test_bwdecompose_registers(self):
+        cat = Catalog()
+        cat.register(make_relation())
+        bwd = cat.bwdecompose("r", "a", 24)
+        assert cat.is_decomposed("r", "a")
+        assert cat.decomposition_of("r", "a") is bwd
+        assert bwd.decomposition.residual_bits == 8
+        assert not cat.is_decomposed("r", "b")
+
+    def test_bwdecompose_roundtrip(self):
+        cat = Catalog()
+        rel = make_relation()
+        cat.register(rel)
+        bwd = cat.bwdecompose("r", "a", 26)
+        assert np.array_equal(bwd.reconstruct(), rel.values("a"))
+
+    def test_redecompose_replaces(self):
+        cat = Catalog()
+        cat.register(make_relation())
+        cat.bwdecompose("r", "a", 24)
+        bwd2 = cat.bwdecompose("r", "a", 30)
+        assert cat.decomposition_of("r", "a") is bwd2
+        assert bwd2.decomposition.residual_bits == 2
+
+    def test_footprints(self):
+        cat = Catalog()
+        cat.register(make_relation(1000))
+        cat.bwdecompose("r", "a", 24)
+        cat.bwdecompose("r", "b", 24)
+        assert cat.device_footprint() > 0
+        assert cat.host_residual_footprint() >= 0
+        listed = list(cat.decomposed_columns())
+        assert {(t, c) for t, c, _ in listed} == {("r", "a"), ("r", "b")}
+
+    def test_decompose_empty_column_rejected(self):
+        cat = Catalog()
+        cat.register(Relation.create("e", int_schema("a"), {"a": []}))
+        with pytest.raises(DecompositionError):
+            cat.bwdecompose("e", "a", 24)

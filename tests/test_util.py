@@ -1,0 +1,77 @@
+"""Tests for the shared helpers in repro.util."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BitWidthError
+from repro.util import (
+    as_index_array,
+    bits_for_range,
+    check_bits,
+    format_bytes,
+    format_seconds,
+    mask,
+    rng,
+)
+
+
+class TestBitsForRange:
+    def test_boundaries(self):
+        assert bits_for_range(0) == 1
+        assert bits_for_range(1) == 1
+        assert bits_for_range(2) == 2
+        assert bits_for_range(255) == 8
+        assert bits_for_range(256) == 9
+        assert bits_for_range(2**32 - 1) == 32
+
+    def test_negative_rejected(self):
+        with pytest.raises(BitWidthError):
+            bits_for_range(-1)
+
+
+class TestCheckBitsAndMask:
+    def test_valid_range(self):
+        assert check_bits(1) == 1
+        assert check_bits(64) == 64
+        assert check_bits(0, lo=0) == 0
+
+    def test_invalid(self):
+        with pytest.raises(BitWidthError):
+            check_bits(0)
+        with pytest.raises(BitWidthError):
+            check_bits(65)
+        with pytest.raises(BitWidthError):
+            check_bits(3.5)  # type: ignore[arg-type]
+
+    def test_mask_values(self):
+        assert mask(0) == 0
+        assert mask(3) == 0b111
+        assert mask(64) == 2**64 - 1
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(1023) == "1023 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(3 * 1024**3) == "3.0 GiB"
+        assert "TiB" in format_bytes(5 * 1024**4)
+
+    def test_format_seconds(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0042) == "4.20 ms"
+        assert format_seconds(3.3e-6) == "3.3 µs"
+
+
+class TestArrays:
+    def test_rng_determinism(self):
+        assert rng(7).integers(0, 100, 5).tolist() == rng(7).integers(0, 100, 5).tolist()
+
+    def test_as_index_array_coerces(self):
+        out = as_index_array([3, 1, 2])
+        assert out.dtype == np.int64
+        assert out.tolist() == [3, 1, 2]
+
+    def test_as_index_array_rejects_2d(self):
+        with pytest.raises(ValueError):
+            as_index_array(np.zeros((2, 2)))

@@ -1,0 +1,203 @@
+"""Tests for the three workload generators and their evaluated queries."""
+
+import numpy as np
+import pytest
+
+from repro.storage.column import DateType
+from repro.workloads.microbench import (
+    grouping_column,
+    selectivity_range,
+    unique_shuffled_ints,
+)
+from repro.workloads.spatial import (
+    LAT_MAX,
+    LAT_MIN,
+    LON_MAX,
+    LON_MIN,
+    SPATIAL_QUERY_SQL,
+    SpatialConfig,
+    build_spatial_session,
+    generate_trips,
+)
+from repro.workloads.tpch import (
+    SHIPDATE_HI,
+    SHIPDATE_LO,
+    TpchConfig,
+    build_tpch_session,
+    generate_lineitem,
+    generate_part,
+    part_type_dictionary,
+    q1_sql,
+    q6_sql,
+    q14_sql,
+)
+
+
+class TestMicrobench:
+    def test_unique_and_complete(self):
+        values = unique_shuffled_ints(10_000)
+        assert len(np.unique(values)) == 10_000
+        assert values.min() == 0 and values.max() == 9_999
+
+    def test_shuffled_not_sorted(self):
+        values = unique_shuffled_ints(10_000)
+        assert not np.all(np.diff(values) > 0)
+
+    def test_deterministic_by_seed(self):
+        assert np.array_equal(unique_shuffled_ints(100, 5), unique_shuffled_ints(100, 5))
+        assert not np.array_equal(
+            unique_shuffled_ints(100, 5), unique_shuffled_ints(100, 6)
+        )
+
+    def test_selectivity_is_exact(self):
+        n = 10_000
+        values = unique_shuffled_ints(n)
+        for frac in (0.01, 0.1, 0.6, 1.0):
+            vr = selectivity_range(n, frac)
+            assert int(vr.evaluate(values).sum()) == int(round(n * frac))
+
+    def test_zero_selectivity(self):
+        assert selectivity_range(100, 0.0).is_empty
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            unique_shuffled_ints(0)
+        with pytest.raises(ValueError):
+            selectivity_range(10, 1.5)
+        with pytest.raises(ValueError):
+            grouping_column(10, 0)
+
+    def test_grouping_column_cardinality(self):
+        col = grouping_column(1000, 37)
+        assert len(np.unique(col)) == 37
+
+
+class TestSpatial:
+    def test_schema_and_ranges(self):
+        data = generate_trips(SpatialConfig(n_points=20_000, seed=1))
+        assert set(data) == {"tripid", "lon", "lat", "time"}
+        assert data["lon"].min() >= LON_MIN and data["lon"].max() <= LON_MAX
+        assert data["lat"].min() >= LAT_MIN and data["lat"].max() <= LAT_MAX
+
+    def test_trips_are_clustered_walks(self):
+        config = SpatialConfig(n_points=10_000, points_per_trip=100, seed=2)
+        data = generate_trips(config)
+        lon = data["lon"].reshape(config.n_trips, 100)
+        spans = lon.max(axis=1) - lon.min(axis=1)
+        # a trip's fixes stay local, far tighter than the full domain
+        assert float(np.median(spans)) < 1.0
+
+    def test_benchmark_query_hits_and_matches_classic(self):
+        session = build_spatial_session(SpatialConfig(n_points=50_000, seed=3))
+        ar = session.execute(SPATIAL_QUERY_SQL)
+        classic = session.execute(SPATIAL_QUERY_SQL, mode="classic")
+        assert ar.scalar("count_0") == classic.scalar("count_0")
+        assert ar.scalar("count_0") > 0  # the hotspot guarantees hits
+
+    def test_decomposition_matches_table1(self):
+        session = build_spatial_session(SpatialConfig(n_points=20_000, seed=4))
+        lon = session.catalog.decomposition_of("trips", "lon")
+        assert lon is not None
+        # decimal(8,5) is a 32-bit storage column; 24 device bits → 8 residual
+        assert lon.decomposition.residual_bits == 8
+
+    def test_prefix_compression_saves_about_a_quarter(self):
+        """§VI-C2: '25% reduction ... by factoring out the highest byte'."""
+        session = build_spatial_session(SpatialConfig(n_points=50_000, seed=5))
+        lon = session.catalog.decomposition_of("trips", "lon")
+        stored_bits = lon.decomposition.total_bits
+        saving = 1.0 - stored_bits / 32.0
+        assert 0.15 <= saving <= 0.35
+
+
+class TestTpch:
+    def test_bit_widths_match_paper(self):
+        """§VI-D1: quantity 50 values/6 bits, discount 4 bits, shipdate 12."""
+        data = generate_lineitem(TpchConfig(scale_factor=0.005))
+        assert len(np.unique(data["quantity"])) == 50
+        assert int(data["quantity"].max()).bit_length() == 6
+        assert len(np.unique(data["discount"])) == 11
+        assert int(data["discount"].max()).bit_length() == 4
+        span = int(data["shipdate"].max() - data["shipdate"].min())
+        assert span.bit_length() == 12
+
+    def test_shipdate_domain(self):
+        data = generate_lineitem(TpchConfig(scale_factor=0.005))
+        assert data["shipdate"].min() >= SHIPDATE_LO
+        assert data["shipdate"].max() <= SHIPDATE_HI
+
+    def test_q1_four_groups(self):
+        """returnflag × linestatus gives the canonical 4 TPC-H Q1 groups."""
+        session = build_tpch_session(TpchConfig(scale_factor=0.003))
+        result = session.execute(q1_sql())
+        assert result.row_count == 4
+
+    def test_part_type_dictionary(self):
+        d = part_type_dictionary()
+        assert len(d) == 150
+        lo, hi = d.prefix_range("PROMO")
+        assert hi - lo + 1 == 25  # 5 × 5 PROMO types
+
+    def test_part_keys_dense(self):
+        part = generate_part(TpchConfig(scale_factor=0.003))
+        assert np.array_equal(part["key"], np.arange(len(part["key"])))
+
+    def test_q1_matches_classic(self):
+        session = build_tpch_session(TpchConfig(scale_factor=0.003))
+        sql = q1_sql()
+        ar = session.execute(sql).sorted_by("returnflag", "linestatus")
+        classic = session.execute(sql, mode="classic").sorted_by(
+            "returnflag", "linestatus"
+        )
+        for col in ("sum_qty", "sum_disc_price", "sum_charge", "count_order"):
+            assert np.array_equal(ar.column(col), classic.column(col)), col
+        assert np.allclose(ar.column("avg_qty"), classic.column("avg_qty"))
+
+    def test_q6_matches_classic_and_is_selective(self):
+        session = build_tpch_session(TpchConfig(scale_factor=0.003))
+        sql = q6_sql()
+        ar = session.execute(sql)
+        classic = session.execute(sql, mode="classic")
+        assert ar.scalar("revenue") == classic.scalar("revenue")
+        assert ar.scalar("revenue") > 0
+
+    def test_q6_space_constrained_same_answer(self):
+        config = TpchConfig(scale_factor=0.003)
+        plain = build_tpch_session(config)
+        constrained = build_tpch_session(config, space_constrained=True)
+        sql = q6_sql()
+        assert plain.execute(sql).scalar("revenue") == constrained.execute(
+            sql
+        ).scalar("revenue")
+        ship = constrained.catalog.decomposition_of("lineitem", "shipdate")
+        assert ship.decomposition.residual_bits == 8
+
+    def test_q14_matches_classic(self):
+        session = build_tpch_session(TpchConfig(scale_factor=0.003))
+        sql = q14_sql()
+        ar = session.execute(sql)
+        classic = session.execute(sql, mode="classic")
+        assert ar.scalar("promo_revenue") == classic.scalar("promo_revenue")
+        assert ar.scalar("total_revenue") == classic.scalar("total_revenue")
+        ratio = 100.0 * ar.scalar("promo_revenue") / ar.scalar("total_revenue")
+        assert 5.0 < ratio < 30.0  # ~25/150 part types are PROMO
+
+    def test_q14_december_rollover(self):
+        assert "1996-01-01" in q14_sql("1995-12")
+
+    def test_all_gpu_setup_fits_2gb_at_paper_scale_rate(self):
+        """§VI-D1: the low bit-widths let SF-10 selections stay resident.
+
+        At our test scale the footprint must stay proportionally tiny.
+        """
+        config = TpchConfig(scale_factor=0.003)
+        session = build_tpch_session(config)
+        footprint = session.device_footprint()
+        # ≤ ~8 bytes/row across all eight columns after bit-packing
+        assert footprint < config.n_lineitem * 16
+
+    def test_date_helpers(self):
+        assert DateType.encode_one("1998-09-02") == (
+            DateType.encode_one("1998-12-01") - 90
+        )
+        assert "1998-09-02" in q1_sql(90)
