@@ -1,0 +1,204 @@
+"""Wall-clock benchmark suite for the zero-unpack kernel layer (PR 1).
+
+Measures *real* elapsed seconds — not modeled Timeline seconds — of the
+hot paths the zero-unpack refactor targets: bit-(un)packing, the relaxed
+selection scan, a three-predicate conjunction, a band theta join and a
+TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows.
+
+Two entry points:
+
+* **Smoke target** (pytest-benchmark)::
+
+      PYTHONPATH=src python -m pytest benchmarks/wallclock.py -q
+
+  The file name deliberately does not match ``test_*.py`` so the suite is
+  *not* collected by the default tier-1 run — it is an explicit target.
+
+* **Trajectory recorder** (plain script)::
+
+      PYTHONPATH=src python benchmarks/wallclock.py --label after
+
+  Times every benchmark (best of ``--reps``) and merges the results into
+  ``BENCH_PR1.json`` at the repo root under the given label.  When both
+  ``before`` and ``after`` labels are present, per-benchmark speedups are
+  (re)computed, giving future PRs a wall-clock perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.approximate import select_approx, select_approx_narrow
+from repro.core.relax import ValueRange
+from repro.core.theta import Theta, ThetaOp, theta_join_approx
+from repro.device.machine import Machine
+from repro.device.timeline import Timeline
+from repro.storage.bitpack import gather_codes, pack_codes, unpack_codes
+from repro.storage.decompose import decompose_values
+from repro.workloads.microbench import unique_shuffled_ints
+from repro.workloads.tpch import TpchConfig, build_tpch_session, q6_sql
+
+#: Rows for the micro / scan benchmarks (acceptance floor: 1M).
+N_ROWS = int(os.environ.get("REPRO_WALLCLOCK_N", 1_000_000))
+
+#: TPC-H scale factor; 0.17 ≈ 1.02M lineitem rows (acceptance floor: 1M).
+TPCH_SF = float(os.environ.get("REPRO_WALLCLOCK_SF", 0.17))
+
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+# ----------------------------------------------------------------------
+# Fixtures (built once, outside the timed region)
+# ----------------------------------------------------------------------
+class _Fixtures:
+    """Lazily-built shared inputs; construction is never timed."""
+
+    _instance: "_Fixtures | None" = None
+
+    def __init__(self) -> None:
+        rng = np.random.default_rng(42)
+        self.codes12 = rng.integers(0, 1 << 12, size=N_ROWS, dtype=np.uint64)
+        self.codes8 = rng.integers(0, 1 << 8, size=N_ROWS, dtype=np.uint64)
+        self.packed8 = pack_codes(self.codes8, 8)
+        self.packed12 = pack_codes(self.codes12, 12)
+        self.positions = rng.integers(0, N_ROWS, size=N_ROWS // 8, dtype=np.int64)
+
+        self.machine = Machine.paper_testbed()
+        self.columns = []
+        for i in range(3):
+            col = decompose_values(unique_shuffled_ints(N_ROWS, seed=i), device_bits=24)
+            self.machine.gpu.load_column(f"c{i}", col, None)
+            self.columns.append(col)
+
+        self.theta_left = decompose_values(
+            rng.integers(0, 1 << 20, size=20_000), device_bits=24
+        )
+        self.theta_right = decompose_values(
+            rng.integers(0, 1 << 20, size=5_000), device_bits=24
+        )
+        self.machine.gpu.load_column("thetaL", self.theta_left, None)
+        self.machine.gpu.load_column("thetaR", self.theta_right, None)
+
+        self.tpch = build_tpch_session(TpchConfig(scale_factor=TPCH_SF, seed=7))
+        self.q6 = q6_sql()
+
+    @classmethod
+    def get(cls) -> "_Fixtures":
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
+
+
+# ----------------------------------------------------------------------
+# The suite: name -> zero-argument callable
+# ----------------------------------------------------------------------
+def _run_selection(fx: _Fixtures) -> None:
+    select_approx(
+        fx.machine.gpu, Timeline(), fx.columns[0], "c0",
+        ValueRange.between(N_ROWS // 10, N_ROWS // 10 + N_ROWS // 5),
+    )
+
+
+def _run_conjunction3(fx: _Fixtures) -> None:
+    t = Timeline()
+    cand = select_approx(
+        fx.machine.gpu, t, fx.columns[0], "c0",
+        ValueRange.between(0, N_ROWS // 2),
+    )
+    cand = select_approx_narrow(
+        fx.machine.gpu, t, fx.columns[1], "c1",
+        ValueRange.between(N_ROWS // 4, 3 * N_ROWS // 4), cand,
+    )
+    select_approx_narrow(
+        fx.machine.gpu, t, fx.columns[2], "c2",
+        ValueRange.between(N_ROWS // 3, 2 * N_ROWS // 3), cand,
+    )
+
+
+def _run_theta_band(fx: _Fixtures) -> None:
+    theta_join_approx(
+        fx.machine.gpu, Timeline(), fx.theta_left, fx.theta_right,
+        Theta(ThetaOp.WITHIN, 64),
+    )
+
+
+def _run_tpch_q6(fx: _Fixtures) -> None:
+    fx.tpch.execute(fx.q6, mode="ar")
+
+
+def build_suite() -> dict:
+    fx = _Fixtures.get()
+    return {
+        "micro.pack.w8": lambda: pack_codes(fx.codes8, 8),
+        "micro.pack.w12": lambda: pack_codes(fx.codes12, 12),
+        "micro.unpack.w8": lambda: unpack_codes(fx.packed8, 8, N_ROWS),
+        "micro.unpack.w12": lambda: unpack_codes(fx.packed12, 12, N_ROWS),
+        "micro.gather.w12": lambda: gather_codes(
+            fx.packed12, 12, N_ROWS, fx.positions
+        ),
+        "scan.selection": lambda: _run_selection(fx),
+        "scan.conjunction3": lambda: _run_conjunction3(fx),
+        "join.theta.band": lambda: _run_theta_band(fx),
+        "tpch.q6.ar": lambda: _run_tpch_q6(fx),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark smoke target
+# ----------------------------------------------------------------------
+def pytest_generate_tests(metafunc):
+    if "bench_name" in metafunc.fixturenames:
+        metafunc.parametrize("bench_name", sorted(build_suite()))
+
+
+def test_wallclock(benchmark, bench_name):
+    benchmark.pedantic(build_suite()[bench_name], rounds=3, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Trajectory recorder
+# ----------------------------------------------------------------------
+def measure(reps: int) -> dict[str, float]:
+    suite = build_suite()
+    results: dict[str, float] = {}
+    for name, fn in suite.items():
+        fn()  # warmup (also builds any lazy caches, as a real workload would)
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        results[name] = best
+        print(f"{name:24s} {best * 1e3:10.2f} ms")
+    return results
+
+
+def record(label: str, reps: int) -> None:
+    data = {}
+    if _RESULT_FILE.exists():
+        data = json.loads(_RESULT_FILE.read_text())
+    data.setdefault("meta", {})
+    data["meta"].update({"n_rows": N_ROWS, "tpch_sf": TPCH_SF, "reps": reps})
+    data[label] = measure(reps)
+    if "before" in data and "after" in data:
+        data["speedup"] = {
+            k: round(data["before"][k] / data["after"][k], 2)
+            for k in data["after"]
+            if k in data["before"] and data["after"][k] > 0
+        }
+    _RESULT_FILE.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(f"recorded {label!r} into {_RESULT_FILE}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="after", help="before | after | <tag>")
+    parser.add_argument("--reps", type=int, default=5)
+    args = parser.parse_args()
+    record(args.label, args.reps)

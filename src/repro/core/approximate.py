@@ -85,14 +85,15 @@ def select_approx_narrow(
     incoming candidate order, so translucent-join preconditions stay intact.
     """
     lo_code, hi_code = relax_to_code_range(vrange, column.decomposition)
-    kept_ids = gpu.refine_positions_code_range(
+    keep_mask, codes = gpu.refine_positions_code_range(
         column, candidates.ids, lo_code, hi_code, timeline,
         op=f"select.approx.probe({label})",
     )
-    keep_mask = np.isin(candidates.ids, kept_ids, assume_unique=True)
+    # The probe's keep-mask narrows the candidates directly (no membership
+    # recomputation) and its gathered codes feed the payload (one gather
+    # per conjunct, not two).
     narrowed = candidates.narrowed(keep_mask)
-    codes = column.approx_at(narrowed.ids) if narrowed.ids.size else np.empty(0, dtype=np.uint64)
-    narrowed.payloads[label] = _payload_from_codes(column, codes)
+    narrowed.payloads[label] = _payload_from_codes(column, codes[keep_mask])
     narrowed.exact = narrowed.exact and column.decomposition.residual_bits == 0
     return narrowed
 

@@ -74,11 +74,15 @@ class Approximation:
         return self
 
     def narrowed(self, keep_mask: np.ndarray) -> "Approximation":
-        """Candidate subset selected by a boolean mask (order kept)."""
+        """Candidate subset selected by a boolean mask (order kept).
+
+        Payloads are sliced with the mask itself — no id re-intersection
+        and no ``flatnonzero`` materialization per payload.
+        """
         keep_mask = np.asarray(keep_mask, dtype=bool)
         return Approximation(
             ids=self.ids[keep_mask],
             order_preserved=self.order_preserved,
-            payloads={k: v.take(np.flatnonzero(keep_mask)) for k, v in self.payloads.items()},
+            payloads={k: v.take(keep_mask) for k, v in self.payloads.items()},
             exact=self.exact,
         )

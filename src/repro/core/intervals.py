@@ -104,6 +104,7 @@ class IntervalColumn:
         return int((self.hi - self.lo).max())
 
     def take(self, positions: np.ndarray) -> "IntervalColumn":
+        """Row subset by integer positions or a boolean keep-mask."""
         return IntervalColumn(
             self.lo[positions], self.hi[positions], refinable=self.refinable
         )

@@ -96,19 +96,14 @@ def select_refine(
         )
         values = payload.lo + residuals.astype(np.int64)
     mask = vrange.evaluate(values)
-    refined_ids = candidates.ids[mask]
 
     # Align every payload with the refined subset via the translucent join.
     # Its traversal is fused into the refinement loop above ("the two
-    # operations can be performed in one loop", §IV-B), so no extra pass is
-    # charged; correctness still goes through Algorithm 1.
-    positions = translucent_join(candidates.ids, refined_ids)
-    refined = Approximation(
-        ids=refined_ids,
-        order_preserved=candidates.order_preserved,
-        payloads={k: v.take(positions) for k, v in candidates.payloads.items()},
-        exact=candidates.exact,
-    )
+    # operations can be performed in one loop", §IV-B): the keep-mask the
+    # predicate produced *is* the join's output positions, so no membership
+    # recomputation runs and no extra pass is charged; correctness still
+    # follows Algorithm 1 (the mask preserves the shared permutation).
+    refined = candidates.narrowed(mask)
     refined.payloads[label] = IntervalColumn.exact(values[mask])
     return refined
 
@@ -187,6 +182,8 @@ def align_via_translucent(
     timeline: Timeline,
     earlier: Approximation,
     refined_ids: np.ndarray,
+    *,
+    keep_mask: np.ndarray | None = None,
 ) -> Approximation:
     """Join an earlier approximation with a refined id subset (Algorithm 1).
 
@@ -195,8 +192,16 @@ def align_via_translucent(
     permutation and the refined ids are a subset, so the translucent join
     applies; its output aligns every payload of ``earlier`` with
     ``refined_ids``.
+
+    When the caller just computed ``refined_ids = earlier.ids[keep_mask]``,
+    passing that ``keep_mask`` skips the membership recomputation entirely —
+    the mask's set positions are the join's output.  The modeled charge is
+    identical either way (the real system fuses the traversal too).
     """
-    positions = translucent_join(earlier.ids, refined_ids)
+    if keep_mask is not None:
+        positions = np.flatnonzero(keep_mask)
+    else:
+        positions = translucent_join(earlier.ids, refined_ids)
     cpu.charge(
         timeline, "translucent.join",
         (len(earlier) + len(refined_ids)) * _OID_BYTES,

@@ -32,8 +32,14 @@ from .intervals import IntervalColumn
 
 _OID_BYTES = 8
 
-#: Left-side rows are processed in tiles to bound the comparison matrix.
-_TILE = 4096
+#: Element budget of one comparison tile (left-tile rows × |right| interval
+#: pairs).  The tile height adapts to the right side's width so every
+#: iteration evaluates roughly this many comparisons — small right sides no
+#: longer force thousands of tiny Python-level iterations.
+_TILE_ELEMS = 1 << 22
+
+#: Lower bound on the adaptive tile height.
+_TILE_MIN = 256
 
 
 class ThetaOp(enum.Enum):
@@ -153,21 +159,30 @@ def theta_join_approx(
     """
     left_b = _bounds(left)
     right_b = _bounds(right)
-    out_left: list[np.ndarray] = []
-    out_right: list[np.ndarray] = []
-    for start in range(0, left.length, _TILE):
-        stop = min(start + _TILE, left.length)
+    tile = max(_TILE_MIN, _TILE_ELEMS // max(right.length, 1))
+    # Preallocated, geometrically-grown pair buffers instead of a Python
+    # list of per-tile fragments plus a final concatenate.
+    cap = max(1024, left.length + right.length)
+    out_left = np.empty(cap, dtype=np.int64)
+    out_right = np.empty(cap, dtype=np.int64)
+    count = 0
+    for start in range(0, left.length, tile):
+        stop = min(start + tile, left.length)
         mask = theta.possible(
             left_b.lo[start:stop, None], left_b.hi[start:stop, None],
             right_b.lo[None, :], right_b.hi[None, :],
         )
         li, ri = np.nonzero(mask)
-        out_left.append(li + start)
-        out_right.append(ri)
-    pairs = PairCandidates(
-        np.concatenate(out_left) if out_left else np.empty(0, dtype=np.int64),
-        np.concatenate(out_right) if out_right else np.empty(0, dtype=np.int64),
-    )
+        need = count + li.size
+        if need > cap:
+            cap = max(cap * 2, need)
+            out_left = np.concatenate([out_left[:count], np.empty(cap - count, dtype=np.int64)])
+            out_right = np.concatenate([out_right[:count], np.empty(cap - count, dtype=np.int64)])
+        out_left[count:need] = li
+        out_left[count:need] += start
+        out_right[count:need] = ri
+        count = need
+    pairs = PairCandidates(out_left[:count].copy(), out_right[:count].copy())
     read = left.approx_nbytes + right.approx_nbytes
     gpu._charge(
         timeline, f"join.theta.approx({theta.op.value})",

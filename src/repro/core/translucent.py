@@ -75,12 +75,30 @@ def translucent_join_reference(a_ids: np.ndarray, r_ids: np.ndarray) -> np.ndarr
     return out
 
 
+def _membership_mask(a_ids: np.ndarray, r_ids: np.ndarray) -> np.ndarray:
+    """Mask of ``a_ids`` members also present in ``r_ids``.
+
+    Tuple ids are small non-negative integers (row positions), so the
+    common case is answered by an O(|A|+|R|) bitmap over the id domain
+    instead of the O(n log n) sort behind ``np.isin``.  Sparse or negative
+    id spaces fall back to ``np.isin``.
+    """
+    lo = min(int(a_ids.min()), int(r_ids.min()))
+    hi = max(int(a_ids.max()), int(r_ids.max()))
+    domain = hi - lo + 1
+    if lo < 0 or domain > 4 * (a_ids.size + r_ids.size) + 1024:
+        return np.isin(a_ids, r_ids, assume_unique=True)
+    flags = np.zeros(domain, dtype=bool)
+    flags[r_ids - lo] = True
+    return flags[a_ids - lo]
+
+
 def translucent_join(a_ids: np.ndarray, r_ids: np.ndarray) -> np.ndarray:
     """Vectorized translucent join; positions of ``r_ids`` within ``a_ids``.
 
     Dispatches to the invisible join when ``a_ids`` is sorted and dense
     (Algorithm 1's fast path), otherwise performs the subset-merge with a
-    hash-membership pass.  Precondition violations raise
+    linear bitmap-membership pass.  Precondition violations raise
     :class:`~repro.errors.RefinementError`.
     """
     a_ids = as_index_array(a_ids)
@@ -94,7 +112,7 @@ def translucent_join(a_ids: np.ndarray, r_ids: np.ndarray) -> np.ndarray:
     if bool(np.all(diffs == 1)):  # SORTED(A.id) ∧ DENSE(A.id)
         return invisible_join(int(a_ids[0]), len(a_ids), r_ids)
 
-    member = np.isin(a_ids, r_ids, assume_unique=True)
+    member = _membership_mask(a_ids, r_ids)
     positions = np.flatnonzero(member)
     if positions.size != r_ids.size:
         raise RefinementError(

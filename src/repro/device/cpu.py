@@ -9,6 +9,11 @@ The CPU executes two very different roles in the paper:
 Both are NumPy computations here; this class charges their modeled time
 (bytes moved plus per-tuple operator work) and exposes the thread-scaling
 model behind Fig 11 ("A Gap in the Memory Wall").
+
+Modeled charges are pure functions of stream widths and tuple counts — the
+zero-unpack wall-clock layer (memoized code views, keep-mask plumbing; see
+PERFORMANCE.md) never changes what is charged here, so figure
+reproductions stay byte-identical however fast the simulation itself runs.
 """
 
 from __future__ import annotations

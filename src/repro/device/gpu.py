@@ -48,8 +48,12 @@ def scrambled_like_parallel_scatter(positions: np.ndarray) -> np.ndarray:
     n = positions.size
     if n <= 1:
         return positions
-    lanes = np.arange(n, dtype=np.int64) % _SCATTER_LANES
-    order = np.argsort(lanes, kind="stable")
+    # Stable argsort of ``arange(n) % lanes`` enumerates each lane's rows in
+    # order — which is directly constructible as one strided slice per lane,
+    # O(n) instead of O(n log n).
+    order = np.concatenate(
+        [np.arange(lane, n, _SCATTER_LANES) for lane in range(min(_SCATTER_LANES, n))]
+    )
     return positions[order]
 
 
@@ -147,7 +151,10 @@ class SimulatedGPU:
         order at additional costs, which we want to avoid" (§IV-A item 3).
         """
         self._require_resident(column)
-        codes = column.approx_codes().astype(np.int64)
+        # Fused zero-unpack scan: the predicate is evaluated directly
+        # against the column's memoized code view — no per-query O(n)
+        # materialization of the packed stream.
+        codes = column.approx_codes_i64()
         hits = np.flatnonzero((codes >= lo_code) & (codes <= hi_code))
         read = packed_nbytes(column.length, max(column.decomposition.approx_bits, 1))
         self._charge(
@@ -166,11 +173,14 @@ class SimulatedGPU:
         hi_code: int,
         timeline: Timeline,
         op: str = "select.approx.probe",
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Secondary relaxed selection restricted to candidate ``positions``.
 
         Used for conjunctions: later predicates probe only surviving
-        candidates (random access into the packed stream).
+        candidates (random access into the packed stream).  Returns the
+        positional boolean keep-mask aligned with ``positions`` plus the
+        gathered codes — callers narrow with the mask and reuse the codes
+        instead of re-intersecting id arrays and re-gathering.
         """
         self._require_resident(column)
         codes = column.approx_at(positions).astype(np.int64)
@@ -180,7 +190,7 @@ class SimulatedGPU:
             timeline, op, read + int(keep.sum()) * _OID_BYTES,
             AccessPattern.RANDOM, tuples=positions.size, op_class=OpClass.GATHER,
         )
-        return positions[keep]
+        return keep, codes
 
     def gather_codes(
         self,

@@ -267,7 +267,7 @@ class ArExecutor:
             )
             refined_ids = state.candidates.ids[mask]
             state.candidates = align_via_translucent(
-                machine.cpu, tl, state.candidates, refined_ids
+                machine.cpu, tl, state.candidates, refined_ids, keep_mask=mask
             )
         elif isinstance(op, RefineProject):
             assert state.candidates is not None

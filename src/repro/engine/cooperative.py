@@ -65,7 +65,7 @@ def cooperative_select_approx(
         raise ExecutionError(f"duplicate scan labels: {labels}")
     gpu._require_resident(column)
 
-    codes = column.approx_codes().astype(np.int64)
+    codes = column.approx_codes_i64()
     stream_bytes = packed_nbytes(
         column.length, max(column.decomposition.approx_bits, 1)
     )
@@ -76,7 +76,9 @@ def cooperative_select_approx(
         hits = np.flatnonzero((codes >= lo) & (codes <= hi))
         if scramble:
             hits = scrambled_like_parallel_scatter(hits)
-        payload = _payload_from_codes(column, column.approx_at(hits))
+        # Reuse the codes the fused scan already read — no per-request
+        # gather back into the packed stream.
+        payload = _payload_from_codes(column, codes[hits])
         results[request.label] = Approximation(
             ids=hits,
             order_preserved=not scramble,

@@ -6,8 +6,14 @@ residual bits).  Storing them one-per-machine-word would waste the very
 memory the paper tries to conserve, so codes are packed back to back into a
 ``uint64`` array: code ``i`` occupies bits ``[i*k, (i+1)*k)`` of the stream.
 
-Both directions are fully vectorized; a code may straddle two words, which
-is handled with a masked second scatter/gather.
+Both directions are fully vectorized.  Widths that divide the word size
+(1, 2, 4, 8, 16, 32, 64) take a *word-aligned* fast path: no code ever
+straddles a word boundary, so packing and unpacking reduce to pure
+reshape/shift arithmetic with zero spill handling.  Arbitrary widths go
+through the general path, where a code may straddle two words; the straddle
+is handled with a masked second scatter/gather, and the scatter side uses a
+segment reduction (``bitwise_or.reduceat`` over runs of equal word indices)
+instead of the unbuffered — and notoriously slow — ``np.bitwise_or.at``.
 """
 
 from __future__ import annotations
@@ -18,6 +24,11 @@ from ..errors import BitWidthError
 from ..util import check_bits, mask
 
 _WORD_BITS = 64
+
+
+def _is_aligned(bits: int) -> bool:
+    """True when codes of this width never straddle a word boundary."""
+    return _WORD_BITS % bits == 0
 
 
 def packed_nbytes(count: int, bits: int) -> int:
@@ -34,6 +45,12 @@ def packed_nbytes(count: int, bits: int) -> int:
     total_bits = count * bits
     words = (total_bits + _WORD_BITS - 1) // _WORD_BITS
     return words * 8
+
+
+def _lane_shifts(bits: int) -> np.ndarray:
+    """Bit offsets of the ``64 // bits`` code lanes inside one word."""
+    per_word = _WORD_BITS // bits
+    return (np.arange(per_word, dtype=np.uint64) * np.uint64(bits))
 
 
 def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
@@ -58,21 +75,37 @@ def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
         raise BitWidthError(f"a code does not fit in {bits} bits")
 
     n_words = packed_nbytes(n, bits) // 8
+
+    if _is_aligned(bits):
+        # Word-aligned fast path: lay the codes out as an (n_words, lanes)
+        # matrix, shift each lane into place and OR-reduce the rows.
+        per_word = _WORD_BITS // bits
+        lanes = np.zeros(n_words * per_word, dtype=np.uint64)
+        lanes[:n] = as_u64
+        shifted = lanes.reshape(n_words, per_word) << _lane_shifts(bits)
+        return np.bitwise_or.reduce(shifted, axis=1)
+
     words = np.zeros(n_words, dtype=np.uint64)
 
     bit_pos = np.arange(n, dtype=np.uint64) * np.uint64(bits)
     word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)
     offset = bit_pos & np.uint64(_WORD_BITS - 1)
 
-    np.bitwise_or.at(words, word_idx, as_u64 << offset)
+    # ``word_idx`` is non-decreasing, so the scatter-OR is a segment
+    # reduction: OR each run of codes targeting the same word, then store
+    # one value per distinct word.
+    contrib = as_u64 << offset
+    starts = np.flatnonzero(np.r_[True, word_idx[1:] != word_idx[:-1]])
+    words[word_idx[starts]] = np.bitwise_or.reduceat(contrib, starts)
 
     # Codes straddling a word boundary spill their high bits into the next
     # word.  ``offset`` is non-zero for every spilling code, so the shift
-    # count ``64 - offset`` stays within [1, 63].
+    # count ``64 - offset`` stays within [1, 63]; each boundary is straddled
+    # by at most one code, so the spill targets are unique.
     spills = (offset + np.uint64(bits)) > np.uint64(_WORD_BITS)
     if bool(spills.any()):
         hi = as_u64[spills] >> (np.uint64(_WORD_BITS) - offset[spills])
-        np.bitwise_or.at(words, word_idx[spills] + 1, hi)
+        words[word_idx[spills] + 1] |= hi
     return words
 
 
@@ -89,6 +122,15 @@ def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
             f"packed stream too short: {words.nbytes} bytes for "
             f"{count} codes of {bits} bits"
         )
+
+    if _is_aligned(bits):
+        # Word-aligned fast path: broadcast every word against its lane
+        # shifts and ravel — no spills, no scatter.
+        n_words = packed_nbytes(count, bits) // 8
+        out = words[:n_words, None] >> _lane_shifts(bits)[None, :]
+        if bits < _WORD_BITS:
+            out &= np.uint64(mask(bits))
+        return out.reshape(-1)[:count]
 
     bit_pos = np.arange(count, dtype=np.uint64) * np.uint64(bits)
     word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)
@@ -118,6 +160,16 @@ def gather_codes(words: np.ndarray, bits: int, count: int, positions: np.ndarray
     if int(positions.min()) < 0 or int(positions.max()) >= count:
         raise IndexError("gather position out of range")
     words = np.ascontiguousarray(words, dtype=np.uint64)
+
+    if _is_aligned(bits):
+        # Word-aligned fast path: position → (word, lane) by division only.
+        per_word = _WORD_BITS // bits
+        word_idx = positions // per_word
+        offset = (positions % per_word).astype(np.uint64) * np.uint64(bits)
+        out = words[word_idx] >> offset
+        if bits < _WORD_BITS:
+            out &= np.uint64(mask(bits))
+        return out
 
     bit_pos = positions.astype(np.uint64) * np.uint64(bits)
     word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)

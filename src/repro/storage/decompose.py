@@ -176,6 +176,12 @@ def plan_decomposition(
     )
 
 
+def _frozen(codes: np.ndarray) -> np.ndarray:
+    """Mark a cached code array read-only so no caller can corrupt it."""
+    codes.flags.writeable = False
+    return codes
+
+
 class BwdColumn:
     """A bitwise-decomposed column: packed approximation + packed residual.
 
@@ -183,9 +189,20 @@ class BwdColumn:
     residual stream for host memory; actual placement/accounting is done by
     the device layer, which registers the buffers with the respective
     :class:`~repro.device.memory.MemoryPool`.
+
+    Columns are immutable after construction, so the decoded code streams
+    are memoized: the first full unpack (or the decode that happened anyway
+    at construction) is kept as a read-only *code view* and every later
+    scan, gather or reconstruction reuses it instead of re-materializing
+    O(n) codes per predicate.  The caches are a pure wall-clock
+    optimization — modeled :class:`~repro.device.timeline.Timeline` charges
+    are computed by the device layer from stream sizes and are unaffected.
     """
 
-    __slots__ = ("decomposition", "length", "_approx_words", "_residual_words")
+    __slots__ = (
+        "decomposition", "length", "_approx_words", "_residual_words",
+        "_approx_cache", "_approx_i64_cache", "_residual_cache",
+    )
 
     def __init__(
         self,
@@ -198,6 +215,9 @@ class BwdColumn:
         self.length = length
         self._approx_words = approx_words
         self._residual_words = residual_words
+        self._approx_cache: np.ndarray | None = None
+        self._approx_i64_cache: np.ndarray | None = None
+        self._residual_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -211,7 +231,13 @@ class BwdColumn:
             if decomposition.residual_bits
             else None
         )
-        return cls(decomposition, len(values), approx_words, residual_words)
+        col = cls(decomposition, len(values), approx_words, residual_words)
+        # The split already decoded both streams — seed the code views for
+        # free instead of unpacking them again on first use.
+        col._approx_cache = _frozen(approx)
+        if decomposition.residual_bits:
+            col._residual_cache = _frozen(residual)
+        return col
 
     # ------------------------------------------------------------------
     @property
@@ -233,13 +259,30 @@ class BwdColumn:
 
     # ------------------------------------------------------------------
     def approx_codes(self) -> np.ndarray:
-        """Unpack the full approximation stream (a device-side scan)."""
-        return unpack_codes(
-            self._approx_words, max(self.decomposition.approx_bits, 1), self.length
-        )
+        """Decoded approximation stream (read-only, memoized)."""
+        if self._approx_cache is None:
+            self._approx_cache = _frozen(unpack_codes(
+                self._approx_words, max(self.decomposition.approx_bits, 1),
+                self.length,
+            ))
+        return self._approx_cache
+
+    def approx_codes_i64(self) -> np.ndarray:
+        """Decoded approximation stream as signed ints (read-only, memoized).
+
+        The comparison dtype of every scan kernel; caching it here removes
+        one O(n) ``astype`` copy per predicate evaluation.
+        """
+        if self._approx_i64_cache is None:
+            self._approx_i64_cache = _frozen(
+                self.approx_codes().astype(np.int64)
+            )
+        return self._approx_i64_cache
 
     def approx_at(self, positions: np.ndarray) -> np.ndarray:
         """Random-access approximation codes (device-side gather)."""
+        if self._approx_cache is not None:
+            return self._approx_cache[self._checked(positions)]
         return gather_codes(
             self._approx_words,
             max(self.decomposition.approx_bits, 1),
@@ -248,24 +291,38 @@ class BwdColumn:
         )
 
     def residuals(self) -> np.ndarray:
-        """Unpack the full residual stream (host-side scan)."""
+        """Decoded residual stream (read-only, memoized)."""
         if self.decomposition.residual_bits == 0:
             return np.zeros(self.length, dtype=np.uint64)
-        return unpack_codes(
-            self._residual_words, self.decomposition.residual_bits, self.length
-        )
+        if self._residual_cache is None:
+            self._residual_cache = _frozen(unpack_codes(
+                self._residual_words, self.decomposition.residual_bits,
+                self.length,
+            ))
+        return self._residual_cache
 
     def residual_at(self, positions: np.ndarray) -> np.ndarray:
         """Random-access residuals (host-side gather; the refine hot path)."""
         if self.decomposition.residual_bits == 0:
             positions = np.asarray(positions)
             return np.zeros(len(positions), dtype=np.uint64)
+        if self._residual_cache is not None:
+            return self._residual_cache[self._checked(positions)]
         return gather_codes(
             self._residual_words,
             self.decomposition.residual_bits,
             self.length,
             positions,
         )
+
+    def _checked(self, positions: np.ndarray) -> np.ndarray:
+        """Validate gather positions like the packed-stream gather does."""
+        positions = np.ascontiguousarray(positions, dtype=np.int64)
+        if positions.size and (
+            int(positions.min()) < 0 or int(positions.max()) >= self.length
+        ):
+            raise IndexError("gather position out of range")
+        return positions
 
     def reconstruct(self, positions: np.ndarray | None = None) -> np.ndarray:
         """Exact values via bitwise concatenation, for all rows or a subset."""

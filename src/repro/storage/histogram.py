@@ -34,9 +34,9 @@ class CodeHistogram:
     def build(cls, column: BwdColumn) -> "CodeHistogram":
         """Count codes in one pass over the approximation stream."""
         dec = column.decomposition
-        codes = column.approx_codes().astype(np.int64)
-        if codes.size == 0:
+        if column.length == 0:
             raise StorageError("cannot build a histogram over an empty column")
+        codes = column.approx_codes_i64()
         n_codes = dec.max_code + 1
         merge = max(1, -(-n_codes // MAX_BUCKETS))
         counts = np.bincount(codes // merge, minlength=-(-n_codes // merge))

@@ -80,8 +80,20 @@ class TestScanKernels:
         col = loaded_column(gpu, values, residual_bits=0)
         t = Timeline()
         initial = np.array([1, 10, 20, 40, 63])
-        out = gpu.refine_positions_code_range(col, initial, 10, 40, t)
-        assert np.array_equal(out, [10, 20, 40])
+        keep, codes = gpu.refine_positions_code_range(col, initial, 10, 40, t)
+        assert np.array_equal(initial[keep], [10, 20, 40])
+        assert np.array_equal(codes, values[initial])
+
+    def test_probe_mask_aligned_with_positions(self):
+        gpu = small_gpu()
+        values = np.arange(64)
+        col = loaded_column(gpu, values, residual_bits=0)
+        keep, codes = gpu.refine_positions_code_range(
+            col, np.array([63, 1, 40]), 10, 40, Timeline()
+        )
+        assert keep.dtype == bool and keep.shape == (3,)
+        assert np.array_equal(keep, [False, False, True])
+        assert np.array_equal(codes, [63, 1, 40])
 
     def test_gather_codes(self):
         gpu = small_gpu()

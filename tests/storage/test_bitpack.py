@@ -110,6 +110,81 @@ class TestGather:
         assert np.array_equal(got, [40, 10, 40])
 
 
+def naive_pack(codes, bits):
+    """Per-code reference packer: one Python loop, no vectorization."""
+    n_words = (len(codes) * bits + 63) // 64
+    words = [0] * n_words
+    word_mask = (1 << 64) - 1
+    for i, code in enumerate(codes):
+        word, offset = divmod(i * bits, 64)
+        words[word] |= (int(code) << offset) & word_mask
+        if offset + bits > 64:
+            words[word + 1] |= int(code) >> (64 - offset)
+    return np.array(words, dtype=np.uint64)
+
+
+class TestAgainstNaiveReference:
+    """The vectorized kernels must produce the reference stream bit-for-bit.
+
+    Covers every width 1–64: the word-aligned fast paths (widths dividing
+    64), widths whose codes straddle word boundaries, and the full-word
+    case.
+    """
+
+    @pytest.mark.parametrize("bits", range(1, 65))
+    def test_pack_stream_layout_matches_reference(self, bits):
+        rng = np.random.default_rng(bits * 101)
+        hi = (1 << bits) - 1
+        codes = rng.integers(0, hi, size=131, endpoint=True, dtype=np.uint64)
+        assert np.array_equal(pack_codes(codes, bits), naive_pack(codes, bits))
+
+    @pytest.mark.parametrize("bits", range(1, 65))
+    def test_unpack_and_gather_from_reference_stream(self, bits):
+        rng = np.random.default_rng(bits * 103)
+        hi = (1 << bits) - 1
+        codes = rng.integers(0, hi, size=131, endpoint=True, dtype=np.uint64)
+        words = naive_pack(codes, bits)
+        assert np.array_equal(unpack_codes(words, bits, len(codes)), codes)
+        pos = rng.integers(0, len(codes), size=40)
+        assert np.array_equal(gather_codes(words, bits, len(codes), pos), codes[pos])
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8, 16, 32, 64])
+    def test_aligned_fast_path_partial_final_word(self, bits):
+        """Counts that do not fill the last word exercise the lane padding."""
+        per_word = 64 // bits
+        for count in (1, per_word - 1 or 1, per_word + 1, 3 * per_word - 1):
+            rng = np.random.default_rng(bits * 7 + count)
+            codes = rng.integers(
+                0, (1 << bits) - 1, size=count, endpoint=True, dtype=np.uint64
+            )
+            packed = pack_codes(codes, bits)
+            assert np.array_equal(packed, naive_pack(codes, bits))
+            assert np.array_equal(unpack_codes(packed, bits, count), codes)
+
+    @pytest.mark.parametrize("bits", [3, 12, 24, 33, 63])
+    def test_word_straddling_codes(self, bits):
+        """All-ones codes make every straddle visible in both halves."""
+        codes = np.full(130, (1 << bits) - 1, dtype=np.uint64)
+        packed = pack_codes(codes, bits)
+        assert np.array_equal(packed, naive_pack(codes, bits))
+        assert np.array_equal(unpack_codes(packed, bits, 130), codes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_property_pack_stream_matches_naive_reference(bits, data):
+    """Fuzz the exact packed-stream layout against the per-code reference."""
+    hi = (1 << bits) - 1
+    codes = data.draw(
+        st.lists(st.integers(min_value=0, max_value=hi), min_size=1, max_size=70)
+    )
+    arr = np.array(codes, dtype=np.uint64)
+    assert np.array_equal(pack_codes(arr, bits), naive_pack(arr, bits))
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     bits=st.integers(min_value=1, max_value=64),
