@@ -1,27 +1,40 @@
-"""Wall-clock benchmark suite for the zero-unpack kernel layer (PR 1).
+"""Wall-clock benchmark suite for the simulation's hot paths.
 
 Measures *real* elapsed seconds — not modeled Timeline seconds — of the
-hot paths the zero-unpack refactor targets: bit-(un)packing, the relaxed
-selection scan, a three-predicate conjunction, a band theta join and a
-TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows.
+paths the perf PRs target: bit-(un)packing, the relaxed selection scan, a
+three-predicate conjunction, the theta/band join (sorted interval join vs
+the brute-force oracle, plus a larger size only the sorted path can touch)
+and a TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows.
 
-Two entry points:
+Three entry points:
 
 * **Smoke target** (pytest-benchmark)::
 
       PYTHONPATH=src python -m pytest benchmarks/wallclock.py -q
 
-  The file name deliberately does not match ``test_*.py`` so the suite is
-  *not* collected by the default tier-1 run — it is an explicit target.
+  The file name deliberately does not match ``test_*.py`` so the full-size
+  suite is *not* collected by the default tier-1 run — it is an explicit
+  target.  The tier-1 run instead collects
+  ``tests/bench/test_wallclock_smoke.py``, which executes this suite once
+  in ``--quick`` shape so the harness itself cannot rot between perf PRs.
+
+* **Quick smoke** (plain script)::
+
+      PYTHONPATH=src python benchmarks/wallclock.py --quick
+
+  Small inputs, one rep, prints timings, records nothing.
 
 * **Trajectory recorder** (plain script)::
 
       PYTHONPATH=src python benchmarks/wallclock.py --label after
 
   Times every benchmark (best of ``--reps``) and merges the results into
-  ``BENCH_PR1.json`` at the repo root under the given label.  When both
+  ``BENCH_PR2.json`` at the repo root under the given label.  When both
   ``before`` and ``after`` labels are present, per-benchmark speedups are
-  (re)computed, giving future PRs a wall-clock perf trajectory.
+  (re)computed, giving future PRs a wall-clock perf trajectory.  The PR-2
+  ``before`` point is seeded from BENCH_PR1.json's ``after`` (the PR-1
+  code's measurements); ``join.theta.band.bruteforce`` gives the
+  same-machine oracle cost next to the sorted path.
 """
 
 from __future__ import annotations
@@ -50,81 +63,112 @@ N_ROWS = int(os.environ.get("REPRO_WALLCLOCK_N", 1_000_000))
 #: TPC-H scale factor; 0.17 ≈ 1.02M lineitem rows (acceptance floor: 1M).
 TPCH_SF = float(os.environ.get("REPRO_WALLCLOCK_SF", 0.17))
 
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+#: Theta-join side sizes: the PR-1 trajectory point, and a larger size at
+#: which only the sort-based join is feasible (the brute-force oracle would
+#: evaluate 10^10 interval comparisons there).
+THETA_SIZES = (20_000, 5_000)
+THETA_LARGE_SIZES = (200_000, 50_000)
+
+#: --quick shape: small everything, for smoke runs and the tier-1 test.
+QUICK_N_ROWS = 20_000
+QUICK_TPCH_SF = 0.002
+QUICK_THETA_SIZES = (2_000, 600)
+QUICK_THETA_LARGE_SIZES = (5_000, 1_200)
+
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 
 
 # ----------------------------------------------------------------------
-# Fixtures (built once, outside the timed region)
+# Fixtures (built once per shape, outside the timed region)
 # ----------------------------------------------------------------------
 class _Fixtures:
     """Lazily-built shared inputs; construction is never timed."""
 
-    _instance: "_Fixtures | None" = None
+    _instances: dict[bool, "_Fixtures"] = {}
 
-    def __init__(self) -> None:
+    def __init__(self, quick: bool) -> None:
+        self.n_rows = QUICK_N_ROWS if quick else N_ROWS
+        self.tpch_sf = QUICK_TPCH_SF if quick else TPCH_SF
+        theta_sizes = QUICK_THETA_SIZES if quick else THETA_SIZES
+        theta_large = QUICK_THETA_LARGE_SIZES if quick else THETA_LARGE_SIZES
+
         rng = np.random.default_rng(42)
-        self.codes12 = rng.integers(0, 1 << 12, size=N_ROWS, dtype=np.uint64)
-        self.codes8 = rng.integers(0, 1 << 8, size=N_ROWS, dtype=np.uint64)
+        n = self.n_rows
+        self.codes12 = rng.integers(0, 1 << 12, size=n, dtype=np.uint64)
+        self.codes8 = rng.integers(0, 1 << 8, size=n, dtype=np.uint64)
         self.packed8 = pack_codes(self.codes8, 8)
         self.packed12 = pack_codes(self.codes12, 12)
-        self.positions = rng.integers(0, N_ROWS, size=N_ROWS // 8, dtype=np.int64)
+        self.positions = rng.integers(0, n, size=n // 8, dtype=np.int64)
 
         self.machine = Machine.paper_testbed()
         self.columns = []
         for i in range(3):
-            col = decompose_values(unique_shuffled_ints(N_ROWS, seed=i), device_bits=24)
+            col = decompose_values(unique_shuffled_ints(n, seed=i), device_bits=24)
             self.machine.gpu.load_column(f"c{i}", col, None)
             self.columns.append(col)
 
         self.theta_left = decompose_values(
-            rng.integers(0, 1 << 20, size=20_000), device_bits=24
+            rng.integers(0, 1 << 20, size=theta_sizes[0]), device_bits=24
         )
         self.theta_right = decompose_values(
-            rng.integers(0, 1 << 20, size=5_000), device_bits=24
+            rng.integers(0, 1 << 20, size=theta_sizes[1]), device_bits=24
         )
-        self.machine.gpu.load_column("thetaL", self.theta_left, None)
-        self.machine.gpu.load_column("thetaR", self.theta_right, None)
+        self.theta_left_xl = decompose_values(
+            rng.integers(0, 1 << 22, size=theta_large[0]), device_bits=24
+        )
+        self.theta_right_xl = decompose_values(
+            rng.integers(0, 1 << 22, size=theta_large[1]), device_bits=24
+        )
+        for label, col in (
+            ("thetaL", self.theta_left), ("thetaR", self.theta_right),
+            ("thetaLxl", self.theta_left_xl), ("thetaRxl", self.theta_right_xl),
+        ):
+            self.machine.gpu.load_column(label, col, None)
 
-        self.tpch = build_tpch_session(TpchConfig(scale_factor=TPCH_SF, seed=7))
+        self.tpch = build_tpch_session(TpchConfig(scale_factor=self.tpch_sf, seed=7))
         self.q6 = q6_sql()
 
     @classmethod
-    def get(cls) -> "_Fixtures":
-        if cls._instance is None:
-            cls._instance = cls()
-        return cls._instance
+    def get(cls, quick: bool = False) -> "_Fixtures":
+        if quick not in cls._instances:
+            cls._instances[quick] = cls(quick)
+        return cls._instances[quick]
 
 
 # ----------------------------------------------------------------------
 # The suite: name -> zero-argument callable
 # ----------------------------------------------------------------------
 def _run_selection(fx: _Fixtures) -> None:
+    n = fx.n_rows
     select_approx(
         fx.machine.gpu, Timeline(), fx.columns[0], "c0",
-        ValueRange.between(N_ROWS // 10, N_ROWS // 10 + N_ROWS // 5),
+        ValueRange.between(n // 10, n // 10 + n // 5),
     )
 
 
 def _run_conjunction3(fx: _Fixtures) -> None:
     t = Timeline()
+    n = fx.n_rows
     cand = select_approx(
         fx.machine.gpu, t, fx.columns[0], "c0",
-        ValueRange.between(0, N_ROWS // 2),
+        ValueRange.between(0, n // 2),
     )
     cand = select_approx_narrow(
         fx.machine.gpu, t, fx.columns[1], "c1",
-        ValueRange.between(N_ROWS // 4, 3 * N_ROWS // 4), cand,
+        ValueRange.between(n // 4, 3 * n // 4), cand,
     )
     select_approx_narrow(
         fx.machine.gpu, t, fx.columns[2], "c2",
-        ValueRange.between(N_ROWS // 3, 2 * N_ROWS // 3), cand,
+        ValueRange.between(n // 3, 2 * n // 3), cand,
     )
 
 
-def _run_theta_band(fx: _Fixtures) -> None:
+def _run_theta_band(fx: _Fixtures, strategy: str, large: bool = False) -> None:
+    left = fx.theta_left_xl if large else fx.theta_left
+    right = fx.theta_right_xl if large else fx.theta_right
     theta_join_approx(
-        fx.machine.gpu, Timeline(), fx.theta_left, fx.theta_right,
-        Theta(ThetaOp.WITHIN, 64),
+        fx.machine.gpu, Timeline(), left, right,
+        Theta(ThetaOp.WITHIN, 64), strategy=strategy,
     )
 
 
@@ -132,25 +176,28 @@ def _run_tpch_q6(fx: _Fixtures) -> None:
     fx.tpch.execute(fx.q6, mode="ar")
 
 
-def build_suite() -> dict:
-    fx = _Fixtures.get()
+def build_suite(quick: bool = False) -> dict:
+    fx = _Fixtures.get(quick)
+    n = fx.n_rows
     return {
         "micro.pack.w8": lambda: pack_codes(fx.codes8, 8),
         "micro.pack.w12": lambda: pack_codes(fx.codes12, 12),
-        "micro.unpack.w8": lambda: unpack_codes(fx.packed8, 8, N_ROWS),
-        "micro.unpack.w12": lambda: unpack_codes(fx.packed12, 12, N_ROWS),
+        "micro.unpack.w8": lambda: unpack_codes(fx.packed8, 8, n),
+        "micro.unpack.w12": lambda: unpack_codes(fx.packed12, 12, n),
         "micro.gather.w12": lambda: gather_codes(
-            fx.packed12, 12, N_ROWS, fx.positions
+            fx.packed12, 12, n, fx.positions
         ),
         "scan.selection": lambda: _run_selection(fx),
         "scan.conjunction3": lambda: _run_conjunction3(fx),
-        "join.theta.band": lambda: _run_theta_band(fx),
+        "join.theta.band": lambda: _run_theta_band(fx, "auto"),
+        "join.theta.band.bruteforce": lambda: _run_theta_band(fx, "bruteforce"),
+        "join.theta.band.large": lambda: _run_theta_band(fx, "sorted", large=True),
         "tpch.q6.ar": lambda: _run_tpch_q6(fx),
     }
 
 
 # ----------------------------------------------------------------------
-# pytest-benchmark smoke target
+# pytest-benchmark smoke target (full sizes; explicit invocation only)
 # ----------------------------------------------------------------------
 def pytest_generate_tests(metafunc):
     if "bench_name" in metafunc.fixturenames:
@@ -164,8 +211,8 @@ def test_wallclock(benchmark, bench_name):
 # ----------------------------------------------------------------------
 # Trajectory recorder
 # ----------------------------------------------------------------------
-def measure(reps: int) -> dict[str, float]:
-    suite = build_suite()
+def measure(reps: int, quick: bool = False) -> dict[str, float]:
+    suite = build_suite(quick)
     results: dict[str, float] = {}
     for name, fn in suite.items():
         fn()  # warmup (also builds any lazy caches, as a real workload would)
@@ -175,14 +222,14 @@ def measure(reps: int) -> dict[str, float]:
             fn()
             best = min(best, time.perf_counter() - t0)
         results[name] = best
-        print(f"{name:24s} {best * 1e3:10.2f} ms")
+        print(f"{name:28s} {best * 1e3:10.2f} ms")
     return results
 
 
-def record(label: str, reps: int) -> None:
+def record(label: str, reps: int, out: Path = _RESULT_FILE) -> None:
     data = {}
-    if _RESULT_FILE.exists():
-        data = json.loads(_RESULT_FILE.read_text())
+    if out.exists():
+        data = json.loads(out.read_text())
     data.setdefault("meta", {})
     data["meta"].update({"n_rows": N_ROWS, "tpch_sf": TPCH_SF, "reps": reps})
     data[label] = measure(reps)
@@ -192,13 +239,21 @@ def record(label: str, reps: int) -> None:
             for k in data["after"]
             if k in data["before"] and data["after"][k] > 0
         }
-    _RESULT_FILE.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
-    print(f"recorded {label!r} into {_RESULT_FILE}")
+    out.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(f"recorded {label!r} into {out}")
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="after", help="before | after | <tag>")
     parser.add_argument("--reps", type=int, default=5)
+    parser.add_argument("--out", type=Path, default=_RESULT_FILE)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small inputs, one rep, print only (smoke mode; records nothing)",
+    )
     args = parser.parse_args()
-    record(args.label, args.reps)
+    if args.quick:
+        measure(reps=1, quick=True)
+    else:
+        record(args.label, args.reps, args.out)

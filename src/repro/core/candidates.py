@@ -5,6 +5,17 @@ tuple ids of an over-approximated result set, together with whatever
 device-side payload later refinement steps need (the approximation codes
 that were matched, per-row error bounds for computed values).  Refinement
 operators consume one of these plus the residual data.
+
+Two candidate shapes exist:
+
+* :class:`Approximation` — unary candidates (one id per row), used by
+  selections, projections and FK joins.
+* :class:`PairCandidates` — binary candidates (a left/right position per
+  pair), used by theta joins.  Pair candidates obey the **order-insensitive
+  contract** (see PERFORMANCE.md): a ``PairCandidates`` denotes a *set* of
+  pairs; no producer guarantees any emission order and no consumer may rely
+  on one.  Deterministic order exists only at final result materialization,
+  via :meth:`PairCandidates.canonicalized`.
 """
 
 from __future__ import annotations
@@ -13,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ExecutionError
 from ..util import as_index_array
 from .intervals import IntervalColumn
 
@@ -85,4 +97,77 @@ class Approximation:
             order_preserved=self.order_preserved,
             payloads={k: v.take(keep_mask) for k, v in self.payloads.items()},
             exact=self.exact,
+        )
+
+
+@dataclass
+class PairCandidates:
+    """Candidate pair set of an approximate theta join.
+
+    **Order-insensitive contract.**  The two aligned position arrays denote
+    an unordered *set* of (left, right) pairs — relational results are sets
+    of tuples, so no operator in the approximate→ship→refine pipeline may
+    depend on emission order.  The sort-based interval join and the
+    brute-force nested loop emit the same pair set in different orders;
+    both are equally valid producers.  Consumers that need a deterministic
+    layout (final result materialization, figure rendering) must call
+    :meth:`canonicalized`; everything upstream narrows with boolean masks,
+    which are order-agnostic.  Set-level comparison is
+    :meth:`set_equals` / :meth:`pair_set`.
+    """
+
+    left_positions: np.ndarray
+    right_positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.left_positions = np.asarray(self.left_positions, dtype=np.int64)
+        self.right_positions = np.asarray(self.right_positions, dtype=np.int64)
+        if self.left_positions.shape != self.right_positions.shape:
+            raise ExecutionError("pair arrays misaligned")
+
+    def __len__(self) -> int:
+        return len(self.left_positions)
+
+    # ------------------------------------------------------------------
+    def narrowed(self, keep_mask: np.ndarray) -> "PairCandidates":
+        """Pair subset selected by a boolean mask (order-agnostic)."""
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        return PairCandidates(
+            self.left_positions[keep_mask], self.right_positions[keep_mask]
+        )
+
+    def canonical_order(self) -> np.ndarray:
+        """Permutation sorting the pairs lexicographically by (left, right)."""
+        return np.lexsort((self.right_positions, self.left_positions))
+
+    def canonicalized(self) -> "PairCandidates":
+        """The unique (left, right)-sorted layout of this pair set.
+
+        The *only* place order is allowed to matter: call this at final
+        result materialization, never between pipeline operators.
+        """
+        order = self.canonical_order()
+        return PairCandidates(
+            self.left_positions[order], self.right_positions[order]
+        )
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        """The pairs as a Python set (small inputs / tests)."""
+        return set(
+            zip(self.left_positions.tolist(), self.right_positions.tolist())
+        )
+
+    def set_equals(self, other: "PairCandidates") -> bool:
+        """True when both hold the same pair *set* (order ignored).
+
+        Compares canonicalized arrays, so duplicates must match in
+        multiplicity too — producers never emit duplicates, making this the
+        set comparison at array speed.
+        """
+        if len(self) != len(other):
+            return False
+        a, b = self.canonicalized(), other.canonicalized()
+        return bool(
+            np.array_equal(a.left_positions, b.left_positions)
+            and np.array_equal(a.right_positions, b.right_positions)
         )

@@ -22,7 +22,7 @@ from ..device.timeline import Timeline
 from ..device.model import AccessPattern, OpClass
 from ..errors import ExecutionError
 from ..storage.decompose import BwdColumn
-from .candidates import Approximation
+from .candidates import Approximation, PairCandidates
 from .intervals import IntervalColumn
 from .relax import ValueRange
 from .translucent import translucent_join
@@ -55,6 +55,24 @@ def ship_candidates(
     """
     nbytes = len(candidates) * (_SHIP_OID_BYTES + payload_bytes_per_row)
     bus.transfer(timeline, nbytes, "candidates", phase="refine")
+
+
+def ship_pairs(
+    bus: PciBus,
+    timeline: Timeline,
+    pairs: PairCandidates,
+) -> None:
+    """Move a theta join's candidate pairs device→host.
+
+    Two 32-bit position oids per pair cross the bus.  The transfer is a
+    pure function of the pair *count*: candidate pairs are an unordered set
+    (see :class:`~repro.core.candidates.PairCandidates`), and both producer
+    strategies emit the same set, so the modeled charge is identical
+    whichever one ran.
+    """
+    bus.transfer(
+        timeline, len(pairs) * 2 * _SHIP_OID_BYTES, "pairs", phase="refine"
+    )
 
 
 def select_refine(

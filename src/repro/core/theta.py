@@ -13,6 +13,24 @@ bucket.  The host then re-evaluates θ on reconstructed exact values for the
 (much smaller) candidate pair set.
 
 Supported θ: ``< <= > >= =`` and the band join ``|left − right| <= delta``.
+
+Two simulation strategies produce the candidate pair *set*:
+
+* **sorted** — sort one side's interval bounds once, then one vectorized
+  ``searchsorted`` range lookup per left row: O((|L|+|R|)·log|R| + output)
+  wall-clock.  Every supported θ maps to a contiguous run of the sorted
+  right side (the inequalities through a single bound; ``=``/``WITHIN``
+  through the constant interval width the bitwise decomposition
+  guarantees).
+* **bruteforce** — the tiled |L|·|R| nested loop, kept as the oracle and as
+  the fallback for tiny right sides or non-uniform interval widths.
+
+Both emit exactly the same pair set — in different orders, which is why the
+pipeline obeys the order-insensitive contract of
+:class:`~repro.core.candidates.PairCandidates` — and both charge identical
+modeled seconds: the device model always bills the paper's massively
+parallel |L|·|R| comparison volume, regardless of how the simulation
+shortcut obtained the same set.
 """
 
 from __future__ import annotations
@@ -28,7 +46,17 @@ from ..device.model import OpClass
 from ..device.timeline import Timeline
 from ..errors import ExecutionError
 from ..storage.decompose import BwdColumn
+from .candidates import PairCandidates
 from .intervals import IntervalColumn
+
+__all__ = [
+    "PairCandidates",
+    "Theta",
+    "ThetaOp",
+    "theta_join_approx",
+    "theta_join_refine",
+    "theta_join_reference",
+]
 
 _OID_BYTES = 8
 
@@ -40,6 +68,13 @@ _TILE_ELEMS = 1 << 22
 
 #: Lower bound on the adaptive tile height.
 _TILE_MIN = 256
+
+#: Below this right-side row count the brute-force tile beats paying for an
+#: argsort + per-row binary searches.
+_SORT_MIN_RIGHT = 32
+
+#: Valid ``strategy`` arguments of :func:`theta_join_approx`.
+STRATEGIES = ("auto", "sorted", "bruteforce")
 
 
 class ThetaOp(enum.Enum):
@@ -117,23 +152,6 @@ class Theta:
         return np.maximum(left_hi - right_lo, right_hi - left_lo) <= self.delta
 
 
-@dataclass
-class PairCandidates:
-    """Candidate pair set of an approximate theta join."""
-
-    left_positions: np.ndarray
-    right_positions: np.ndarray
-
-    def __post_init__(self) -> None:
-        self.left_positions = np.asarray(self.left_positions, dtype=np.int64)
-        self.right_positions = np.asarray(self.right_positions, dtype=np.int64)
-        if self.left_positions.shape != self.right_positions.shape:
-            raise ExecutionError("pair arrays misaligned")
-
-    def __len__(self) -> int:
-        return len(self.left_positions)
-
-
 def _bounds(column: BwdColumn) -> IntervalColumn:
     dec = column.decomposition
     codes = column.approx_codes()
@@ -143,31 +161,118 @@ def _bounds(column: BwdColumn) -> IntervalColumn:
     return IntervalColumn.from_bounds(lo, lo + dec.max_error)
 
 
-def theta_join_approx(
-    gpu: SimulatedGPU,
-    timeline: Timeline,
-    left: BwdColumn,
-    right: BwdColumn,
-    theta: Theta,
-) -> PairCandidates:
-    """Device-side nested-loop theta join over approximate intervals.
+# ----------------------------------------------------------------------
+# Candidate-pair production strategies
+# ----------------------------------------------------------------------
+def _uniform_width(bounds: IntervalColumn) -> int | None:
+    """The single interval width of ``bounds``, or None if widths vary.
 
-    Emits every (left, right) position pair whose buckets could satisfy θ —
-    a superset of the exact join.  The comparison work is |L|·|R| tuple
-    operations (the massively parallel nested loop), charged as such; the
-    memory traffic is only the two (narrow) input streams plus the output.
+    Bounds derived from a bitwise decomposition are always uniform: every
+    bucket spans ``2**residual_bits`` values (``max_error`` wide), or zero
+    for fully device-resident columns.
     """
-    left_b = _bounds(left)
-    right_b = _bounds(right)
-    tile = max(_TILE_MIN, _TILE_ELEMS // max(right.length, 1))
+    if len(bounds.lo) == 0:
+        return 0
+    widths = bounds.hi - bounds.lo
+    first = int(widths[0])
+    if bool((widths == first).all()):
+        return first
+    return None
+
+
+def _sortable(theta: Theta, right_width: int | None) -> bool:
+    """Can the sorted strategy produce this θ's pair set?
+
+    The four inequalities cut the right side at a single bound, so any
+    interval shape sorts.  ``=`` and ``WITHIN`` constrain both bounds; they
+    stay a contiguous run only when the right intervals share one width
+    (guaranteed for decomposition bounds, checked defensively anyway).
+    """
+    if theta.op in (ThetaOp.LT, ThetaOp.LE, ThetaOp.GT, ThetaOp.GE):
+        return True
+    return right_width is not None
+
+
+def _emit_ranges(
+    starts: np.ndarray, stops: np.ndarray, order: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize per-left-row [start, stop) runs of the sorted right side."""
+    counts = stops - starts
+    np.maximum(counts, 0, out=counts)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    left_pos = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    right_pos = order[np.repeat(starts, counts) + within]
+    return left_pos, right_pos
+
+
+def _sorted_pairs(
+    left_b: IntervalColumn,
+    right_b: IntervalColumn,
+    theta: Theta,
+    right_width: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-based interval join: one argsort + two searchsorted sweeps.
+
+    Emits the identical pair *set* as the brute-force nested loop (the
+    ``possible`` predicate, rearranged around one sorted bound), in
+    right-bound-sorted order per left row.
+    """
+    n_left, n_right = len(left_b.lo), len(right_b.lo)
+    if n_left == 0 or n_right == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    op = theta.op
+    if op in (ThetaOp.LT, ThetaOp.LE):
+        # left_lo (<|<=) right_hi  ⇔  a suffix of the hi-sorted right side.
+        order = np.argsort(right_b.hi, kind="stable").astype(np.int64)
+        key = right_b.hi[order]
+        side = "right" if op is ThetaOp.LT else "left"
+        starts = np.searchsorted(key, left_b.lo, side=side).astype(np.int64)
+        stops = np.full(n_left, n_right, dtype=np.int64)
+    elif op in (ThetaOp.GT, ThetaOp.GE):
+        # left_hi (>|>=) right_lo  ⇔  a prefix of the lo-sorted right side.
+        order = np.argsort(right_b.lo, kind="stable").astype(np.int64)
+        key = right_b.lo[order]
+        side = "left" if op is ThetaOp.GT else "right"
+        starts = np.zeros(n_left, dtype=np.int64)
+        stops = np.searchsorted(key, left_b.hi, side=side).astype(np.int64)
+    else:
+        # Overlap tests (=, WITHIN) constrain both right bounds.  With the
+        # uniform width c = hi − lo, both collapse onto the lo-sorted side:
+        #   left_lo − δ <= right_hi  ∧  left_hi + δ >= right_lo
+        #   ⇔  right_lo ∈ [left_lo − δ − c, left_hi + δ].
+        width = right_width
+        if width is None:  # pragma: no cover - guarded by _sortable
+            raise ExecutionError("sorted theta join needs uniform right bounds")
+        order = np.argsort(right_b.lo, kind="stable").astype(np.int64)
+        key = right_b.lo[order]
+        delta = theta.delta if op is ThetaOp.WITHIN else 0
+        starts = np.searchsorted(
+            key, left_b.lo - delta - width, side="left"
+        ).astype(np.int64)
+        stops = np.searchsorted(
+            key, left_b.hi + delta, side="right"
+        ).astype(np.int64)
+    return _emit_ranges(starts, stops, order)
+
+
+def _tiled_pairs(
+    left_b: IntervalColumn, right_b: IntervalColumn, theta: Theta
+) -> tuple[np.ndarray, np.ndarray]:
+    """Brute-force nested loop over adaptive tiles (the oracle path)."""
+    n_left, n_right = len(left_b.lo), len(right_b.lo)
+    tile = max(_TILE_MIN, _TILE_ELEMS // max(n_right, 1))
     # Preallocated, geometrically-grown pair buffers instead of a Python
     # list of per-tile fragments plus a final concatenate.
-    cap = max(1024, left.length + right.length)
+    cap = max(1024, n_left + n_right)
     out_left = np.empty(cap, dtype=np.int64)
     out_right = np.empty(cap, dtype=np.int64)
     count = 0
-    for start in range(0, left.length, tile):
-        stop = min(start + tile, left.length)
+    for start in range(0, n_left, tile):
+        stop = min(start + tile, n_left)
         mask = theta.possible(
             left_b.lo[start:stop, None], left_b.hi[start:stop, None],
             right_b.lo[None, :], right_b.hi[None, :],
@@ -182,7 +287,69 @@ def theta_join_approx(
         out_left[count:need] += start
         out_right[count:need] = ri
         count = need
-    pairs = PairCandidates(out_left[:count].copy(), out_right[:count].copy())
+    return out_left[:count].copy(), out_right[:count].copy()
+
+
+def _pick_strategy(
+    strategy: str, theta: Theta, right_width: int | None, n_right: int
+) -> str:
+    if strategy not in STRATEGIES:
+        raise ExecutionError(
+            f"unknown theta strategy {strategy!r}; pick one of {STRATEGIES}"
+        )
+    if strategy == "bruteforce":
+        return "bruteforce"
+    sortable = _sortable(theta, right_width)
+    if strategy == "sorted":
+        if not sortable:
+            raise ExecutionError(
+                "sorted strategy requires a single-bound θ or uniform "
+                "right-side interval widths"
+            )
+        return "sorted"
+    if not sortable or n_right < _SORT_MIN_RIGHT:
+        return "bruteforce"
+    return "sorted"
+
+
+def theta_join_approx(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    left: BwdColumn,
+    right: BwdColumn,
+    theta: Theta,
+    *,
+    strategy: str = "auto",
+) -> PairCandidates:
+    """Device-side theta join over approximate intervals.
+
+    Emits every (left, right) position pair whose buckets could satisfy θ —
+    a superset of the exact join, as an order-free candidate pair *set*
+    (see :class:`~repro.core.candidates.PairCandidates`).
+
+    ``strategy`` picks how the simulation computes that set: ``"sorted"``
+    (searchsorted interval join), ``"bruteforce"`` (tiled nested loop) or
+    ``"auto"`` (sorted unless the right side is tiny or θ cannot sort).
+    The modeled charge is strategy-independent by construction: the device
+    model bills the paper's massively parallel |L|·|R| comparison volume
+    plus the streams-and-output traffic, and both strategies produce the
+    same pair count.
+    """
+    left_b = _bounds(left)
+    right_b = _bounds(right)
+    # The overlap ops need the right side's uniform interval width; compute
+    # the O(|R|) check once and share it between strategy pick and join.
+    right_width = (
+        _uniform_width(right_b)
+        if theta.op in (ThetaOp.EQ, ThetaOp.WITHIN)
+        else None
+    )
+    chosen = _pick_strategy(strategy, theta, right_width, right.length)
+    if chosen == "sorted":
+        li, ri = _sorted_pairs(left_b, right_b, theta, right_width)
+    else:
+        li, ri = _tiled_pairs(left_b, right_b, theta)
+    pairs = PairCandidates(li, ri)
     read = left.approx_nbytes + right.approx_nbytes
     gpu._charge(
         timeline, f"join.theta.approx({theta.op.value})",
@@ -204,6 +371,8 @@ def theta_join_refine(
 
     The approximation turned a |L|·|R| nested loop into work linear in the
     candidate count — the transformation §IV-D describes for joins.
+    Order-insensitive: the keep-mask narrows whatever pair order arrives,
+    so the refined set is the same for every producer strategy.
     """
     if len(pairs) == 0:
         return pairs
@@ -215,9 +384,7 @@ def theta_join_refine(
         len(pairs) * 2 * _OID_BYTES,
         tuples=len(pairs), op_class=OpClass.GATHER,
     )
-    return PairCandidates(
-        pairs.left_positions[keep], pairs.right_positions[keep]
-    )
+    return pairs.narrowed(keep)
 
 
 def theta_join_reference(

@@ -31,7 +31,9 @@ from ..core.refine import (
     project_refine,
     select_refine,
     ship_candidates,
+    ship_pairs,
 )
+from ..core.theta import Theta, theta_join_approx, theta_join_refine
 from ..core.relax import ValueRange
 from ..device.machine import Machine
 from ..device.model import AccessPattern, OpClass
@@ -187,6 +189,71 @@ class ArExecutor:
                 approximate=state.approximate,
             )
         return self._finalize(state)
+
+    # ------------------------------------------------------------------
+    def theta_join(
+        self,
+        left: str,
+        right: str,
+        theta: Theta,
+        timeline: Timeline | None = None,
+        *,
+        strategy: str = "auto",
+    ) -> Result:
+        """Run the full A&R theta-join pipeline between two decomposed columns.
+
+        ``left``/``right`` name columns as ``"table.column"``.  The device
+        emits the candidate pair set (order-free), the pairs cross the bus
+        once, the host refines them with exact θ, and **only then** — at
+        final result materialization — is the set canonicalized into the
+        deterministic (left, right)-sorted layout.  Everything upstream of
+        that last step obeys the order-insensitive pair contract, which is
+        what lets the simulation pick the sort-based producer over the
+        brute-force one without changing any observable result.
+        """
+        timeline = timeline if timeline is not None else Timeline()
+        left_col = self._pair_column(left)
+        right_col = self._pair_column(right)
+        machine = self._machine
+
+        pairs = theta_join_approx(
+            machine.gpu, timeline, left_col, right_col, theta,
+            strategy=strategy,
+        )
+        ship_pairs(machine.bus, timeline, pairs)
+        refined = theta_join_refine(
+            machine.cpu, timeline, left_col, right_col, theta, pairs
+        )
+        final = refined.canonicalized()
+        # The presentation sort is billed on the host; it depends only on
+        # the refined pair count, never on the producer strategy.
+        machine.cpu.charge(
+            timeline, "join.theta.materialize",
+            len(final) * 2 * _OID_BYTES,
+            tuples=len(final), op_class=OpClass.SCAN,
+        )
+        approximate = ApproximateAnswer()
+        approximate.candidate_rows = len(pairs)
+        return Result(
+            columns={
+                "left_pos": final.left_positions,
+                "right_pos": final.right_positions,
+            },
+            row_count=len(final),
+            timeline=timeline,
+            approximate=approximate,
+        )
+
+    def _pair_column(self, name: str) -> BwdColumn:
+        table, _, column = name.partition(".")
+        if not column:
+            raise PlanError(
+                f"theta join operand {name!r} must be qualified as table.column"
+            )
+        col = self._catalog.decomposition_of(table, column)
+        if col is None:
+            raise PlanError(f"column {name!r} is not decomposed")
+        return col
 
     # ------------------------------------------------------------------
     def _dispatch(self, op, state: _ExecState) -> None:

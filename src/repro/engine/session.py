@@ -111,6 +111,38 @@ class Session:
             plan, timeline, approximate_only=(mode == "approximate")
         )
 
+    def theta_join(
+        self,
+        left: str,
+        right: str,
+        op: str,
+        delta: int = 0,
+        *,
+        strategy: str = "auto",
+        timeline: Timeline | None = None,
+    ) -> Result:
+        """A&R theta join between two decomposed columns (§IV-D).
+
+        ``left``/``right`` are qualified ``"table.column"`` names; ``op`` is
+        one of ``< <= > >= =`` or ``"within"`` (the band join, with
+        ``delta``).  Returns a result with ``left_pos``/``right_pos``
+        columns in canonical (left, right)-sorted order — the one place the
+        order-insensitive candidate-pair contract fixes an order.
+        """
+        from ..core.theta import Theta, ThetaOp
+
+        try:
+            theta_op = ThetaOp(op)
+        except ValueError:
+            valid = ", ".join(member.value for member in ThetaOp)
+            raise PlanError(
+                f"unknown theta operator {op!r}; pick one of: {valid}"
+            ) from None
+        theta = Theta(theta_op, delta)
+        return self._ar.theta_join(
+            left, right, theta, timeline, strategy=strategy
+        )
+
     def execute(
         self,
         sql: str,

@@ -9,14 +9,27 @@ memory the paper tries to conserve, so codes are packed back to back into a
 Both directions are fully vectorized.  Widths that divide the word size
 (1, 2, 4, 8, 16, 32, 64) take a *word-aligned* fast path: no code ever
 straddles a word boundary, so packing and unpacking reduce to pure
-reshape/shift arithmetic with zero spill handling.  Arbitrary widths go
-through the general path, where a code may straddle two words; the straddle
-is handled with a masked second scatter/gather, and the scatter side uses a
-segment reduction (``bitwise_or.reduceat`` over runs of equal word indices)
-instead of the unbuffered — and notoriously slow — ``np.bitwise_or.at``.
+reshape/shift arithmetic with zero spill handling.
+
+Arbitrary widths go through the *block-aligned* path: the stream layout
+repeats every ``lcm(bits, 64)`` bits — a **period** of ``lcm // 64`` words
+holding ``lcm // bits`` codes, where both the word grid and the code grid
+realign.  The bit offset, word index and straddle behaviour of code ``i``
+therefore depend only on the lane ``i mod codes_per_period``, so full
+periods are processed as a 2-D (periods × lanes) problem with one small
+precomputed lane table: no per-code index arrays (the old path built three
+O(n) arrays of bit positions, word indices and offsets per call).  Straddle
+spills use a masked second scatter/gather on the spilling lanes only, and
+the pack side ORs lanes into words with a segment reduction
+(``bitwise_or.reduceat`` along the lane axis) instead of the unbuffered —
+and notoriously slow — ``np.bitwise_or.at``.  The sub-period tail (fewer
+than ``codes_per_period`` codes) falls back to per-code index math on at
+most 63 codes.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -29,6 +42,39 @@ _WORD_BITS = 64
 def _is_aligned(bits: int) -> bool:
     """True when codes of this width never straddle a word boundary."""
     return _WORD_BITS % bits == 0
+
+
+def _lane_table(bits: int) -> tuple[int, int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-width block layout: one period of the repeating stream pattern.
+
+    Returns ``(period_words, codes_per_period, word_of_lane, offset_of_lane,
+    spill_lanes, word_starts)`` where ``word_starts[w]`` is the first lane
+    whose low bits land in period word ``w`` (every period word contains at
+    least one code start when ``bits < 64``, since a code shorter than a
+    word cannot cover one entirely).
+    """
+    table = _LANE_TABLES.get(bits)
+    if table is None:
+        lcm = bits * _WORD_BITS // math.gcd(bits, _WORD_BITS)
+        codes_per_period = lcm // bits
+        bit_pos = np.arange(codes_per_period, dtype=np.uint64) * np.uint64(bits)
+        word_of_lane = (bit_pos >> np.uint64(6)).astype(np.int64)
+        offset_of_lane = bit_pos & np.uint64(_WORD_BITS - 1)
+        spill_lanes = np.flatnonzero(
+            offset_of_lane + np.uint64(bits) > np.uint64(_WORD_BITS)
+        )
+        word_starts = np.flatnonzero(
+            np.r_[True, word_of_lane[1:] != word_of_lane[:-1]]
+        )
+        table = (
+            lcm // _WORD_BITS, codes_per_period,
+            word_of_lane, offset_of_lane, spill_lanes, word_starts,
+        )
+        _LANE_TABLES[bits] = table
+    return table
+
+
+_LANE_TABLES: dict[int, tuple] = {}
 
 
 def packed_nbytes(count: int, bits: int) -> int:
@@ -87,26 +133,54 @@ def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
 
     words = np.zeros(n_words, dtype=np.uint64)
 
-    bit_pos = np.arange(n, dtype=np.uint64) * np.uint64(bits)
+    # Block-aligned path: full lcm(bits, 64)-bit periods as a 2-D
+    # (periods × lanes) problem, indexed by the per-width lane table only.
+    period_words, cpb, word_of_lane, offset_of_lane, spill_lanes, word_starts = \
+        _lane_table(bits)
+    full = n // cpb
+    if full:
+        lanes = as_u64[: full * cpb].reshape(full, cpb)
+        low = lanes << offset_of_lane[None, :]
+        # Lanes starting in the same period word are adjacent: OR each run
+        # with one segment reduction along the lane axis.
+        blocks = np.bitwise_or.reduceat(low, word_starts, axis=1)
+        if spill_lanes.size:
+            # A spilling lane's high bits land at the bottom of the next
+            # period word; at most one lane spills per word boundary, so
+            # the targets are unique.  The last lane of a period ends
+            # exactly on the period boundary and never spills.
+            hi = lanes[:, spill_lanes] >> (
+                np.uint64(_WORD_BITS) - offset_of_lane[spill_lanes]
+            )
+            blocks[:, word_of_lane[spill_lanes] + 1] |= hi
+        words[: full * period_words] = blocks.reshape(-1)
+    tail = n - full * cpb
+    if tail:
+        # Sub-period remainder (< codes_per_period ≤ 64 codes): per-code
+        # index math on the word-aligned trailing slice.
+        _pack_tail(words[full * period_words:], as_u64[full * cpb:], bits)
+    return words
+
+
+def _pack_tail(words: np.ndarray, codes: np.ndarray, bits: int) -> None:
+    """Pack fewer than one period of codes into a zeroed word slice."""
+    bit_pos = np.arange(len(codes), dtype=np.uint64) * np.uint64(bits)
     word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)
     offset = bit_pos & np.uint64(_WORD_BITS - 1)
-
     # ``word_idx`` is non-decreasing, so the scatter-OR is a segment
     # reduction: OR each run of codes targeting the same word, then store
     # one value per distinct word.
-    contrib = as_u64 << offset
+    contrib = codes << offset
     starts = np.flatnonzero(np.r_[True, word_idx[1:] != word_idx[:-1]])
     words[word_idx[starts]] = np.bitwise_or.reduceat(contrib, starts)
-
     # Codes straddling a word boundary spill their high bits into the next
     # word.  ``offset`` is non-zero for every spilling code, so the shift
     # count ``64 - offset`` stays within [1, 63]; each boundary is straddled
     # by at most one code, so the spill targets are unique.
     spills = (offset + np.uint64(bits)) > np.uint64(_WORD_BITS)
     if bool(spills.any()):
-        hi = as_u64[spills] >> (np.uint64(_WORD_BITS) - offset[spills])
+        hi = codes[spills] >> (np.uint64(_WORD_BITS) - offset[spills])
         words[word_idx[spills] + 1] |= hi
-    return words
 
 
 def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
@@ -132,17 +206,38 @@ def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
             out &= np.uint64(mask(bits))
         return out.reshape(-1)[:count]
 
+    # Block-aligned path mirroring ``pack_codes``: full periods via the
+    # lane table, the sub-period tail via per-code index math.
+    period_words, cpb, word_of_lane, offset_of_lane, spill_lanes, _ = \
+        _lane_table(bits)
+    full = count // cpb
+    out = np.empty(count, dtype=np.uint64)
+    if full:
+        blocks = words[: full * period_words].reshape(full, period_words)
+        lanes = blocks[:, word_of_lane] >> offset_of_lane[None, :]
+        if spill_lanes.size:
+            lanes[:, spill_lanes] |= blocks[:, word_of_lane[spill_lanes] + 1] << (
+                np.uint64(_WORD_BITS) - offset_of_lane[spill_lanes]
+            )
+        out[: full * cpb] = lanes.reshape(-1)
+    tail = count - full * cpb
+    if tail:
+        out[full * cpb:] = _unpack_tail(words[full * period_words:], bits, tail)
+    if bits < _WORD_BITS:
+        out &= np.uint64(mask(bits))
+    return out
+
+
+def _unpack_tail(words: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Unpack fewer than one period of codes from a word-aligned slice."""
     bit_pos = np.arange(count, dtype=np.uint64) * np.uint64(bits)
     word_idx = (bit_pos >> np.uint64(6)).astype(np.int64)
     offset = bit_pos & np.uint64(_WORD_BITS - 1)
-
     out = words[word_idx] >> offset
     spills = (offset + np.uint64(bits)) > np.uint64(_WORD_BITS)
     if bool(spills.any()):
         hi = words[word_idx[spills] + 1] << (np.uint64(_WORD_BITS) - offset[spills])
         out[spills] |= hi
-    if bits < _WORD_BITS:
-        out &= np.uint64(mask(bits))
     return out
 
 

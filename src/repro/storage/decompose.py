@@ -19,6 +19,8 @@ bucket of ``2**residual_bits`` consecutive values.
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -182,6 +184,89 @@ def _frozen(codes: np.ndarray) -> np.ndarray:
     return codes
 
 
+class _ViewBudget:
+    """Optional LRU byte budget over every column's decoded code views.
+
+    Decoded views double host memory next to the packed streams (see
+    PERFORMANCE.md); memory-constrained runs can cap them with
+    :func:`set_view_budget` and trade rebuild cost back in.  Unbounded by
+    default — the knob then costs one registry insert per view and nothing
+    per access.  Eviction clears the column's cache slot; arrays already
+    handed to callers stay valid (they are plain read-only ndarrays), and
+    the next access rebuilds from the packed stream.  Purely host-side
+    simulation state: modeled :class:`Timeline` charges never depend on
+    whether a view was cached (the code-cache invariant).
+    """
+
+    def __init__(self) -> None:
+        self.limit: int | None = None
+        self.used = 0
+        # (id(column), attr) -> (weakref, attr, nbytes); insertion order = LRU.
+        self._entries: OrderedDict[tuple[int, str], tuple] = OrderedDict()
+
+    def configure(self, limit: int | None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"view budget must be non-negative, got {limit}")
+        self.limit = limit
+        self._evict()
+
+    def note(self, column: "BwdColumn", attr: str, nbytes: int) -> None:
+        """Register a freshly materialized view (most-recently-used)."""
+        key = (id(column), attr)
+        if key not in self._entries:
+            ref = weakref.ref(column, lambda _ref, key=key: self._forget(key))
+            self._entries[key] = (ref, attr, nbytes)
+            self.used += nbytes
+        self._entries.move_to_end(key)
+        self._evict()
+
+    def touch(self, column: "BwdColumn", attr: str) -> None:
+        """Refresh a view's recency on a cache hit (no-op when unbounded)."""
+        if self.limit is None:
+            return
+        key = (id(column), attr)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+
+    def _forget(self, key: tuple[int, str]) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.used -= entry[2]
+
+    def _evict(self) -> None:
+        if self.limit is None:
+            return
+        while self.used > self.limit and self._entries:
+            _, (ref, attr, nbytes) = self._entries.popitem(last=False)
+            self.used -= nbytes
+            column = ref()
+            if column is not None:
+                setattr(column, attr, None)
+
+
+_VIEW_BUDGET = _ViewBudget()
+
+
+def set_view_budget(nbytes: int | None) -> None:
+    """Cap the total bytes of cached decoded code views (None = unbounded).
+
+    With a budget, least-recently-used views are dropped first; a budget of
+    0 keeps every column permanently cold (views rebuild on each use).  The
+    default is unbounded — the PR-1 behavior.
+    """
+    _VIEW_BUDGET.configure(nbytes)
+
+
+def view_budget() -> int | None:
+    """The current decoded-view byte budget (None = unbounded)."""
+    return _VIEW_BUDGET.limit
+
+
+def view_cache_bytes() -> int:
+    """Total bytes of decoded views currently held across live columns."""
+    return _VIEW_BUDGET.used
+
+
 class BwdColumn:
     """A bitwise-decomposed column: packed approximation + packed residual.
 
@@ -202,6 +287,7 @@ class BwdColumn:
     __slots__ = (
         "decomposition", "length", "_approx_words", "_residual_words",
         "_approx_cache", "_approx_i64_cache", "_residual_cache",
+        "__weakref__",
     )
 
     def __init__(
@@ -235,8 +321,10 @@ class BwdColumn:
         # The split already decoded both streams — seed the code views for
         # free instead of unpacking them again on first use.
         col._approx_cache = _frozen(approx)
+        _VIEW_BUDGET.note(col, "_approx_cache", approx.nbytes)
         if decomposition.residual_bits:
             col._residual_cache = _frozen(residual)
+            _VIEW_BUDGET.note(col, "_residual_cache", residual.nbytes)
         return col
 
     # ------------------------------------------------------------------
@@ -260,12 +348,17 @@ class BwdColumn:
     # ------------------------------------------------------------------
     def approx_codes(self) -> np.ndarray:
         """Decoded approximation stream (read-only, memoized)."""
-        if self._approx_cache is None:
-            self._approx_cache = _frozen(unpack_codes(
+        view = self._approx_cache
+        if view is None:
+            view = _frozen(unpack_codes(
                 self._approx_words, max(self.decomposition.approx_bits, 1),
                 self.length,
             ))
-        return self._approx_cache
+            self._approx_cache = view
+            _VIEW_BUDGET.note(self, "_approx_cache", view.nbytes)
+        else:
+            _VIEW_BUDGET.touch(self, "_approx_cache")
+        return view
 
     def approx_codes_i64(self) -> np.ndarray:
         """Decoded approximation stream as signed ints (read-only, memoized).
@@ -273,15 +366,19 @@ class BwdColumn:
         The comparison dtype of every scan kernel; caching it here removes
         one O(n) ``astype`` copy per predicate evaluation.
         """
-        if self._approx_i64_cache is None:
-            self._approx_i64_cache = _frozen(
-                self.approx_codes().astype(np.int64)
-            )
-        return self._approx_i64_cache
+        view = self._approx_i64_cache
+        if view is None:
+            view = _frozen(self.approx_codes().astype(np.int64))
+            self._approx_i64_cache = view
+            _VIEW_BUDGET.note(self, "_approx_i64_cache", view.nbytes)
+        else:
+            _VIEW_BUDGET.touch(self, "_approx_i64_cache")
+        return view
 
     def approx_at(self, positions: np.ndarray) -> np.ndarray:
         """Random-access approximation codes (device-side gather)."""
         if self._approx_cache is not None:
+            _VIEW_BUDGET.touch(self, "_approx_cache")
             return self._approx_cache[self._checked(positions)]
         return gather_codes(
             self._approx_words,
@@ -294,12 +391,17 @@ class BwdColumn:
         """Decoded residual stream (read-only, memoized)."""
         if self.decomposition.residual_bits == 0:
             return np.zeros(self.length, dtype=np.uint64)
-        if self._residual_cache is None:
-            self._residual_cache = _frozen(unpack_codes(
+        view = self._residual_cache
+        if view is None:
+            view = _frozen(unpack_codes(
                 self._residual_words, self.decomposition.residual_bits,
                 self.length,
             ))
-        return self._residual_cache
+            self._residual_cache = view
+            _VIEW_BUDGET.note(self, "_residual_cache", view.nbytes)
+        else:
+            _VIEW_BUDGET.touch(self, "_residual_cache")
+        return view
 
     def residual_at(self, positions: np.ndarray) -> np.ndarray:
         """Random-access residuals (host-side gather; the refine hot path)."""
@@ -307,6 +409,7 @@ class BwdColumn:
             positions = np.asarray(positions)
             return np.zeros(len(positions), dtype=np.uint64)
         if self._residual_cache is not None:
+            _VIEW_BUDGET.touch(self, "_residual_cache")
             return self._residual_cache[self._checked(positions)]
         return gather_codes(
             self._residual_words,

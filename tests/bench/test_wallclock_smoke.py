@@ -1,0 +1,41 @@
+"""Tier-1 smoke coverage for the wall-clock benchmark harness.
+
+``benchmarks/wallclock.py`` is deliberately named so the full-size suite is
+not collected by the default pytest run.  This test imports it by path and
+executes every benchmark once in ``--quick`` shape, so a refactor that
+breaks the harness (renamed kernel, changed signature, stale fixture)
+fails tier-1 instead of silently rotting until the next perf PR records a
+trajectory.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_WALLCLOCK_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "wallclock.py"
+)
+
+
+def _load_wallclock():
+    spec = importlib.util.spec_from_file_location(
+        "repro_wallclock_smoke", _WALLCLOCK_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_wallclock = _load_wallclock()
+
+
+@pytest.mark.parametrize("bench_name", sorted(_wallclock.build_suite(quick=True)))
+def test_wallclock_quick_smoke(bench_name):
+    _wallclock.build_suite(quick=True)[bench_name]()
+
+
+def test_quick_measure_reports_every_benchmark():
+    results = _wallclock.measure(reps=1, quick=True)
+    assert set(results) == set(_wallclock.build_suite(quick=True))
+    assert all(v > 0 for v in results.values())

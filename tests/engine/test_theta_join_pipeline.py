@@ -1,0 +1,94 @@
+"""The end-to-end A&R theta-join pipeline through the engine.
+
+approx (GPU) → ship pairs (PCI-E) → refine (CPU) → canonical
+materialization.  The order-insensitive candidate-pair contract holds
+through the whole pipeline: the producer strategy is unobservable — same
+final columns, same modeled timeline, byte for byte.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.theta import Theta, ThetaOp, theta_join_reference
+from repro.engine.session import Session
+from repro.errors import PlanError
+from repro.storage.column import IntType
+
+
+def spans_of(timeline):
+    return [
+        (s.device, s.kind, s.op, s.nbytes, s.seconds, s.phase)
+        for s in timeline._spans
+    ]
+
+
+@pytest.fixture()
+def session():
+    s = Session()
+    rng = np.random.default_rng(21)
+    s.create_table("orders", {"price": IntType()},
+                   {"price": rng.integers(0, 5000, 800)})
+    s.create_table("quotes", {"price": IntType()},
+                   {"price": rng.integers(0, 5000, 300)})
+    s.bwdecompose("orders", "price", residual_bits=4)
+    s.bwdecompose("quotes", "price", residual_bits=4)
+    return s
+
+
+class TestThetaJoinPipeline:
+    @pytest.mark.parametrize("op,delta", [
+        ("<", 0), ("<=", 0), (">", 0), (">=", 0), ("=", 0), ("within", 25),
+    ])
+    def test_matches_reference_join(self, session, op, delta):
+        result = session.theta_join("orders.price", "quotes.price", op, delta)
+        left_v = session.catalog.table("orders").values("price")
+        right_v = session.catalog.table("quotes").values("price")
+        truth = theta_join_reference(
+            left_v, right_v, Theta(ThetaOp(op), delta)
+        ).canonicalized()
+        assert result.row_count == len(truth)
+        assert np.array_equal(result.column("left_pos"), truth.left_positions)
+        assert np.array_equal(result.column("right_pos"), truth.right_positions)
+
+    def test_result_is_canonically_ordered(self, session):
+        result = session.theta_join("orders.price", "quotes.price", "within", 10)
+        left = result.column("left_pos")
+        right = result.column("right_pos")
+        keys = list(zip(left.tolist(), right.tolist()))
+        assert keys == sorted(keys)
+
+    def test_strategy_is_unobservable(self, session):
+        """Sorted and brute-force producers yield identical final columns
+        and byte-identical modeled timelines (the whole point of the
+        order-insensitive contract)."""
+        results = {
+            strategy: session.theta_join(
+                "orders.price", "quotes.price", "within", 25, strategy=strategy
+            )
+            for strategy in ("sorted", "bruteforce")
+        }
+        a, b = results["sorted"], results["bruteforce"]
+        assert np.array_equal(a.column("left_pos"), b.column("left_pos"))
+        assert np.array_equal(a.column("right_pos"), b.column("right_pos"))
+        assert spans_of(a.timeline) == spans_of(b.timeline)
+
+    def test_pipeline_crosses_all_three_devices(self, session):
+        result = session.theta_join("orders.price", "quotes.price", "<", 0)
+        kinds = {kind for _, kind, *_ in spans_of(result.timeline)}
+        assert kinds == {"gpu", "bus", "cpu"}
+        ops = [op for _, _, op, *_ in spans_of(result.timeline)]
+        assert ops[0].startswith("join.theta.approx")
+        assert "pairs" in ops
+        assert ops[-1] == "join.theta.materialize"
+
+    def test_candidate_rows_reports_superset(self, session):
+        result = session.theta_join("orders.price", "quotes.price", "=", 0)
+        assert result.approximate is not None
+        assert result.approximate.candidate_rows >= result.row_count
+
+    def test_rejects_unqualified_or_undecomposed(self, session):
+        with pytest.raises(PlanError):
+            session.theta_join("price", "quotes.price", "<")
+        session.create_table("plain", {"v": IntType()}, {"v": np.arange(10)})
+        with pytest.raises(PlanError):
+            session.theta_join("plain.v", "quotes.price", "<")

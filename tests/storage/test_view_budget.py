@@ -1,0 +1,131 @@
+"""The optional LRU byte budget over decoded code views.
+
+Default is unbounded (the PR-1 behavior).  Under a budget, least-recently-
+used views are evicted, columns stay fully correct (the packed streams are
+authoritative), and modeled Timeline charges never change — the code-cache
+invariant extends to eviction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device.gpu import SimulatedGPU
+from repro.device.model import DeviceSpec
+from repro.device.timeline import Timeline
+from repro.storage.decompose import (
+    decompose_values,
+    set_view_budget,
+    view_budget,
+    view_cache_bytes,
+)
+
+
+@pytest.fixture(autouse=True)
+def unbounded_after():
+    """Every test leaves the process-wide knob back at its default."""
+    yield
+    set_view_budget(None)
+
+
+def small_gpu() -> SimulatedGPU:
+    spec = DeviceSpec(
+        name="tiny-gpu", kind="gpu", memory_capacity=10**7,
+        seq_bandwidth=150e9, random_bandwidth=20e9, launch_overhead=5e-6,
+    )
+    return SimulatedGPU(spec, processing_reserve_fraction=0.1)
+
+
+class TestBudgetKnob:
+    def test_default_is_unbounded(self):
+        assert view_budget() is None
+        col = decompose_values(np.arange(1000), residual_bits=4)
+        col.approx_codes_i64()
+        assert col._approx_cache is not None
+        assert col._approx_i64_cache is not None
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            set_view_budget(-1)
+
+    def test_zero_budget_keeps_columns_cold(self):
+        set_view_budget(0)
+        values = np.random.default_rng(0).integers(0, 10_000, 500)
+        col = decompose_values(values, residual_bits=4)
+        # seeding was evicted immediately; every accessor still answers
+        assert col._approx_cache is None
+        assert col._residual_cache is None
+        codes = col.approx_codes()
+        assert col._approx_cache is None  # dropped right after materializing
+        assert np.array_equal(col.reconstruct(), values)
+        assert codes.flags.writeable is False
+
+    def test_eviction_is_lru(self):
+        set_view_budget(None)
+        cols = [
+            decompose_values(np.arange(1000) + i, residual_bits=0)
+            for i in range(3)
+        ]
+        per_view = cols[0].approx_codes().nbytes
+        # Budget fits two of the three seeded views: the oldest (col 0) is
+        # evicted the moment the cap lands.
+        set_view_budget(2 * per_view)
+        assert cols[0]._approx_cache is None
+        assert cols[1]._approx_cache is not None
+        assert cols[2]._approx_cache is not None
+        # Touch col 1 (now most recent), then rematerialize col 0: the LRU
+        # victim must be col 2, not the freshly-touched col 1.
+        cols[1].approx_codes()
+        cols[0].approx_codes()
+        assert cols[2]._approx_cache is None
+        assert cols[1]._approx_cache is not None
+        assert cols[0]._approx_cache is not None
+
+    def test_evicted_views_rebuild_identically(self):
+        values = np.random.default_rng(3).integers(0, 1 << 16, 400)
+        col = decompose_values(values, residual_bits=5)
+        before_codes = col.approx_codes().copy()
+        before_res = col.residuals().copy()
+        set_view_budget(0)  # evict everything
+        assert col._approx_cache is None and col._residual_cache is None
+        set_view_budget(None)
+        assert np.array_equal(col.approx_codes(), before_codes)
+        assert np.array_equal(col.residuals(), before_res)
+        assert np.array_equal(col.reconstruct(), values)
+
+    def test_shrinking_budget_evicts_immediately(self):
+        set_view_budget(None)
+        col = decompose_values(np.arange(2000), residual_bits=3)
+        col.approx_codes()
+        assert view_cache_bytes() > 0
+        set_view_budget(0)
+        assert col._approx_cache is None
+
+    def test_accounting_tracks_usage(self):
+        set_view_budget(None)
+        base = view_cache_bytes()
+        col = decompose_values(np.arange(512), residual_bits=0)
+        view = col.approx_codes()
+        assert view_cache_bytes() >= base + view.nbytes
+
+
+class TestBudgetTimelineInvariance:
+    def test_budgeted_scan_charges_identically(self):
+        """A budget changes only wall-clock behaviour: a permanently-cold
+        column must charge exactly what an unbounded warm one does."""
+        values = np.random.default_rng(1).integers(0, 100_000, 4000)
+        spans = []
+        for budget in (None, 0):
+            set_view_budget(budget)
+            gpu = small_gpu()
+            col = decompose_values(values, residual_bits=4)
+            gpu.load_column("c", col, None)
+            t = Timeline()
+            gpu.scan_code_range(col, 10, 4000, t)
+            gpu.scan_code_range(col, 10, 4000, t)
+            spans.append([
+                (s.device, s.kind, s.op, s.nbytes, s.seconds, s.phase)
+                for s in t._spans
+            ])
+            if budget == 0:
+                assert col._approx_cache is None  # genuinely stayed cold
+        assert spans[0] == spans[1]
