@@ -3,8 +3,10 @@
 Measures *real* elapsed seconds — not modeled Timeline seconds — of the
 paths the perf PRs target: bit-(un)packing, the relaxed selection scan, a
 three-predicate conjunction, the theta/band join (sorted interval join vs
-the brute-force oracle, plus a larger size only the sorted path can touch)
-and a TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows.
+the brute-force oracle; large and extra-large sizes only the sorted path —
+and at xlarge only its *run-length* emission — can touch; a repeated-join
+entry for the memoized sort permutations; the whole run-length A&R
+pipeline) and a TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows.
 
 Three entry points:
 
@@ -26,15 +28,25 @@ Three entry points:
 
 * **Trajectory recorder** (plain script)::
 
-      PYTHONPATH=src python benchmarks/wallclock.py --label after
+      PYTHONPATH=src python benchmarks/wallclock.py --label after --out BENCH_PR3.json
 
   Times every benchmark (best of ``--reps``) and merges the results into
-  ``BENCH_PR2.json`` at the repo root under the given label.  When both
-  ``before`` and ``after`` labels are present, per-benchmark speedups are
-  (re)computed, giving future PRs a wall-clock perf trajectory.  The PR-2
-  ``before`` point is seeded from BENCH_PR1.json's ``after`` (the PR-1
-  code's measurements); ``join.theta.band.bruteforce`` gives the
-  same-machine oracle cost next to the sorted path.
+  the ``--out`` file (default ``BENCH_PR3.json``) at the repo root under
+  the given label.  When both ``before`` and ``after`` labels are present,
+  per-benchmark speedups are (re)computed, giving future PRs a wall-clock
+  perf trajectory.  Each PR's ``before`` point is seeded from the previous
+  PR file's ``after`` (the prior code's measurements);
+  ``join.theta.band.bruteforce`` gives the same-machine oracle cost next
+  to the sorted path.
+
+* **Trajectory gate** (plain script)::
+
+      PYTHONPATH=src python benchmarks/wallclock.py --compare BENCH_PR2.json BENCH_PR3.json
+
+  Prints a per-benchmark speedup table between two recorded trajectory
+  files (their ``after`` points) and exits nonzero when any shared
+  benchmark regresses beyond ``--threshold`` (default 0.85×) — the
+  machine-checkable form of "no recorded benchmark quietly got slower".
 """
 
 from __future__ import annotations
@@ -48,8 +60,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.approximate import select_approx, select_approx_narrow
+from repro.core.refine import ship_pairs
 from repro.core.relax import ValueRange
-from repro.core.theta import Theta, ThetaOp, theta_join_approx
+from repro.core.theta import Theta, ThetaOp, theta_join_approx, theta_join_refine
 from repro.device.machine import Machine
 from repro.device.timeline import Timeline
 from repro.storage.bitpack import gather_codes, pack_codes, unpack_codes
@@ -63,19 +76,33 @@ N_ROWS = int(os.environ.get("REPRO_WALLCLOCK_N", 1_000_000))
 #: TPC-H scale factor; 0.17 ≈ 1.02M lineitem rows (acceptance floor: 1M).
 TPCH_SF = float(os.environ.get("REPRO_WALLCLOCK_SF", 0.17))
 
-#: Theta-join side sizes: the PR-1 trajectory point, and a larger size at
+#: Theta-join side sizes: the PR-1 trajectory point; a larger size at
 #: which only the sort-based join is feasible (the brute-force oracle would
-#: evaluate 10^10 interval comparisons there).
+#: evaluate 10^10 interval comparisons there); and an extra-large size
+#: (≥ 1M × 200k, ~37M candidate pairs) at which even *materializing* the
+#: sorted join's pairs is the dominant cost — only the run-length encoded
+#: emission (PR 3) keeps it interactive.
 THETA_SIZES = (20_000, 5_000)
 THETA_LARGE_SIZES = (200_000, 50_000)
+THETA_XLARGE_SIZES = (1_000_000, 200_000)
+
+#: Joins re-hitting one dimension column (amortized sort permutations).
+THETA_REPEAT_JOINS = 4
 
 #: --quick shape: small everything, for smoke runs and the tier-1 test.
 QUICK_N_ROWS = 20_000
 QUICK_TPCH_SF = 0.002
 QUICK_THETA_SIZES = (2_000, 600)
 QUICK_THETA_LARGE_SIZES = (5_000, 1_200)
+QUICK_THETA_XLARGE_SIZES = (8_000, 2_000)
 
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+#: Per-PR trajectory file; older PRs' files (BENCH_PR1/PR2) are kept as
+#: recorded history and compared against via ``--compare``.
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+
+#: ``--compare`` flags a shared benchmark whose after/before speedup drops
+#: below this factor.
+REGRESSION_THRESHOLD = 0.85
 
 
 # ----------------------------------------------------------------------
@@ -91,6 +118,7 @@ class _Fixtures:
         self.tpch_sf = QUICK_TPCH_SF if quick else TPCH_SF
         theta_sizes = QUICK_THETA_SIZES if quick else THETA_SIZES
         theta_large = QUICK_THETA_LARGE_SIZES if quick else THETA_LARGE_SIZES
+        theta_xlarge = QUICK_THETA_XLARGE_SIZES if quick else THETA_XLARGE_SIZES
 
         rng = np.random.default_rng(42)
         n = self.n_rows
@@ -113,15 +141,34 @@ class _Fixtures:
         self.theta_right = decompose_values(
             rng.integers(0, 1 << 20, size=theta_sizes[1]), device_bits=24
         )
-        self.theta_left_xl = decompose_values(
+        self.theta_left_lg = decompose_values(
             rng.integers(0, 1 << 22, size=theta_large[0]), device_bits=24
         )
-        self.theta_right_xl = decompose_values(
+        self.theta_right_lg = decompose_values(
             rng.integers(0, 1 << 22, size=theta_large[1]), device_bits=24
         )
+        self.theta_left_xl = decompose_values(
+            rng.integers(0, 1 << 22, size=theta_xlarge[0]), device_bits=24
+        )
+        self.theta_right_xl = decompose_values(
+            rng.integers(0, 1 << 22, size=theta_xlarge[1]), device_bits=24
+        )
+        # Distinct fact-side columns repeatedly joined against ONE dimension
+        # side: the memoized sort-permutation amortization case.
+        self.theta_repeat_lefts = [
+            decompose_values(
+                rng.integers(0, 1 << 20, size=theta_sizes[0]), device_bits=24
+            )
+            for _ in range(THETA_REPEAT_JOINS)
+        ]
         for label, col in (
             ("thetaL", self.theta_left), ("thetaR", self.theta_right),
+            ("thetaLlg", self.theta_left_lg), ("thetaRlg", self.theta_right_lg),
             ("thetaLxl", self.theta_left_xl), ("thetaRxl", self.theta_right_xl),
+            *(
+                (f"thetaLrep{i}", col)
+                for i, col in enumerate(self.theta_repeat_lefts)
+            ),
         ):
             self.machine.gpu.load_column(label, col, None)
 
@@ -163,13 +210,54 @@ def _run_conjunction3(fx: _Fixtures) -> None:
     )
 
 
-def _run_theta_band(fx: _Fixtures, strategy: str, large: bool = False) -> None:
-    left = fx.theta_left_xl if large else fx.theta_left
-    right = fx.theta_right_xl if large else fx.theta_right
+def _theta_cols(fx: _Fixtures, size: str):
+    return {
+        "base": (fx.theta_left, fx.theta_right),
+        "large": (fx.theta_left_lg, fx.theta_right_lg),
+        "xlarge": (fx.theta_left_xl, fx.theta_right_xl),
+    }[size]
+
+
+def _run_theta_band(
+    fx: _Fixtures, strategy: str, size: str = "base", emit: str = "auto"
+) -> None:
+    left, right = _theta_cols(fx, size)
     theta_join_approx(
         fx.machine.gpu, Timeline(), left, right,
-        Theta(ThetaOp.WITHIN, 64), strategy=strategy,
+        Theta(ThetaOp.WITHIN, 64), strategy=strategy, emit=emit,
     )
+
+
+def _run_theta_repeat(fx: _Fixtures) -> None:
+    """Several fact columns joined against one dimension side back to back.
+
+    The dimension side's sort permutation is memoized on the column
+    (PR 3), so every join after the first skips the argsort — the
+    repeated-join amortization the ROADMAP follow-on asked for.
+    """
+    theta = Theta(ThetaOp.WITHIN, 64)
+    for left in fx.theta_repeat_lefts:
+        theta_join_approx(
+            fx.machine.gpu, Timeline(), left, fx.theta_right, theta,
+            strategy="sorted",
+        )
+
+
+def _run_theta_pipeline_large(fx: _Fixtures) -> None:
+    """Whole A&R join pipeline at the large size, run-length end to end:
+    approx → ship (by count) → run-narrowing refine → the one materialize."""
+    machine = fx.machine
+    tl = Timeline()
+    theta = Theta(ThetaOp.WITHIN, 64)
+    pairs = theta_join_approx(
+        machine.gpu, tl, fx.theta_left_lg, fx.theta_right_lg, theta,
+        strategy="sorted", emit="runs",
+    )
+    ship_pairs(machine.bus, tl, pairs)
+    refined = theta_join_refine(
+        machine.cpu, tl, fx.theta_left_lg, fx.theta_right_lg, theta, pairs
+    )
+    refined.canonicalized()
 
 
 def _run_tpch_q6(fx: _Fixtures) -> None:
@@ -191,7 +279,15 @@ def build_suite(quick: bool = False) -> dict:
         "scan.conjunction3": lambda: _run_conjunction3(fx),
         "join.theta.band": lambda: _run_theta_band(fx, "auto"),
         "join.theta.band.bruteforce": lambda: _run_theta_band(fx, "bruteforce"),
-        "join.theta.band.large": lambda: _run_theta_band(fx, "sorted", large=True),
+        "join.theta.band.large": lambda: _run_theta_band(fx, "sorted", size="large"),
+        "join.theta.band.large.materialize": lambda: _run_theta_band(
+            fx, "sorted", size="large", emit="pairs"
+        ),
+        "join.theta.band.xlarge": lambda: _run_theta_band(
+            fx, "sorted", size="xlarge", emit="runs"
+        ),
+        "join.theta.band.repeat": lambda: _run_theta_repeat(fx),
+        "join.theta.pipeline.large": lambda: _run_theta_pipeline_large(fx),
         "tpch.q6.ar": lambda: _run_tpch_q6(fx),
     }
 
@@ -222,8 +318,67 @@ def measure(reps: int, quick: bool = False) -> dict[str, float]:
             fn()
             best = min(best, time.perf_counter() - t0)
         results[name] = best
-        print(f"{name:28s} {best * 1e3:10.2f} ms")
+        print(f"{name:34s} {best * 1e3:10.2f} ms")
     return results
+
+
+def _after_point(path: Path) -> dict[str, float]:
+    """The measured-code record of a trajectory file.
+
+    Prefers the ``after`` label (each PR file's own code); a file holding a
+    single other label falls back to that one.
+    """
+    data = json.loads(Path(path).read_text())
+    if "after" in data:
+        return data["after"]
+    labels = [k for k in data if k not in ("meta", "speedup")]
+    if len(labels) == 1:
+        return data[labels[0]]
+    raise SystemExit(
+        f"{path}: no 'after' record (labels present: {sorted(labels)})"
+    )
+
+
+def compare(
+    before_path: Path,
+    after_path: Path,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> int:
+    """Per-benchmark speedup table between two trajectory files.
+
+    Returns a nonzero exit status when any benchmark present in *both*
+    files regressed below ``threshold`` (after runs slower than before by
+    more than the allowed factor) — so CI or a reviewer can gate on
+    ``--compare`` and trajectory files stay machine-checkable rather than
+    prose.  Benchmarks only one file knows are listed but never gate.
+    """
+    before = _after_point(before_path)
+    after = _after_point(after_path)
+    shared = sorted(set(before) & set(after))
+    regressions = []
+    print(f"{'benchmark':34s} {'before':>11s} {'after':>11s} {'speedup':>8s}")
+    for name in shared:
+        speedup = before[name] / after[name] if after[name] > 0 else float("inf")
+        flag = ""
+        if speedup < threshold:
+            regressions.append(name)
+            flag = "  << REGRESSION"
+        print(
+            f"{name:34s} {before[name] * 1e3:9.2f}ms {after[name] * 1e3:9.2f}ms"
+            f" {speedup:7.2f}x{flag}"
+        )
+    for name in sorted(set(after) - set(before)):
+        print(f"{name:34s} {'—':>11s} {after[name] * 1e3:9.2f}ms      new")
+    for name in sorted(set(before) - set(after)):
+        print(f"{name:34s} {before[name] * 1e3:9.2f}ms {'—':>11s}  dropped")
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) regressed below "
+            f"{threshold}x: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"ok: no shared benchmark below {threshold}x")
+    return 0
 
 
 def record(label: str, reps: int, out: Path = _RESULT_FILE) -> None:
@@ -244,6 +399,8 @@ def record(label: str, reps: int, out: Path = _RESULT_FILE) -> None:
 
 
 if __name__ == "__main__":
+    import sys
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="after", help="before | after | <tag>")
     parser.add_argument("--reps", type=int, default=5)
@@ -252,8 +409,18 @@ if __name__ == "__main__":
         "--quick", action="store_true",
         help="small inputs, one rep, print only (smoke mode; records nothing)",
     )
+    parser.add_argument(
+        "--compare", nargs=2, type=Path, metavar=("BEFORE", "AFTER"),
+        help="compare two trajectory files and exit nonzero on regressions",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=REGRESSION_THRESHOLD,
+        help="--compare regression gate: flag speedups below this factor",
+    )
     args = parser.parse_args()
-    if args.quick:
+    if args.compare:
+        sys.exit(compare(args.compare[0], args.compare[1], args.threshold))
+    elif args.quick:
         measure(reps=1, quick=True)
     else:
         record(args.label, args.reps, args.out)

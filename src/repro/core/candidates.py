@@ -6,7 +6,7 @@ device-side payload later refinement steps need (the approximation codes
 that were matched, per-row error bounds for computed values).  Refinement
 operators consume one of these plus the residual data.
 
-Two candidate shapes exist:
+Three candidate shapes exist:
 
 * :class:`Approximation` — unary candidates (one id per row), used by
   selections, projections and FK joins.
@@ -16,6 +16,12 @@ Two candidate shapes exist:
   pairs; no producer guarantees any emission order and no consumer may rely
   on one.  Deterministic order exists only at final result materialization,
   via :meth:`PairCandidates.canonicalized`.
+* :class:`RunPairCandidates` — the same pair-set contract, run-length
+  encoded: one contiguous ``[start, stop)`` run over a shared right-side
+  permutation per left row.  The sorted interval join computes its matches
+  in exactly this shape, so keeping it defers the O(candidate pairs)
+  explosion to the **single materialization point**
+  (:meth:`RunPairCandidates.canonicalized`) at the end of the pipeline.
 """
 
 from __future__ import annotations
@@ -157,12 +163,12 @@ class PairCandidates:
             zip(self.left_positions.tolist(), self.right_positions.tolist())
         )
 
-    def set_equals(self, other: "PairCandidates") -> bool:
+    def set_equals(self, other: "PairCandidates | RunPairCandidates") -> bool:
         """True when both hold the same pair *set* (order ignored).
 
-        Compares canonicalized arrays, so duplicates must match in
-        multiplicity too — producers never emit duplicates, making this the
-        set comparison at array speed.
+        Accepts either pair representation.  Compares canonicalized arrays,
+        so duplicates must match in multiplicity too — producers never emit
+        duplicates, making this the set comparison at array speed.
         """
         if len(self) != len(other):
             return False
@@ -171,3 +177,129 @@ class PairCandidates:
             np.array_equal(a.left_positions, b.left_positions)
             and np.array_equal(a.right_positions, b.right_positions)
         )
+
+
+@dataclass
+class RunPairCandidates:
+    """Run-length encoded candidate pair set of a sorted theta join.
+
+    The second implementation of the order-insensitive pair contract.  The
+    denoted set is ``{(left_positions[i], order[j]) : starts[i] <= j <
+    stops[i]}`` — per left row one contiguous run of a *shared* right-side
+    permutation, instead of two exploded per-pair position arrays.  The
+    sorted interval join produces its matches in exactly this shape
+    (``searchsorted`` yields run bounds), and the run-narrowing refinement
+    shrinks the runs in place, so an output-heavy join never touches
+    O(candidate pairs) memory until the **single materialization point**:
+    :meth:`canonicalized`, called by the engine at final result
+    construction.  Everything the modeled device bills is a function of the
+    pair *count* (:meth:`__len__`), which the runs carry exactly.
+
+    ``order_key`` records which right-side value stream ``order`` stably
+    sorts (``"lo"``/``"hi"`` — approximate interval bounds, with runs cut
+    on equal-key group boundaries — or ``"exact"`` — reconstructed
+    values).  Consumers that exploit run monotonicity (the sorted
+    refinement) require one of these; ``"raw"`` marks an arbitrary
+    permutation, for which only the materializing fallbacks apply.
+    """
+
+    left_positions: np.ndarray
+    starts: np.ndarray
+    stops: np.ndarray
+    order: np.ndarray
+    order_key: str = "raw"
+
+    #: ``order_key`` values under which runs are monotone in the right
+    #: side's values (a stable sort of a value stream, runs on group
+    #: boundaries) — the precondition of the sorted refinement path.
+    MONOTONE_KEYS = ("lo", "hi", "exact")
+
+    def __post_init__(self) -> None:
+        self.left_positions = np.asarray(self.left_positions, dtype=np.int64)
+        self.starts = np.asarray(self.starts, dtype=np.int64)
+        self.stops = np.asarray(self.stops, dtype=np.int64)
+        self.order = np.asarray(self.order, dtype=np.int64)
+        if not (
+            self.left_positions.shape == self.starts.shape == self.stops.shape
+        ):
+            raise ExecutionError("run arrays misaligned")
+        n = len(self.order)
+        if self.starts.size and (
+            int(self.starts.min()) < 0
+            or int(self.stops.max(initial=0)) > n
+            or bool((self.stops < self.starts).any())
+        ):
+            raise ExecutionError("run bounds outside the right-side permutation")
+        self._total = int((self.stops - self.starts).sum())
+
+    def __len__(self) -> int:
+        return self._total
+
+    # ------------------------------------------------------------------
+    def materialized(self) -> PairCandidates:
+        """Explode the runs into per-pair arrays (run order, no sort).
+
+        O(total pairs); everything upstream of final materialization should
+        prefer run-preserving operations (:meth:`with_runs`).
+        """
+        counts = self.stops - self.starts
+        total = self._total
+        if total == 0:
+            return PairCandidates(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            )
+        left = np.repeat(self.left_positions, counts)
+        ends = np.cumsum(counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+        right = self.order[np.repeat(self.starts, counts) + within]
+        return PairCandidates(left, right)
+
+    def canonicalized(self) -> PairCandidates:
+        """The unique (left, right)-sorted materialized layout of this set.
+
+        The one place runs are exploded into a :class:`PairCandidates` —
+        final result materialization — and the one place order matters.
+        """
+        return self.materialized().canonicalized()
+
+    def with_runs(self, starts: np.ndarray, stops: np.ndarray) -> "RunPairCandidates":
+        """Run-preserving narrow: replacement ``[start, stop)`` bounds over
+        the same left rows and right-side permutation — no pair ever
+        materialized.
+
+        An ``"exact"`` order key survives: refinement intersects index
+        spans over that same permutation, which is sound for *any*
+        sub-span.  Bound keys (``"lo"``/``"hi"``) are downgraded to
+        ``"raw"``: their soundness rests on runs cutting the bound-sorted
+        side on approximation-bucket boundaries, which arbitrary new
+        bounds do not preserve — a later refinement must then take the
+        materializing fallback rather than silently resurrect pairs this
+        narrow removed.
+        """
+        order_key = self.order_key if self.order_key == "exact" else "raw"
+        return RunPairCandidates(
+            self.left_positions, starts, stops, self.order,
+            order_key=order_key,
+        )
+
+    def narrowed(self, keep_mask: np.ndarray) -> PairCandidates:
+        """Pair subset selected by a per-pair boolean mask.
+
+        The mask aligns with the :meth:`materialized` enumeration order.
+        Generic per-pair narrowing cannot preserve runs, so this is the
+        materializing fallback; run-aware consumers use :meth:`with_runs`.
+        """
+        return self.materialized().narrowed(keep_mask)
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        """The pairs as a Python set (small inputs / tests)."""
+        return self.materialized().pair_set()
+
+    def set_equals(self, other: "PairCandidates | RunPairCandidates") -> bool:
+        """True when both hold the same pair *set*, either representation."""
+        if len(self) != len(other):
+            return False
+        # materialized(), not canonicalized(): PairCandidates.set_equals
+        # canonicalizes both sides itself — pre-sorting here would pay the
+        # O(p log p) lexsort twice.
+        return self.materialized().set_equals(other)

@@ -199,17 +199,22 @@ class ArExecutor:
         timeline: Timeline | None = None,
         *,
         strategy: str = "auto",
+        emit: str = "auto",
     ) -> Result:
         """Run the full A&R theta-join pipeline between two decomposed columns.
 
         ``left``/``right`` name columns as ``"table.column"``.  The device
-        emits the candidate pair set (order-free), the pairs cross the bus
-        once, the host refines them with exact θ, and **only then** — at
-        final result materialization — is the set canonicalized into the
-        deterministic (left, right)-sorted layout.  Everything upstream of
-        that last step obeys the order-insensitive pair contract, which is
-        what lets the simulation pick the sort-based producer over the
-        brute-force one without changing any observable result.
+        emits the candidate pair set (order-free; run-length encoded under
+        the sorted strategy), the pair *count* crosses the bus once, the
+        host refines with exact θ — shrinking runs in place, never
+        exploding them — and **only then**, at final result
+        materialization, is the set canonicalized into the deterministic
+        (left, right)-sorted layout.  That canonicalization is the single
+        point of the pipeline where run-length candidates materialize into
+        per-pair arrays.  Everything upstream obeys the order-insensitive
+        pair contract, which is what lets the simulation pick producer
+        strategy and pair representation freely without changing any
+        observable result.
         """
         timeline = timeline if timeline is not None else Timeline()
         left_col = self._pair_column(left)
@@ -218,7 +223,7 @@ class ArExecutor:
 
         pairs = theta_join_approx(
             machine.gpu, timeline, left_col, right_col, theta,
-            strategy=strategy,
+            strategy=strategy, emit=emit,
         )
         ship_pairs(machine.bus, timeline, pairs)
         refined = theta_join_refine(

@@ -119,6 +119,7 @@ class Session:
         delta: int = 0,
         *,
         strategy: str = "auto",
+        emit: str = "auto",
         timeline: Timeline | None = None,
     ) -> Result:
         """A&R theta join between two decomposed columns (§IV-D).
@@ -127,7 +128,11 @@ class Session:
         one of ``< <= > >= =`` or ``"within"`` (the band join, with
         ``delta``).  Returns a result with ``left_pos``/``right_pos``
         columns in canonical (left, right)-sorted order — the one place the
-        order-insensitive candidate-pair contract fixes an order.
+        order-insensitive candidate-pair contract fixes an order, and (for
+        the sorted strategy) the one place the run-length candidate
+        representation materializes into per-pair arrays.  ``strategy``
+        and ``emit`` tune the simulation only; results and modeled
+        Timeline charges are identical for every combination.
         """
         from ..core.theta import Theta, ThetaOp
 
@@ -140,7 +145,7 @@ class Session:
             ) from None
         theta = Theta(theta_op, delta)
         return self._ar.theta_join(
-            left, right, theta, timeline, strategy=strategy
+            left, right, theta, timeline, strategy=strategy, emit=emit
         )
 
     def execute(

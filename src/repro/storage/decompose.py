@@ -287,6 +287,7 @@ class BwdColumn:
     __slots__ = (
         "decomposition", "length", "_approx_words", "_residual_words",
         "_approx_cache", "_approx_i64_cache", "_residual_cache",
+        "_perm_approx_cache", "_perm_exact_cache",
         "__weakref__",
     )
 
@@ -304,6 +305,8 @@ class BwdColumn:
         self._approx_cache: np.ndarray | None = None
         self._approx_i64_cache: np.ndarray | None = None
         self._residual_cache: np.ndarray | None = None
+        self._perm_approx_cache: np.ndarray | None = None
+        self._perm_exact_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -401,6 +404,50 @@ class BwdColumn:
             _VIEW_BUDGET.note(self, "_residual_cache", view.nbytes)
         else:
             _VIEW_BUDGET.touch(self, "_residual_cache")
+        return view
+
+    #: Valid ``bound`` arguments of :meth:`sort_permutation`.
+    SORT_BOUNDS = ("lo", "hi", "exact")
+
+    def sort_permutation(self, bound: str = "lo") -> np.ndarray:
+        """Memoized stable argsort of one of the column's value streams.
+
+        ``bound`` names the sort key: ``"lo"``/``"hi"`` are the per-row
+        approximate interval bounds — every interval spans the same
+        ``max_error``, so the two stable orders coincide and share one
+        cached permutation (both equal the stable order of the approx
+        codes) — and ``"exact"`` is the reconstructed full-precision
+        values, the key of the run-narrowing theta refinement.
+
+        Sorting a side of a join is O(n log n); columns are immutable, so
+        repeated joins against the same (dimension) column reuse the
+        permutation instead of re-sorting per call.  Cached exactly like
+        the decoded code views: read-only, registered with the LRU view
+        budget, rebuilt from the streams after eviction.  Purely host-side
+        simulation state — modeled charges never depend on it.
+        """
+        if bound in ("lo", "hi"):
+            attr = "_perm_approx_cache"
+        elif bound == "exact":
+            attr = "_perm_exact_cache"
+        else:
+            raise ValueError(
+                f"unknown sort bound {bound!r}; pick one of {self.SORT_BOUNDS}"
+            )
+        view: np.ndarray | None = getattr(self, attr)
+        if view is None:
+            key = (
+                self.approx_codes()
+                if attr == "_perm_approx_cache"
+                else self.reconstruct()
+            )
+            view = _frozen(
+                np.argsort(key, kind="stable").astype(np.int64, copy=False)
+            )
+            setattr(self, attr, view)
+            _VIEW_BUDGET.note(self, attr, view.nbytes)
+        else:
+            _VIEW_BUDGET.touch(self, attr)
         return view
 
     def residual_at(self, positions: np.ndarray) -> np.ndarray:

@@ -29,8 +29,9 @@ def loaded(machine, values, residual_bits, label):
     return col
 
 
-def pair_set(pairs: PairCandidates) -> set[tuple[int, int]]:
-    return set(zip(pairs.left_positions.tolist(), pairs.right_positions.tolist()))
+def pair_set(pairs) -> set[tuple[int, int]]:
+    # Works for either pair representation (materialized or run-length).
+    return pairs.pair_set()
 
 
 class TestTheta:

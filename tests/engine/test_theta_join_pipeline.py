@@ -57,20 +57,27 @@ class TestThetaJoinPipeline:
         keys = list(zip(left.tolist(), right.tolist()))
         assert keys == sorted(keys)
 
-    def test_strategy_is_unobservable(self, session):
-        """Sorted and brute-force producers yield identical final columns
-        and byte-identical modeled timelines (the whole point of the
-        order-insensitive contract)."""
-        results = {
-            strategy: session.theta_join(
-                "orders.price", "quotes.price", "within", 25, strategy=strategy
+    def test_strategy_and_representation_are_unobservable(self, session):
+        """Every producer strategy × pair representation yields identical
+        final columns and byte-identical modeled timelines (the whole point
+        of the order-insensitive contract, extended to run-length pairs)."""
+        results = [
+            session.theta_join(
+                "orders.price", "quotes.price", "within", 25,
+                strategy=strategy, emit=emit,
             )
-            for strategy in ("sorted", "bruteforce")
-        }
-        a, b = results["sorted"], results["bruteforce"]
-        assert np.array_equal(a.column("left_pos"), b.column("left_pos"))
-        assert np.array_equal(a.column("right_pos"), b.column("right_pos"))
-        assert spans_of(a.timeline) == spans_of(b.timeline)
+            for strategy, emit in (
+                ("sorted", "runs"),
+                ("sorted", "pairs"),
+                ("sorted", "auto"),
+                ("bruteforce", "pairs"),
+            )
+        ]
+        a = results[0]
+        for b in results[1:]:
+            assert np.array_equal(a.column("left_pos"), b.column("left_pos"))
+            assert np.array_equal(a.column("right_pos"), b.column("right_pos"))
+            assert spans_of(a.timeline) == spans_of(b.timeline)
 
     def test_pipeline_crosses_all_three_devices(self, session):
         result = session.theta_join("orders.price", "quotes.price", "<", 0)
