@@ -6,7 +6,9 @@ three-predicate conjunction, the theta/band join (sorted interval join vs
 the brute-force oracle; large and extra-large sizes only the sorted path —
 and at xlarge only its *run-length* emission — can touch; a repeated-join
 entry for the memoized sort permutations; the whole run-length A&R
-pipeline) and a TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows.
+pipeline; a builder-path ``count(*)`` over the large band join that
+*asserts* the aggregate-only fast path never materializes a pair) and a
+TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows.
 
 Three entry points:
 
@@ -41,12 +43,18 @@ Three entry points:
 
 * **Trajectory gate** (plain script)::
 
+      PYTHONPATH=src python benchmarks/wallclock.py --compare BENCH_PR4.json
       PYTHONPATH=src python benchmarks/wallclock.py --compare BENCH_PR2.json BENCH_PR3.json
 
-  Prints a per-benchmark speedup table between two recorded trajectory
-  files (their ``after`` points) and exits nonzero when any shared
+  Prints a per-benchmark speedup table and exits nonzero when any shared
   benchmark regresses beyond ``--threshold`` (default 0.85×) — the
   machine-checkable form of "no recorded benchmark quietly got slower".
+  With a single file, the gate compares that file's own ``before`` →
+  ``after`` points, which the recording convention guarantees were
+  measured on the same machine (each PR re-measures its ``before`` from
+  the prior code); this is the form CI runs.  With two files it compares
+  their ``after`` points — meaningful only when both were recorded on the
+  same machine, since wall-clock numbers do not transfer across hosts.
 """
 
 from __future__ import annotations
@@ -60,12 +68,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.approximate import select_approx, select_approx_narrow
+from repro.core.candidates import RunPairCandidates
 from repro.core.refine import ship_pairs
 from repro.core.relax import ValueRange
 from repro.core.theta import Theta, ThetaOp, theta_join_approx, theta_join_refine
 from repro.device.machine import Machine
 from repro.device.timeline import Timeline
+from repro.engine.session import Session
 from repro.storage.bitpack import gather_codes, pack_codes, unpack_codes
+from repro.storage.column import IntType
 from repro.storage.decompose import decompose_values
 from repro.workloads.microbench import unique_shuffled_ints
 from repro.workloads.tpch import TpchConfig, build_tpch_session, q6_sql
@@ -96,9 +107,9 @@ QUICK_THETA_SIZES = (2_000, 600)
 QUICK_THETA_LARGE_SIZES = (5_000, 1_200)
 QUICK_THETA_XLARGE_SIZES = (8_000, 2_000)
 
-#: Per-PR trajectory file; older PRs' files (BENCH_PR1/PR2) are kept as
+#: Per-PR trajectory file; older PRs' files (BENCH_PR1/PR2/PR3) are kept as
 #: recorded history and compared against via ``--compare``.
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
 
 #: ``--compare`` flags a shared benchmark whose after/before speedup drops
 #: below this factor.
@@ -171,6 +182,20 @@ class _Fixtures:
             ),
         ):
             self.machine.gpu.load_column(label, col, None)
+
+        # A full engine session at the large theta size for the builder
+        # path: count over a band join (the aggregate-only fast path).
+        self.band = Session()
+        self.band.create_table(
+            "bandL", {"price": IntType()},
+            {"price": rng.integers(0, 1 << 22, size=theta_large[0])},
+        )
+        self.band.create_table(
+            "bandR", {"price": IntType()},
+            {"price": rng.integers(0, 1 << 22, size=theta_large[1])},
+        )
+        self.band.bwdecompose("bandL", "price", 24)
+        self.band.bwdecompose("bandR", "price", 24)
 
         self.tpch = build_tpch_session(TpchConfig(scale_factor=self.tpch_sf, seed=7))
         self.q6 = q6_sql()
@@ -260,6 +285,32 @@ def _run_theta_pipeline_large(fx: _Fixtures) -> None:
     refined.canonicalized()
 
 
+def _run_theta_count_large(fx: _Fixtures) -> None:
+    """``count(*)`` over the large band join via the builder, A&R mode.
+
+    The aggregate-only fast path (PR 4): the refined run-length pair set
+    feeds the count directly, so the benchmark *asserts* that no per-pair
+    array is ever allocated — materialization during the run is a failure,
+    not just a slowdown.
+    """
+
+    def _forbidden(self):
+        raise AssertionError("count over a band join materialized its pairs")
+
+    original = RunPairCandidates.materialized
+    RunPairCandidates.materialized = _forbidden
+    try:
+        result = (
+            fx.band.table("bandL")
+            .band_join("bandR", on="price", delta=64, strategy="sorted")
+            .count("n")
+            .run(mode="ar")
+        )
+    finally:
+        RunPairCandidates.materialized = original
+    assert result.row_count == 1
+
+
 def _run_tpch_q6(fx: _Fixtures) -> None:
     fx.tpch.execute(fx.q6, mode="ar")
 
@@ -287,6 +338,7 @@ def build_suite(quick: bool = False) -> dict:
             fx, "sorted", size="xlarge", emit="runs"
         ),
         "join.theta.band.repeat": lambda: _run_theta_repeat(fx),
+        "join.theta.count.large": lambda: _run_theta_count_large(fx),
         "join.theta.pipeline.large": lambda: _run_theta_pipeline_large(fx),
         "tpch.q6.ar": lambda: _run_tpch_q6(fx),
     }
@@ -341,19 +393,32 @@ def _after_point(path: Path) -> dict[str, float]:
 
 def compare(
     before_path: Path,
-    after_path: Path,
+    after_path: Path | None = None,
     threshold: float = REGRESSION_THRESHOLD,
 ) -> int:
-    """Per-benchmark speedup table between two trajectory files.
+    """Per-benchmark speedup table; the wall-clock regression gate.
+
+    Two files: compare their ``after`` points (same-machine recordings
+    only — wall-clock milliseconds do not transfer across hosts).  One
+    file: compare its own ``before`` → ``after`` points, which the
+    recording convention keeps machine-consistent (each PR re-measures
+    ``before`` from the prior code on the recording machine).
 
     Returns a nonzero exit status when any benchmark present in *both*
-    files regressed below ``threshold`` (after runs slower than before by
+    points regressed below ``threshold`` (after runs slower than before by
     more than the allowed factor) — so CI or a reviewer can gate on
     ``--compare`` and trajectory files stay machine-checkable rather than
-    prose.  Benchmarks only one file knows are listed but never gate.
+    prose.  Benchmarks only one point knows are listed but never gate.
     """
-    before = _after_point(before_path)
-    after = _after_point(after_path)
+    if after_path is None:
+        data = json.loads(Path(before_path).read_text())
+        for label in ("before", "after"):
+            if label not in data:
+                raise SystemExit(f"{before_path}: no {label!r} record to gate")
+        before, after = data["before"], data["after"]
+    else:
+        before = _after_point(before_path)
+        after = _after_point(after_path)
     shared = sorted(set(before) & set(after))
     regressions = []
     print(f"{'benchmark':34s} {'before':>11s} {'after':>11s} {'speedup':>8s}")
@@ -410,8 +475,9 @@ if __name__ == "__main__":
         help="small inputs, one rep, print only (smoke mode; records nothing)",
     )
     parser.add_argument(
-        "--compare", nargs=2, type=Path, metavar=("BEFORE", "AFTER"),
-        help="compare two trajectory files and exit nonzero on regressions",
+        "--compare", nargs="+", type=Path, metavar="FILE",
+        help="gate on regressions: one trajectory file (its before->after) "
+        "or two files (their after points); exits nonzero on regressions",
     )
     parser.add_argument(
         "--threshold", type=float, default=REGRESSION_THRESHOLD,
@@ -419,7 +485,15 @@ if __name__ == "__main__":
     )
     args = parser.parse_args()
     if args.compare:
-        sys.exit(compare(args.compare[0], args.compare[1], args.threshold))
+        if len(args.compare) > 2:
+            parser.error("--compare takes one or two trajectory files")
+        sys.exit(
+            compare(
+                args.compare[0],
+                args.compare[1] if len(args.compare) == 2 else None,
+                args.threshold,
+            )
+        )
     elif args.quick:
         measure(reps=1, quick=True)
     else:

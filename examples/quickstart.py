@@ -5,8 +5,9 @@ Covers the library's core loop in ~40 lines:
 
 1. create a table,
 2. decompose a column (major bits → simulated GPU, minor bits → CPU),
-3. run the same query through the A&R pipeline, the classic CPU engine
-   and the approximate-only mode,
+3. build the query lazily with the relation builder — the primary API —
+   and run it through the A&R pipeline, the classic CPU engine and the
+   approximate-only mode (SQL text expresses the same block),
 4. read the modeled GPU/CPU/PCI cost breakdown.
 
 Run: ``python examples/quickstart.py``
@@ -33,16 +34,23 @@ session.create_table(
 session.execute("select bwdecompose(reading, 24) from measurements")
 session.execute("select bwdecompose(sensor, 32) from measurements")
 
-sql = (
-    "select sensor, count(*) as n, min(reading) as lo, max(reading) as hi "
-    "from measurements where reading between 250000 and 500000 "
-    "group by sensor"
+# The lazy relation builder: nothing executes until .run().  The same
+# block in SQL: select sensor, count(*) as n, min(reading) as lo,
+# max(reading) as hi from measurements where reading between 250000 and
+# 500000 group by sensor
+query = (
+    session.table("measurements")
+    .where("reading", between=(250_000, 500_000))
+    .group_by("sensor")
+    .count("n")
+    .min("reading", "lo")
+    .max("reading", "hi")
 )
 
 # Approximate & Refine: approximate on the GPU, refine on the CPU.
-ar = session.execute(sql)
+ar = query.run(mode="ar")
 # Classic: the single-threaded CPU bulk engine (the "MonetDB" baseline).
-classic = session.execute(sql, mode="classic")
+classic = query.run(mode="classic")
 
 assert np.array_equal(
     np.sort(ar.column("n")), np.sort(classic.column("n"))
@@ -56,7 +64,7 @@ for kind, seconds in sorted(ar.timeline.seconds_by_kind().items()):
     print(f"  {kind:>4}: {format_seconds(seconds)}")
 
 # The free approximate answer: strict bounds without any refinement work.
-approx = session.execute(sql, mode="approximate")
+approx = query.run(mode="approximate")
 bounds = approx.approximate.bound("n")
 print(f"approximate per-group count bounds (first 3): {bounds[:3]}")
 print(

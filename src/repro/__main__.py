@@ -19,6 +19,7 @@ import sys
 
 from .engine.session import Session
 from .errors import ReproError
+from .sql.ast import BwDecompose
 from .sql.binder import bind
 from .sql.parser import parse
 from .util import format_seconds
@@ -78,7 +79,14 @@ def main(argv: list[str] | None = None) -> int:
         for sql in args.sql:
             print(f"> {sql}")
             if args.explain:
-                query, _ = bind(parse(sql), session.catalog)
+                stmt = parse(sql)
+                if isinstance(stmt, BwDecompose):
+                    # DDL has no plan; apply it so later statements that
+                    # need the decomposition can still be explained.
+                    session.bwdecompose(stmt.table, stmt.column, stmt.device_bits)
+                    print("(bwdecompose applied; nothing to explain)")
+                    continue
+                query, _ = bind(stmt, session.catalog)
                 print(session.explain(query, pushdown=not args.no_pushdown))
             else:
                 result = session.execute(

@@ -142,6 +142,17 @@ class PairCandidates:
             self.left_positions[keep_mask], self.right_positions[keep_mask]
         )
 
+    def left_multiplicities(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-entry ``(left rows, pair multiplicities)`` of this set.
+
+        The aggregate-only consumer's view of a pair set: every aggregate
+        over pairs of left-side values is a weighted aggregate over these
+        rows.  Materialized pairs enumerate one row per pair (weight 1);
+        the run-length twin returns one row per run with the run length as
+        weight — same weighted multiset, never an exploded pair.
+        """
+        return self.left_positions, np.ones(len(self), dtype=np.int64)
+
     def canonical_order(self) -> np.ndarray:
         """Permutation sorting the pairs lexicographically by (left, right)."""
         return np.lexsort((self.right_positions, self.left_positions))
@@ -290,6 +301,30 @@ class RunPairCandidates:
         materializing fallback; run-aware consumers use :meth:`with_runs`.
         """
         return self.materialized().narrowed(keep_mask)
+
+    def rows_narrowed(self, keep_mask: np.ndarray) -> "RunPairCandidates":
+        """Subset selected by a per-*left-row* boolean mask, run-preserving.
+
+        Drops whole runs (a left-side selection refinement); the surviving
+        runs and their permutation — including the ``order_key`` and its
+        monotonicity guarantees — are untouched, so a later sorted
+        refinement still applies.
+        """
+        keep_mask = np.asarray(keep_mask, dtype=bool)
+        if keep_mask.shape != self.left_positions.shape:
+            raise ExecutionError("row mask misaligned with runs")
+        return RunPairCandidates(
+            self.left_positions[keep_mask], self.starts[keep_mask],
+            self.stops[keep_mask], self.order, order_key=self.order_key,
+        )
+
+    def left_multiplicities(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-entry ``(left rows, pair multiplicities)``; see the
+        materialized twin.  One entry per non-empty run, weight = run
+        length — O(runs), no pair ever materialized."""
+        counts = self.stops - self.starts
+        keep = counts > 0
+        return self.left_positions[keep], counts[keep]
 
     def pair_set(self) -> set[tuple[int, int]]:
         """The pairs as a Python set (small inputs / tests)."""

@@ -59,6 +59,7 @@ __all__ = [
     "RunPairCandidates",
     "Theta",
     "ThetaOp",
+    "exact_run_bounds",
     "theta_join_approx",
     "theta_join_refine",
     "theta_join_reference",
@@ -378,6 +379,7 @@ def theta_join_approx(
     *,
     strategy: str = "auto",
     emit: str = "auto",
+    left_ids: np.ndarray | None = None,
 ) -> PairCandidates | RunPairCandidates:
     """Device-side theta join over approximate intervals.
 
@@ -396,10 +398,22 @@ def theta_join_approx(
     model bills the paper's massively parallel |L|·|R| comparison volume
     plus the streams-and-output traffic, every producer yields the same
     pair count, and the count is exact whichever representation holds it.
+
+    ``left_ids`` restricts the left side to a candidate row subset (a
+    selection that ran under the join): emitted pairs reference the
+    *original* left positions, and the device bills |candidates|·|R|
+    comparisons instead of |L|·|R|.
     """
     if emit not in EMITS:
         raise ExecutionError(f"unknown emit mode {emit!r}; pick one of {EMITS}")
     left_b = _bounds(left)
+    n_left = left.length
+    if left_ids is not None:
+        left_ids = np.asarray(left_ids, dtype=np.int64)
+        left_b = IntervalColumn.from_bounds(
+            left_b.lo[left_ids], left_b.hi[left_ids]
+        )
+        n_left = len(left_ids)
     right_b = _bounds(right)
     # The overlap ops need the right side's uniform interval width; compute
     # the O(|R|) check once and share it between strategy pick and join.
@@ -411,7 +425,18 @@ def theta_join_approx(
     chosen = _pick_strategy(strategy, theta, right_width, right.length)
     pairs: PairCandidates | RunPairCandidates
     if chosen == "sorted":
-        runs = _sorted_runs(left_b, right_b, theta, right_width, right, left)
+        # A row subset breaks the "whole column" precondition of the left
+        # side's memoized sort permutation; the subset path searches with
+        # unsorted needles (bit-identical results, see _searchsorted_via).
+        runs = _sorted_runs(
+            left_b, right_b, theta, right_width, right,
+            left if left_ids is None else None,
+        )
+        if left_ids is not None:
+            runs = RunPairCandidates(
+                left_ids, runs.starts, runs.stops, runs.order,
+                order_key=runs.order_key,
+            )
         pairs = runs.materialized() if emit == "pairs" else runs
     else:
         if emit == "runs":
@@ -420,17 +445,19 @@ def theta_join_approx(
                 "producer only materializes pairs"
             )
         li, ri = _tiled_pairs(left_b, right_b, theta)
+        if left_ids is not None:
+            li = left_ids[li]
         pairs = PairCandidates(li, ri)
     read = left.approx_nbytes + right.approx_nbytes
     gpu._charge(
         timeline, f"join.theta.approx({theta.op.value})",
         read + len(pairs) * 2 * _OID_BYTES,
-        tuples=left.length * right.length, op_class=OpClass.ARITH,
+        tuples=n_left * right.length, op_class=OpClass.ARITH,
     )
     return pairs
 
 
-def _exact_run_bounds(
+def exact_run_bounds(
     key: np.ndarray,
     left_exact: np.ndarray,
     theta: Theta,
@@ -505,7 +532,7 @@ def _refine_runs_sorted(
         left_perm = left.sort_permutation("exact")
     else:
         left_exact = left.reconstruct(pairs.left_positions)
-    exact_starts, exact_stops = _exact_run_bounds(
+    exact_starts, exact_stops = exact_run_bounds(
         key, left_exact, theta, left_perm
     )
     starts = np.maximum(pairs.starts, exact_starts)

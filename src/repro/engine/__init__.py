@@ -12,6 +12,7 @@
 """
 
 from .result import ApproximateAnswer, Result
+from .builder import RelationBuilder
 from .bulk import ClassicExecutor
 from .ar_executor import ArExecutor
 from .stream import streaming_lower_bound
@@ -21,6 +22,7 @@ __all__ = [
     "ApproximateAnswer",
     "ArExecutor",
     "ClassicExecutor",
+    "RelationBuilder",
     "Result",
     "Session",
     "streaming_lower_bound",

@@ -25,6 +25,13 @@ from ..core.grouping import (
     group_refine,
 )
 from ..core.intervals import Interval, IntervalColumn
+from ..core.pair_agg import (
+    aggregate_pairs,
+    group_pair_rows,
+    pair_result_columns,
+    pair_rows,
+    ungrouped_pair_gids,
+)
 from ..core.refine import (
     align_via_translucent,
     fk_join_refine,
@@ -33,33 +40,41 @@ from ..core.refine import (
     ship_candidates,
     ship_pairs,
 )
-from ..core.theta import Theta, theta_join_approx, theta_join_refine
+from ..core.theta import Theta, ThetaOp, theta_join_approx, theta_join_refine
 from ..core.relax import ValueRange
 from ..device.machine import Machine
 from ..device.model import AccessPattern, OpClass
 from ..device.timeline import Timeline
 from ..errors import ExecutionError, PlanError
-from ..plan.expr import ColRef
-from ..plan.logical import Aggregate, Query
+from ..core.candidates import PairCandidates, RunPairCandidates
+from ..plan.expr import ColRef, Predicate
+from ..plan.logical import Aggregate, Query, ThetaJoin
 from ..plan.physical import (
     AllRows,
     ApproxAggregate,
     ApproxFkJoin,
     ApproxGroup,
     ApproxMinMaxPrune,
+    ApproxPairAggregate,
     ApproxPayloadSelect,
     ApproxProbeSelect,
     ApproxProject,
     ApproxScanSelect,
+    ApproxThetaJoin,
     CpuProject,
     CpuSelect,
     PhysicalPlan,
     RefineAggregate,
     RefineFkJoin,
     RefineGroup,
+    RefinePairAggregate,
+    RefinePairGroup,
+    RefinePairSelect,
     RefineProject,
     RefineSelect,
+    RefineThetaJoin,
     ShipCandidates,
+    ShipPairs,
 )
 from ..storage.catalog import Catalog
 from ..storage.decompose import BwdColumn
@@ -80,6 +95,36 @@ class _ExecState:
         self.approximate = ApproximateAnswer()
         self.exact_aggregates: dict[str, np.ndarray] = {}
         self.shipped = False
+        # Theta-join plans flow a candidate *pair* set instead of (or after)
+        # the unary candidate set.
+        self.pairs: PairCandidates | RunPairCandidates | None = None
+        self.pair_groups: tuple[np.ndarray, int] | None = None
+        self.pair_group_keys: dict[str, np.ndarray] = {}
+        self._pair_rows: tuple[np.ndarray, np.ndarray] | None = None
+        self._pair_values: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def pair_left_rows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Weighted left-row view of the refined pairs (cached)."""
+        assert self.pairs is not None
+        if self._pair_rows is None:
+            self._pair_rows = pair_rows(self.pairs)
+        return self._pair_rows
+
+    def pair_left_values(self, name: str) -> np.ndarray:
+        """Exact fact-column values at the pairs' left rows (cached gather)."""
+        if name not in self._pair_values:
+            rows, _ = self.pair_left_rows()
+            rel = self.catalog.table(self.query.table)
+            self._pair_values[name] = np.asarray(
+                rel.values(name), dtype=np.int64
+            )[rows]
+        return self._pair_values[name]
+
+    def invalidate_pair_rows(self) -> None:
+        """Drop the row view and value gathers after the pair set changed."""
+        self._pair_rows = None
+        self._pair_values.clear()
 
     # ------------------------------------------------------------------
     def site(self, name: str) -> tuple[str, str]:
@@ -179,86 +224,34 @@ class ArExecutor:
             self._dispatch(op, state)
 
         if approximate_only:
-            state.approximate.candidate_rows = (
-                len(state.candidates) if state.candidates is not None else 0
-            )
+            if state.pairs is not None:
+                state.approximate.candidate_rows = len(state.pairs)
+            else:
+                state.approximate.candidate_rows = (
+                    len(state.candidates) if state.candidates is not None else 0
+                )
             return Result(
                 columns={},
                 row_count=0,
                 timeline=timeline,
                 approximate=state.approximate,
             )
+        if plan.query.theta_joins:
+            return self._finalize_theta(state)
         return self._finalize(state)
 
     # ------------------------------------------------------------------
-    def theta_join(
-        self,
-        left: str,
-        right: str,
-        theta: Theta,
-        timeline: Timeline | None = None,
-        *,
-        strategy: str = "auto",
-        emit: str = "auto",
-    ) -> Result:
-        """Run the full A&R theta-join pipeline between two decomposed columns.
-
-        ``left``/``right`` name columns as ``"table.column"``.  The device
-        emits the candidate pair set (order-free; run-length encoded under
-        the sorted strategy), the pair *count* crosses the bus once, the
-        host refines with exact θ — shrinking runs in place, never
-        exploding them — and **only then**, at final result
-        materialization, is the set canonicalized into the deterministic
-        (left, right)-sorted layout.  That canonicalization is the single
-        point of the pipeline where run-length candidates materialize into
-        per-pair arrays.  Everything upstream obeys the order-insensitive
-        pair contract, which is what lets the simulation pick producer
-        strategy and pair representation freely without changing any
-        observable result.
-        """
-        timeline = timeline if timeline is not None else Timeline()
-        left_col = self._pair_column(left)
-        right_col = self._pair_column(right)
-        machine = self._machine
-
-        pairs = theta_join_approx(
-            machine.gpu, timeline, left_col, right_col, theta,
-            strategy=strategy, emit=emit,
-        )
-        ship_pairs(machine.bus, timeline, pairs)
-        refined = theta_join_refine(
-            machine.cpu, timeline, left_col, right_col, theta, pairs
-        )
-        final = refined.canonicalized()
-        # The presentation sort is billed on the host; it depends only on
-        # the refined pair count, never on the producer strategy.
-        machine.cpu.charge(
-            timeline, "join.theta.materialize",
-            len(final) * 2 * _OID_BYTES,
-            tuples=len(final), op_class=OpClass.SCAN,
-        )
-        approximate = ApproximateAnswer()
-        approximate.candidate_rows = len(pairs)
-        return Result(
-            columns={
-                "left_pos": final.left_positions,
-                "right_pos": final.right_positions,
-            },
-            row_count=len(final),
-            timeline=timeline,
-            approximate=approximate,
-        )
-
-    def _pair_column(self, name: str) -> BwdColumn:
-        table, _, column = name.partition(".")
-        if not column:
-            raise PlanError(
-                f"theta join operand {name!r} must be qualified as table.column"
-            )
+    # Theta-join plan support
+    # ------------------------------------------------------------------
+    def _theta_bwd(self, table: str, column: str) -> BwdColumn:
         col = self._catalog.decomposition_of(table, column)
         if col is None:
-            raise PlanError(f"column {name!r} is not decomposed")
+            raise PlanError(f"column '{table}.{column}' is not decomposed")
         return col
+
+    @staticmethod
+    def _theta_of(tj: ThetaJoin) -> Theta:
+        return Theta(ThetaOp(tj.op), tj.delta)
 
     # ------------------------------------------------------------------
     def _dispatch(self, op, state: _ExecState) -> None:
@@ -312,6 +305,55 @@ class ArExecutor:
             self._minmax_prune(op.aggregate, state)
         elif isinstance(op, ApproxAggregate):
             self._approx_aggregate(op.aggregate, state)
+        elif isinstance(op, ApproxThetaJoin):
+            tj = op.theta
+            left_ids = (
+                state.candidates.ids if state.candidates is not None else None
+            )
+            state.pairs = theta_join_approx(
+                machine.gpu, tl,
+                self._theta_bwd(state.query.table, tj.left_column),
+                self._theta_bwd(tj.right_table, tj.right_column),
+                self._theta_of(tj),
+                strategy=tj.strategy, emit=tj.emit, left_ids=left_ids,
+            )
+            # The free approximate answer reports the device-side candidate
+            # pair count (the old Session.theta_join contract).
+            state.approximate.candidate_rows = len(state.pairs)
+        elif isinstance(op, ApproxPairAggregate):
+            assert state.pairs is not None
+            agg = op.aggregate
+            n = len(state.pairs)
+            machine.gpu.reduce(
+                max(n, 1), tl, op=f"agg.{agg.func}.approx(pairs:{agg.alias})"
+            )
+            if agg.func == "count" and not state.query.group_by:
+                # Sound strict bounds: every candidate pair may vanish in
+                # refinement, none can appear.  (A certain-pair lower bound
+                # is a ROADMAP follow-on.)
+                state.approximate.aggregates[agg.alias] = Interval(0.0, float(n))
+            else:
+                state.approximate.aggregates[agg.alias] = None
+        elif isinstance(op, ShipPairs):
+            assert state.pairs is not None
+            ship_pairs(machine.bus, tl, state.pairs)
+            state.shipped = True
+        elif isinstance(op, RefinePairSelect):
+            self._refine_pair_select(op.predicate, state)
+        elif isinstance(op, RefineThetaJoin):
+            assert state.pairs is not None
+            tj = op.theta
+            state.pairs = theta_join_refine(
+                machine.cpu, tl,
+                self._theta_bwd(state.query.table, tj.left_column),
+                self._theta_bwd(tj.right_table, tj.right_column),
+                self._theta_of(tj), state.pairs,
+            )
+            state.invalidate_pair_rows()
+        elif isinstance(op, RefinePairGroup):
+            self._refine_pair_group(op.columns, state)
+        elif isinstance(op, RefinePairAggregate):
+            self._refine_pair_aggregate(op.aggregate, state)
         elif isinstance(op, ShipCandidates):
             assert state.candidates is not None
             # Approximation codes travel packed into the oids' spare high
@@ -493,6 +535,143 @@ class ArExecutor:
         # Rows that are certain must survive as well (they are real results
         # even if they cannot win the extremum — other aggregates need them).
         state.candidates = state.candidates.narrowed(keep | certain)
+
+    # ------------------------------------------------------------------
+    # Refinement side: theta-join pair plans
+    # ------------------------------------------------------------------
+    def _refine_pair_select(self, pred: Predicate, state: _ExecState) -> None:
+        """Exact re-check of a left-side predicate over the candidate pairs.
+
+        The simulation evaluates the predicate once per pair *entry* — per
+        run under the run-length representation — and drops failing left
+        rows whole; the modeled host, which received per-pair oids over the
+        bus, re-checks every pair, so the charge is a function of the pair
+        counts only (representation- and strategy-independent, like every
+        other modeled theta charge).
+        """
+        assert state.pairs is not None
+        machine, tl = self._machine, state.timeline
+        pairs = state.pairs
+        rows = pairs.left_positions
+        rel = self._catalog.table(state.query.table)
+
+        def resolve(name: str) -> np.ndarray:
+            return np.asarray(rel.values(name), dtype=np.int64)[rows]
+
+        mask = pred.evaluate_exact(resolve)
+        n_before = len(pairs)
+        if isinstance(pairs, RunPairCandidates):
+            state.pairs = pairs.rows_narrowed(mask)
+        else:
+            state.pairs = pairs.narrowed(mask)
+        state.invalidate_pair_rows()
+        machine.cpu.charge(
+            tl, f"cpu.select.pairs{pred!r}",
+            (n_before + len(state.pairs)) * _OID_BYTES,
+            tuples=n_before * max(1, pred.target.op_count()),
+            op_class=OpClass.SCAN, pattern=AccessPattern.RANDOM,
+        )
+
+    def _refine_pair_group(
+        self, columns: tuple[str, ...], state: _ExecState
+    ) -> None:
+        """Group the refined pairs by exact left-side keys — run-weighted.
+
+        The charge is per *pair* (the modeled host hashes every pair's
+        key), while the simulation only gathers and hashes per run entry.
+        """
+        machine, tl = self._machine, state.timeline
+        n_pairs = len(state.pairs)
+        key_columns: list[np.ndarray] = []
+        for name in columns:
+            keys = state.pair_left_values(name)
+            machine.cpu.charge(
+                tl, f"group.refine.pairs({name})",
+                n_pairs * (_OID_BYTES + _OID_BYTES),
+                tuples=n_pairs, op_class=OpClass.HASH,
+                pattern=AccessPattern.RANDOM,
+            )
+            state.pair_group_keys[name] = keys
+            key_columns.append(keys)
+        state.pair_groups = group_pair_rows(key_columns)
+
+    def _refine_pair_aggregate(self, agg: Aggregate, state: _ExecState) -> None:
+        """One exact aggregate over the refined pair set, never materialized.
+
+        Billed per pair (the modeled host reduces over the shipped pair
+        oids); computed per weighted left-row entry.
+        """
+        machine, tl = self._machine, state.timeline
+        rows, weights = state.pair_left_rows()
+        n_pairs = len(state.pairs)
+        if state.query.group_by:
+            assert state.pair_groups is not None
+            gids, n_groups = state.pair_groups
+        else:
+            gids, n_groups = ungrouped_pair_gids(len(rows))
+        if agg.expr is not None:
+            values = np.broadcast_to(
+                agg.expr.eval_exact(state.pair_left_values), rows.shape
+            ).astype(np.int64)
+        else:
+            values = None
+        op_count = 1 if agg.expr is None else 1 + agg.expr.op_count()
+        machine.cpu.charge(
+            tl, f"agg.{agg.func}.refine.pairs({agg.alias})",
+            n_pairs * _OID_BYTES,
+            tuples=n_pairs * op_count, op_class=OpClass.AGG,
+        )
+        state.exact_aggregates[agg.alias] = aggregate_pairs(
+            agg.func, values, weights, gids, n_groups
+        )
+
+    def _finalize_theta(self, state: _ExecState) -> Result:
+        """Result construction for theta-join plans.
+
+        The bare join canonicalizes the pair set here — the single
+        materialization point.  Aggregation queries never reach it: their
+        results were computed from the weighted left-row view, so a
+        ``count(*)`` over a band join allocates no per-pair arrays at all
+        (and bills no presentation sort, because the modeled machine would
+        not perform one either).
+        """
+        assert state.pairs is not None
+        query = state.query
+        machine, tl = self._machine, state.timeline
+        if not query.is_aggregation():
+            final = state.pairs.canonicalized()
+            # The presentation sort is billed on the host; it depends only
+            # on the refined pair count, never on the producer strategy.
+            machine.cpu.charge(
+                tl, "join.theta.materialize",
+                len(final) * 2 * _OID_BYTES,
+                tuples=len(final), op_class=OpClass.SCAN,
+            )
+            return Result(
+                columns={
+                    "left_pos": final.left_positions,
+                    "right_pos": final.right_positions,
+                },
+                row_count=len(final),
+                timeline=tl,
+                approximate=state.approximate,
+            )
+        if query.group_by:
+            assert state.pair_groups is not None
+            gids, n_groups = state.pair_groups
+        else:
+            rows, _ = state.pair_left_rows()
+            gids, n_groups = ungrouped_pair_gids(len(rows))
+        columns = pair_result_columns(
+            query.group_by, state.pair_group_keys, gids, n_groups,
+            {a.alias: state.exact_aggregates[a.alias] for a in query.aggregates},
+        )
+        return Result(
+            columns=columns,
+            row_count=n_groups,
+            timeline=tl,
+            approximate=state.approximate,
+        )
 
     # ------------------------------------------------------------------
     # Refinement side

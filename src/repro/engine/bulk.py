@@ -19,7 +19,16 @@ from ..core.aggregates import (
     grouped_min,
     grouped_sum,
 )
+from ..core.candidates import RunPairCandidates
 from ..core.grouping import combine_keys
+from ..core.pair_agg import (
+    aggregate_pairs,
+    group_pair_rows,
+    pair_result_columns,
+    pair_rows,
+    ungrouped_pair_gids,
+)
+from ..core.theta import Theta, ThetaOp, exact_run_bounds
 from ..device.cpu import Cpu
 from ..device.model import AccessPattern, OpClass
 from ..device.timeline import Timeline
@@ -116,6 +125,9 @@ class ClassicExecutor:
         if candidate_ids is None:
             candidate_ids = np.arange(n, dtype=np.int64)
 
+        if query.theta_joins:
+            return self._run_theta(query, timeline, candidate_ids, resolve)
+
         # --------------------------------------------------------------
         # Plain projection queries
         # --------------------------------------------------------------
@@ -175,6 +187,132 @@ class ClassicExecutor:
             )
             columns[agg.alias] = self._aggregate(agg.func, values, gids, n_groups)
 
+        return Result(columns=columns, row_count=n_groups, timeline=timeline)
+
+    # ------------------------------------------------------------------
+    # Classic theta join (PR 4): the full-precision CPU comparator
+    # ------------------------------------------------------------------
+    def _run_theta(
+        self,
+        query: Query,
+        timeline: Timeline,
+        candidate_ids: np.ndarray,
+        resolve,
+    ) -> Result:
+        """Answer a theta-join block with classic bulk operators.
+
+        Modeled as the bulk engine's nested-loop theta join over exact
+        values (|candidates|·|R| comparisons — the classic baseline has no
+        approximation to prune with); the simulation *computes* the same
+        pair set with a sort + two ``searchsorted`` sweeps so large classic
+        runs stay feasible wall-clock.  Results — bare pairs in canonical
+        order, or (grouped) aggregates over the pair set — are identical to
+        the A&R modes by construction: both feed the same exact values
+        through :mod:`repro.core.pair_agg`.
+        """
+        tj = query.theta_joins[0]
+        theta = Theta(ThetaOp(tj.op), tj.delta)
+        left_vals = np.asarray(resolve(tj.left_column), dtype=np.int64)
+        right_rel = self._catalog.table(tj.right_table)
+        right_vals = np.asarray(
+            right_rel.values(tj.right_column), dtype=np.int64
+        )
+        right_width = max(
+            1, right_rel.type_of(tj.right_column).storage_bits // 8
+        )
+        self._cpu.charge(
+            timeline, f"cpu.scan({tj.right_table}.{tj.right_column})",
+            len(right_vals) * right_width,
+            tuples=len(right_vals), op_class=OpClass.SCAN,
+            phase="approximate",
+        )
+        order = np.argsort(right_vals, kind="stable").astype(np.int64)
+        key = right_vals[order]
+        starts, stops = exact_run_bounds(key, left_vals, theta)
+        pairs = RunPairCandidates(
+            candidate_ids, starts, stops, order, order_key="exact"
+        )
+        self._cpu.charge(
+            timeline, f"cpu.join.theta({tj.op})",
+            (len(left_vals) + len(right_vals)) * _OID_BYTES
+            + len(pairs) * 2 * _OID_BYTES,
+            tuples=len(left_vals) * len(right_vals),
+            op_class=OpClass.ARITH, phase="approximate",
+        )
+
+        if not query.is_aggregation():
+            final = pairs.canonicalized()
+            self._cpu.charge(
+                timeline, "join.theta.materialize",
+                len(final) * 2 * _OID_BYTES,
+                tuples=len(final), op_class=OpClass.SCAN,
+                phase="approximate",
+            )
+            return Result(
+                columns={
+                    "left_pos": final.left_positions,
+                    "right_pos": final.right_positions,
+                },
+                row_count=len(final), timeline=timeline,
+            )
+
+        # Aggregates over the pair set: weighted left-row view, no pair
+        # ever materialized (the same fast path the A&R refinement takes).
+        # The modeled bulk engine works per pair, so every charge below is
+        # a function of the pair count; only the simulation's wall-clock
+        # work is per run entry.
+        n_pairs = len(pairs)
+        rows, weights = pair_rows(pairs)
+        fact = self._catalog.table(query.table)
+        row_cache: dict[str, np.ndarray] = {}
+
+        def resolve_rows(name: str) -> np.ndarray:
+            if name not in row_cache:
+                values = np.asarray(fact.values(name), dtype=np.int64)[rows]
+                self._cpu.charge(
+                    timeline, f"cpu.gather.pairs({name})",
+                    n_pairs * (_OID_BYTES + _OID_BYTES),
+                    tuples=n_pairs, op_class=OpClass.GATHER,
+                    pattern=AccessPattern.RANDOM, phase="approximate",
+                )
+                row_cache[name] = values
+            return row_cache[name]
+
+        if query.group_by:
+            key_columns = []
+            for name in query.group_by:
+                keys = resolve_rows(name)
+                self._cpu.charge(
+                    timeline, f"cpu.group({name})",
+                    n_pairs * (_OID_BYTES + _OID_BYTES),
+                    tuples=n_pairs, op_class=OpClass.HASH,
+                    pattern=AccessPattern.RANDOM, phase="approximate",
+                )
+                key_columns.append(keys)
+            gids, n_groups = group_pair_rows(key_columns)
+        else:
+            gids, n_groups = ungrouped_pair_gids(len(rows))
+
+        aggregate_columns: dict[str, np.ndarray] = {}
+        for agg in query.aggregates:
+            if agg.expr is not None:
+                values = np.broadcast_to(
+                    agg.expr.eval_exact(resolve_rows), rows.shape
+                ).astype(np.int64)
+            else:
+                values = None
+            self._cpu.charge(
+                timeline, f"cpu.{agg.func}.pairs({agg.alias})",
+                n_pairs * _OID_BYTES,
+                tuples=n_pairs, op_class=OpClass.AGG,
+                phase="approximate",
+            )
+            aggregate_columns[agg.alias] = aggregate_pairs(
+                agg.func, values, weights, gids, n_groups
+            )
+        columns = pair_result_columns(
+            query.group_by, row_cache, gids, n_groups, aggregate_columns
+        )
         return Result(columns=columns, row_count=n_groups, timeline=timeline)
 
     # ------------------------------------------------------------------

@@ -8,12 +8,15 @@ of answering a query the paper compares:
 * ``mode="approximate"`` — the approximation subplan alone: strict bounds,
   no refinement cost (the paper's free fast answer).
 
-SQL text is accepted through :meth:`execute`; programmatic
+The primary programmatic API is the lazy relational builder,
+:meth:`table` (see :mod:`repro.engine.builder`); SQL text is accepted
+through :meth:`execute`; pre-built
 :class:`~repro.plan.logical.Query` objects through :meth:`query`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Mapping
 
 from ..device.machine import Machine
@@ -26,6 +29,7 @@ from ..storage.catalog import Catalog
 from ..storage.column import ColumnType
 from ..storage.relation import Relation, Schema
 from .ar_executor import ArExecutor
+from .builder import RelationBuilder
 from .bulk import ClassicExecutor
 from .result import Result
 from .stream import streaming_input_bytes, streaming_lower_bound
@@ -83,6 +87,20 @@ class Session:
         return bwd
 
     # ------------------------------------------------------------------
+    # Query building
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> RelationBuilder:
+        """Start a lazy query block over ``name`` — the primary API.
+
+        Chain relational operators (``where``, ``join``, ``theta_join`` /
+        ``band_join``, ``group_by``, aggregates, ``select``) and finish
+        with ``.run(mode=...)`` / ``.build()`` / ``.explain()``; nothing
+        executes until then.
+        """
+        self.catalog.table(name)  # fail fast on unknown tables
+        return RelationBuilder(self, name)
+
+    # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
     def query(
@@ -122,31 +140,44 @@ class Session:
         emit: str = "auto",
         timeline: Timeline | None = None,
     ) -> Result:
-        """A&R theta join between two decomposed columns (§IV-D).
+        """Deprecated: A&R theta join between two decomposed columns (§IV-D).
+
+        Thin shim over the builder path — byte-identical Result and modeled
+        Timeline::
+
+            session.table(lt).theta_join(rt, on=(lc, rc), op=op, delta=d) \
+                .run(mode="ar")
 
         ``left``/``right`` are qualified ``"table.column"`` names; ``op`` is
         one of ``< <= > >= =`` or ``"within"`` (the band join, with
         ``delta``).  Returns a result with ``left_pos``/``right_pos``
-        columns in canonical (left, right)-sorted order — the one place the
-        order-insensitive candidate-pair contract fixes an order, and (for
-        the sorted strategy) the one place the run-length candidate
-        representation materializes into per-pair arrays.  ``strategy``
-        and ``emit`` tune the simulation only; results and modeled
-        Timeline charges are identical for every combination.
+        columns in canonical (left, right)-sorted order.  ``strategy`` and
+        ``emit`` tune the simulation only; results and modeled Timeline
+        charges are identical for every combination.
         """
-        from ..core.theta import Theta, ThetaOp
-
-        try:
-            theta_op = ThetaOp(op)
-        except ValueError:
-            valid = ", ".join(member.value for member in ThetaOp)
-            raise PlanError(
-                f"unknown theta operator {op!r}; pick one of: {valid}"
-            ) from None
-        theta = Theta(theta_op, delta)
-        return self._ar.theta_join(
-            left, right, theta, timeline, strategy=strategy, emit=emit
+        warnings.warn(
+            "Session.theta_join is deprecated; use "
+            "session.table(...).theta_join(...).run() — the builder path "
+            "composes with selections, grouping and aggregates",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        left_table, left_column = self._split_qualified(left)
+        right_table, right_column = self._split_qualified(right)
+        builder = self.table(left_table).theta_join(
+            right_table, on=(left_column, right_column), op=op, delta=delta,
+            strategy=strategy, emit=emit,
+        )
+        return builder.run(mode="ar", timeline=timeline)
+
+    @staticmethod
+    def _split_qualified(name: str) -> tuple[str, str]:
+        table, _, column = name.partition(".")
+        if not column:
+            raise PlanError(
+                f"theta join operand {name!r} must be qualified as table.column"
+            )
+        return table, column
 
     def execute(
         self,

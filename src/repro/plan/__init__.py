@@ -9,7 +9,7 @@ refinements (§III-A).
 """
 
 from .expr import BinOp, Case, ColRef, Const, Expr, Neg, Predicate
-from .logical import Aggregate, FkJoin, Query
+from .logical import Aggregate, FkJoin, Query, ThetaJoin
 from .physical import PhysicalPlan
 from .rewriter import rewrite_to_ar_plan
 from .explain import explain
@@ -26,6 +26,7 @@ __all__ = [
     "PhysicalPlan",
     "Predicate",
     "Query",
+    "ThetaJoin",
     "explain",
     "rewrite_to_ar_plan",
 ]

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from .physical import PhysicalPlan, ShipCandidates
+from ..errors import PlanError
+from .physical import PhysicalOp, PhysicalPlan, ShipCandidates, ShipPairs
 
 
 def explain(plan: PhysicalPlan) -> str:
@@ -10,14 +11,20 @@ def explain(plan: PhysicalPlan) -> str:
 
     The approximation subplan prints first (red operators in the paper's
     figures), the PCI crossing is marked, then the refinement subplan
-    (blue operators).
+    (blue operators).  Every operator the rewriter can emit renders here;
+    an unknown node is a :class:`~repro.errors.PlanError` naming it, never
+    a silently incomplete plan text.
     """
     lines = [
         f"A&R plan for {plan.query.table}"
         f" (pushdown={'on' if plan.pushdown else 'off'})"
     ]
     for op in plan.ops:
-        if isinstance(op, ShipCandidates):
+        if not isinstance(op, PhysicalOp):
+            raise PlanError(
+                f"explain cannot render plan node {type(op).__name__!r}"
+            )
+        if isinstance(op, (ShipCandidates, ShipPairs)):
             lines.append("  ──── PCI-E ────  " + op.describe())
             continue
         tag = "approx" if op.phase == "approximate" else "refine"

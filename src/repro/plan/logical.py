@@ -2,10 +2,15 @@
 
 One :class:`Query` describes a select-project-join-aggregate block — the
 fragment of relational algebra the paper's evaluation exercises (spatial
-range counts, TPC-H Q1/Q6/Q14) plus plain projections.  Joins are
-foreign-key (projective) joins against dimension tables, matching §IV-D's
-scope: generic unindexed GPU joins are explicitly left to future work by
-the paper, and the same boundary is kept here.
+range counts, TPC-H Q1/Q6/Q14) plus plain projections.  Two join flavors
+exist:
+
+* :class:`FkJoin` — foreign-key (projective) joins against dimension
+  tables, matching §IV-D's pre-built-index scope;
+* :class:`ThetaJoin` — the §IV-D theta/band join between one fact column
+  and one column of another table, a first-class plan node since PR 4 so
+  selections, grouping and aggregation compose on top of it and the
+  rewriter/EXPLAIN/SQL layers all see it.
 """
 
 from __future__ import annotations
@@ -50,6 +55,50 @@ class FkJoin:
     dim_table: str
 
 
+#: Theta-join predicates supported by :class:`ThetaJoin` (paper §IV-D).
+THETA_OPS = ("<", "<=", ">", ">=", "=", "within")
+
+
+@dataclass(frozen=True)
+class ThetaJoin:
+    """A theta join: ``fact.left_column θ right_table.right_column``.
+
+    ``op`` is one of :data:`THETA_OPS`; ``"within"`` is the band join
+    ``|left − right| <= delta``.  ``strategy`` and ``emit`` tune how the
+    simulation *produces* the candidate pair set (see
+    :func:`repro.core.theta.theta_join_approx`); results and modeled
+    Timeline charges are identical for every combination, so they are
+    carried on the logical node as pure simulation knobs.
+    """
+
+    left_column: str
+    right_table: str
+    right_column: str
+    op: str
+    delta: int = 0
+    strategy: str = "auto"
+    emit: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.op not in THETA_OPS:
+            valid = ", ".join(THETA_OPS)
+            raise PlanError(
+                f"unknown theta operator {self.op!r}; pick one of: {valid}"
+            )
+        if self.op == "within" and self.delta < 0:
+            raise PlanError("band join needs a non-negative delta")
+        if "." in self.left_column:
+            raise PlanError(
+                f"theta join left side {self.left_column!r} must be an "
+                "unqualified fact-table column"
+            )
+        if "." in self.right_column:
+            raise PlanError(
+                f"theta join right side {self.right_column!r} must be an "
+                f"unqualified column of {self.right_table!r}"
+            )
+
+
 @dataclass(frozen=True)
 class Query:
     """A logical select-project-join-aggregate block."""
@@ -61,15 +110,50 @@ class Query:
     aggregates: tuple[Aggregate, ...] = ()
     #: plain projected columns (exact values in the result set)
     select: tuple[str, ...] = ()
+    theta_joins: tuple[ThetaJoin, ...] = ()
 
     def __post_init__(self) -> None:
-        if not self.aggregates and not self.select:
+        if not self.aggregates and not self.select and not self.theta_joins:
             raise PlanError("query must produce aggregates or projected columns")
         if self.group_by and not self.aggregates:
             raise PlanError("GROUP BY requires aggregates")
         aliases = [a.alias for a in self.aggregates]
         if len(set(aliases)) != len(aliases):
             raise PlanError(f"duplicate aggregate aliases: {aliases}")
+        if self.theta_joins:
+            self._check_theta_block()
+
+    def _check_theta_block(self) -> None:
+        """Scope of the theta-join query class (PR 4).
+
+        One theta join per block; its output is the candidate pair set
+        (``left_pos``/``right_pos``) or aggregates over it.  Selections,
+        grouping and aggregate operands reference fact-table columns only —
+        per-pair projection of right-side values is future work, exactly as
+        the paper leaves generic join payloads to future work.
+        """
+        if len(self.theta_joins) > 1:
+            raise PlanError("at most one theta join per query block")
+        if self.joins:
+            raise PlanError(
+                "theta joins cannot be combined with FK joins in one block"
+            )
+        if self.select:
+            raise PlanError(
+                "theta-join queries project the pair positions "
+                "(left_pos, right_pos); a SELECT column list is not supported"
+            )
+        referenced: set[str] = set(self.group_by)
+        for pred in self.where:
+            referenced |= pred.columns()
+        for agg in self.aggregates:
+            referenced |= agg.columns()
+        qualified = sorted(c for c in referenced if "." in c)
+        if qualified:
+            raise PlanError(
+                "theta-join queries may only reference fact-table columns "
+                f"in WHERE/GROUP BY/aggregates; got {qualified}"
+            )
 
     # ------------------------------------------------------------------
     def referenced_columns(self) -> set[str]:
@@ -81,6 +165,8 @@ class Query:
             cols |= agg.columns()
         for join in self.joins:
             cols.add(join.fk_column)
+        for theta in self.theta_joins:
+            cols.add(theta.left_column)
         return cols
 
     def dim_table_of(self, column: str) -> str | None:

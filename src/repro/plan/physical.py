@@ -6,6 +6,28 @@ phase it belongs to.  The defining structural property of a well-formed A&R
 plan — *no approximation operator depends on the result of a refinement
 operator* (§V-B) — is checked by :meth:`PhysicalPlan.validate`, and it is
 what makes the approximate-only execution mode possible.
+
+Two plan shapes share the operator list:
+
+* **Candidate plans** (the Fig-7 shape): relaxed selections seed a unary
+  candidate set, payload gathers/FK joins/pre-grouping/approximate
+  aggregates run over it, :class:`ShipCandidates` crosses the bus once,
+  then the paired refinements run host-side to the exact result.
+
+* **Theta-join plans** (the §IV-D shape, first-class since PR 4)::
+
+      [ApproxScanSelect/ApproxProbeSelect...]   # selection under the join
+      ApproxThetaJoin                           # candidate pair superset
+      [ApproxPairAggregate...]                  # free approximate answer
+      ──── ShipPairs ────                       # pair count crosses PCI-E
+      [RefinePairSelect...]                     # exact re-check, run-aware
+      RefineThetaJoin                           # exact θ, runs shrink in place
+      [RefinePairGroup] [RefinePairAggregate...]
+
+  The pair set stays in the producer's representation (run-length under
+  the sorted strategy) through the whole refine phase; pairs materialize
+  exactly once, at canonical result construction — and not at all when
+  only aggregates over the pairs are consumed.
 """
 
 from __future__ import annotations
@@ -14,7 +36,7 @@ from dataclasses import dataclass, field
 
 from ..errors import PlanError
 from .expr import Predicate
-from .logical import Aggregate, Query
+from .logical import Aggregate, Query, ThetaJoin
 
 
 class PhysicalOp:
@@ -123,6 +145,40 @@ class ApproxAggregate(PhysicalOp):
         return f"bwd.{self.aggregate.func}approximate() -> {self.aggregate.alias}"
 
 
+@dataclass
+class ApproxThetaJoin(PhysicalOp):
+    """Device-side theta join over approximate intervals (§IV-D).
+
+    Joins the current left-side candidates (every fact row when no
+    selection ran) against ``theta.right_table.right_column``, emitting the
+    candidate pair superset — run-length encoded under the sorted strategy.
+    """
+
+    theta: ThetaJoin
+
+    def describe(self) -> str:
+        t = self.theta
+        pred = (
+            f"|{t.left_column} - {t.right_table}.{t.right_column}| <= {t.delta}"
+            if t.op == "within"
+            else f"{t.left_column} {t.op} {t.right_table}.{t.right_column}"
+        )
+        return f"bwd.thetajoinapproximate({pred})"
+
+
+@dataclass
+class ApproxPairAggregate(PhysicalOp):
+    """Strict device-side bounds for one aggregate over the candidate pairs."""
+
+    aggregate: Aggregate
+
+    def describe(self) -> str:
+        return (
+            f"bwd.{self.aggregate.func}approximate(pairs)"
+            f" -> {self.aggregate.alias}"
+        )
+
+
 # ----------------------------------------------------------------------
 # The bus crossing
 # ----------------------------------------------------------------------
@@ -134,6 +190,20 @@ class ShipCandidates(PhysicalOp):
 
     def describe(self) -> str:
         return "bwd.ship(candidates)"
+
+
+@dataclass
+class ShipPairs(PhysicalOp):
+    """Move a theta join's candidate pairs over PCI-E to the host.
+
+    Billed by pair *count* regardless of representation (the paper's device
+    would emit per-pair oids; run-length pairs are not billed less).
+    """
+
+    phase = "refine"
+
+    def describe(self) -> str:
+        return "bwd.ship(pairs)"
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +287,54 @@ class RefineAggregate(PhysicalOp):
         return f"bwd.{self.aggregate.func}refine() -> {self.aggregate.alias}"
 
 
+@dataclass
+class RefinePairSelect(PhysicalOp):
+    """Exact re-check of a left-side predicate over the candidate pairs.
+
+    Drops whole left rows (and with them their runs) whose exact values
+    fail the predicate — run-preserving, never exploding a pair.
+    """
+
+    predicate: Predicate
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"cpu.selectpairs() {self.predicate!r}"
+
+
+@dataclass
+class RefineThetaJoin(PhysicalOp):
+    """Host-side exact θ over the candidate pairs (runs shrink in place)."""
+
+    theta: ThetaJoin
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"bwd.thetajoinrefine({self.theta.op})"
+
+
+@dataclass
+class RefinePairGroup(PhysicalOp):
+    """Group the refined pairs by exact left-side key columns."""
+
+    columns: tuple[str, ...]
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"cpu.grouppairs({', '.join(self.columns)})"
+
+
+@dataclass
+class RefinePairAggregate(PhysicalOp):
+    """Produce one exact aggregate over the refined pair set."""
+
+    aggregate: Aggregate
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"cpu.{self.aggregate.func}pairs() -> {self.aggregate.alias}"
+
+
 # ----------------------------------------------------------------------
 @dataclass
 class PhysicalPlan:
@@ -244,7 +362,9 @@ class PhysicalPlan:
                         f"approximate operator {op.describe()} depends on a "
                         "refined input — pushdown invariant violated"
                     )
-        if not any(isinstance(op, ShipCandidates) for op in self.ops):
+        if not any(
+            isinstance(op, (ShipCandidates, ShipPairs)) for op in self.ops
+        ):
             raise PlanError("plan never ships candidates to the host")
         return self
 

@@ -28,10 +28,12 @@ from .physical import (
     ApproxFkJoin,
     ApproxGroup,
     ApproxMinMaxPrune,
+    ApproxPairAggregate,
     ApproxPayloadSelect,
     ApproxProbeSelect,
     ApproxProject,
     ApproxScanSelect,
+    ApproxThetaJoin,
     CpuProject,
     CpuSelect,
     PhysicalOp,
@@ -39,9 +41,14 @@ from .physical import (
     RefineAggregate,
     RefineFkJoin,
     RefineGroup,
+    RefinePairAggregate,
+    RefinePairGroup,
+    RefinePairSelect,
     RefineProject,
     RefineSelect,
+    RefineThetaJoin,
     ShipCandidates,
+    ShipPairs,
 )
 
 
@@ -133,6 +140,8 @@ def rewrite_to_ar_plan(
     """
     if predicate_order not in ("query", "selectivity"):
         raise PlanError(f"unknown predicate order {predicate_order!r}")
+    if query.theta_joins:
+        return _rewrite_theta_plan(query, catalog, pushdown=pushdown)
     info = _ColumnInfo(query, catalog)
 
     drivable: list[Predicate] = []
@@ -304,4 +313,64 @@ def rewrite_to_ar_plan(
         emit_refine_stage()
         drivable.extend(saved)
 
+    return PhysicalPlan(query=query, ops=ops, pushdown=pushdown).validate()
+
+
+def _rewrite_theta_plan(
+    query: Query, catalog: Catalog, *, pushdown: bool
+) -> PhysicalPlan:
+    """Lower a theta-join block into the Approx → Ship → Refine pair plan.
+
+    Selections under the join run as relaxed device scans when their column
+    is decomposed (the join then only compares surviving left rows);
+    everything uncertain — residual bits of drivable predicates, host-only
+    predicates, the join condition itself — re-checks exactly on the host,
+    over the shipped candidate pairs, without ever exploding a run.
+    """
+    if not pushdown:
+        raise PlanError(
+            "the no-pushdown ablation does not support theta joins; "
+            "run the ThetaJoin plan with pushdown=True"
+        )
+    theta = query.theta_joins[0]
+    for table, column in (
+        (query.table, theta.left_column),
+        (theta.right_table, theta.right_column),
+    ):
+        if not catalog.is_decomposed(table, column):
+            raise PlanError(f"column '{table}.{column}' is not decomposed")
+
+    drivable: list[Predicate] = []
+    host_preds: list[Predicate] = []
+    for pred in query.where:
+        if pred.is_simple_column and catalog.is_decomposed(
+            query.table, pred.target.name
+        ):
+            drivable.append(pred)
+        else:
+            host_preds.append(pred)
+
+    ops: list[PhysicalOp] = []
+    for i, pred in enumerate(drivable):
+        assert isinstance(pred.target, ColRef)
+        if i == 0:
+            ops.append(ApproxScanSelect(pred.target.name, pred))
+        else:
+            ops.append(ApproxProbeSelect(pred.target.name, pred))
+    ops.append(ApproxThetaJoin(theta))
+    for agg in query.aggregates:
+        ops.append(ApproxPairAggregate(agg))
+    ops.append(ShipPairs())
+    for pred in drivable:
+        assert isinstance(pred.target, ColRef)
+        bwd = catalog.decomposition_of(query.table, pred.target.name)
+        if bwd.decomposition.residual_bits > 0:
+            ops.append(RefinePairSelect(pred))
+    for pred in host_preds:
+        ops.append(RefinePairSelect(pred))
+    ops.append(RefineThetaJoin(theta))
+    if query.group_by:
+        ops.append(RefinePairGroup(tuple(query.group_by)))
+    for agg in query.aggregates:
+        ops.append(RefinePairAggregate(agg))
     return PhysicalPlan(query=query, ops=ops, pushdown=pushdown).validate()

@@ -111,10 +111,27 @@ class JoinClause(AstNode):
 
 
 @dataclass(frozen=True)
+class ThetaJoinClause(AstNode):
+    """``JOIN t ON a <op> b`` / ``JOIN t ON a WITHIN d OF b`` (§IV-D).
+
+    ``left`` is the fact-side column, ``right`` the ``table``-side column
+    (the parser normalizes sides, flipping ``op`` when needed);
+    ``delta_text`` keeps the band-join literal's written form so the binder
+    can coerce it to the join columns' decimal scale.
+    """
+
+    table: str
+    left: str
+    op: str  # < <= > >= = within
+    right: str
+    delta_text: str | None = None
+
+
+@dataclass(frozen=True)
 class SelectStmt(AstNode):
     items: tuple[SelectItem, ...]
     table: str
-    joins: tuple[JoinClause, ...]
+    joins: tuple["JoinClause | ThetaJoinClause", ...]
     where: tuple[AstPredicate, ...]
     group_by: tuple[str, ...]
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from ..core.relax import CompareOp, ValueRange
 from ..errors import SqlError
 from ..plan.expr import BinOp, Case, ColRef, Const, Expr, Neg, Predicate
-from ..plan.logical import Aggregate, FkJoin, Query
+from ..plan.logical import Aggregate, FkJoin, Query, ThetaJoin
 from ..storage.catalog import Catalog
 from ..storage.column import ColumnType, DateType, DecimalType, DictionaryType
 from . import ast
@@ -41,10 +41,25 @@ class _Binder:
         self._catalog = catalog
         self._fact = catalog.table(stmt.table)
         self._joins: list[FkJoin] = []
+        self._theta: list[ThetaJoin] = []
         for j in stmt.joins:
+            if isinstance(j, ast.ThetaJoinClause):
+                self._theta.append(self._bind_theta(j))
+                continue
             fk = self._strip_fact_prefix(j.fk_column)
-            self._check_join(j, fk)
-            self._joins.append(FkJoin(fk_column=fk, dim_table=j.dim_table))
+            if self._is_fk_join(j, fk):
+                self._joins.append(FkJoin(fk_column=fk, dim_table=j.dim_table))
+            else:
+                # ``ON a = b`` against a non-dense key is not the paper's
+                # pre-built-index FK join — it is a theta equality join.
+                self._theta.append(
+                    self._bind_theta(
+                        ast.ThetaJoinClause(
+                            table=j.dim_table, left=fk, op="=",
+                            right=f"{j.dim_table}.{j.dim_key}",
+                        )
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Name resolution
@@ -53,7 +68,12 @@ class _Binder:
         prefix = self._stmt.table + "."
         return name[len(prefix):] if name.startswith(prefix) else name
 
-    def _check_join(self, j: ast.JoinClause, fk: str) -> None:
+    def _is_fk_join(self, j: ast.JoinClause, fk: str) -> bool:
+        """True when the ON equality targets a dense dimension key (§IV-D).
+
+        A non-dense key is no longer an error: the equality then binds as a
+        theta join, keeping the join algebra closed.
+        """
         if "." in fk:
             raise SqlError(f"JOIN fk side {j.fk_column!r} is not a fact column")
         if fk not in self._fact.schema:
@@ -62,11 +82,43 @@ class _Binder:
         if j.dim_key not in dim.schema:
             raise SqlError(f"no column {j.dim_key!r} in {j.dim_table!r}")
         keys = dim.values(j.dim_key)
-        if len(keys) == 0 or int(keys.min()) != 0 or int(keys.max()) != len(dim) - 1:
+        return bool(
+            len(keys) > 0
+            and int(keys.min()) == 0
+            and int(keys.max()) == len(dim) - 1
+        )
+
+    def _bind_theta(self, j: ast.ThetaJoinClause) -> ThetaJoin:
+        """Resolve a theta join clause: fact column θ right-table column."""
+        left = self._strip_fact_prefix(j.left)
+        if "." in left:
             raise SqlError(
-                f"{j.dim_table}.{j.dim_key} is not a dense 0..N-1 key; "
-                "FK joins need the pre-built index of §IV-D"
+                f"theta JOIN side {j.left!r} must be a {self._stmt.table!r} column"
             )
+        if left not in self._fact.schema:
+            raise SqlError(f"no column {left!r} in {self._stmt.table!r}")
+        rtable, rcol = j.right.split(".", 1)
+        right_rel = self._catalog.table(rtable)
+        if rcol not in right_rel.schema:
+            raise SqlError(f"no column {rcol!r} in {rtable!r}")
+        left_t = self._fact.type_of(left)
+        right_t = right_rel.type_of(rcol)
+        lscale = left_t.scale if isinstance(left_t, DecimalType) else 0
+        rscale = right_t.scale if isinstance(right_t, DecimalType) else 0
+        if lscale != rscale:
+            raise SqlError(
+                f"theta join compares {self._stmt.table}.{left} (scale "
+                f"{lscale}) with {rtable}.{rcol} (scale {rscale}); "
+                "scales must match"
+            )
+        delta = 0
+        if j.delta_text is not None:
+            bound = _Bound(ColRef(left), lscale, left_t)
+            delta = self._literal_for(bound, ast.Num(j.delta_text))
+        return ThetaJoin(
+            left_column=left, right_table=rtable, right_column=rcol,
+            op=j.op, delta=delta,
+        )
 
     def _resolve(self, name: str) -> tuple[str, ColumnType]:
         """Resolve a column name → (canonical name, type)."""
@@ -74,6 +126,12 @@ class _Binder:
         if "." in name:
             table, column = name.split(".", 1)
             if not any(j.dim_table == table for j in self._joins):
+                if any(t.right_table == table for t in self._theta):
+                    raise SqlError(
+                        f"columns of theta-joined table {table!r} cannot be "
+                        "referenced; theta blocks aggregate over fact-side "
+                        "columns and the pair count"
+                    )
                 raise SqlError(f"table {table!r} is not joined")
             return name, self._catalog.table(table).type_of(column)
         if name not in self._fact.schema:
@@ -255,6 +313,7 @@ class _Binder:
             group_by=group_by,
             aggregates=tuple(aggregates),
             select=tuple(select),
+            theta_joins=tuple(self._theta),
         )
         return query, scales
 

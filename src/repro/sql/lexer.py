@@ -9,7 +9,7 @@ from ..errors import SqlSyntaxError
 KEYWORDS = {
     "select", "from", "where", "group", "by", "and", "between", "as",
     "join", "on", "case", "when", "then", "else", "end", "like", "not",
-    "count", "sum", "avg", "min", "max", "bwdecompose",
+    "count", "sum", "avg", "min", "max", "bwdecompose", "within", "of",
 }
 
 #: Multi-char operators first so "<=" never lexes as "<" then "=".

@@ -20,6 +20,7 @@ from .ast import (
     SelectItem,
     SelectStmt,
     Str,
+    ThetaJoinClause,
 )
 from .lexer import Token, tokenize
 
@@ -136,25 +137,66 @@ class _Parser:
             return AggCall(func=tok.text, argument=arg)
         return self._expr()
 
-    def _join_clause(self) -> JoinClause:
-        dim = self._expect("ident").text
+    #: side-swapped theta comparison (``a < b`` ⇔ ``b > a``).
+    _THETA_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+    def _join_clause(self) -> JoinClause | ThetaJoinClause:
+        """``JOIN t ON a = b`` (FK), ``ON a <op> b`` or ``ON a WITHIN d OF b``.
+
+        The equality form stays a :class:`JoinClause` — the binder decides
+        whether it is the §IV-D FK join (dense dimension key) or a theta
+        equality join.  Inequalities and band conditions are always theta.
+        """
+        table = self._expect("ident").text
         self._expect("kw", "on")
         left = self._qualified_name()
-        self._expect("op", "=")
-        right = self._qualified_name()
-        # Either side of the equality may be the dimension key.
-        if left.startswith(dim + "."):
-            dim_side, fact_side = left, right
-        elif right.startswith(dim + "."):
-            dim_side, fact_side = right, left
-        else:
+        if self._accept_kw("within"):
+            delta = self._expect("number")
+            self._expect("kw", "of")
+            right = self._qualified_name()
+            return self._theta_clause(table, left, "within", right, delta.text)
+        op_tok = self._cur
+        if op_tok.kind != "op" or op_tok.text not in ("=", "<", "<=", ">", ">="):
             raise SqlSyntaxError(
-                f"JOIN ON must reference {dim!r} on one side", self._cur.pos
+                f"expected a join comparison, found {op_tok.text!r}",
+                op_tok.pos,
             )
-        return JoinClause(
-            dim_table=dim,
-            fk_column=fact_side,
-            dim_key=dim_side.split(".", 1)[1],
+        self._advance()
+        right = self._qualified_name()
+        if op_tok.text == "=":
+            # Either side of the equality may be the dimension key.
+            if left.startswith(table + "."):
+                dim_side, fact_side = left, right
+            elif right.startswith(table + "."):
+                dim_side, fact_side = right, left
+            else:
+                raise SqlSyntaxError(
+                    f"JOIN ON must reference {table!r} on one side",
+                    self._cur.pos,
+                )
+            return JoinClause(
+                dim_table=table,
+                fk_column=fact_side,
+                dim_key=dim_side.split(".", 1)[1],
+            )
+        return self._theta_clause(table, left, op_tok.text, right, None)
+
+    def _theta_clause(
+        self, table: str, left: str, op: str, right: str, delta_text: str | None
+    ) -> ThetaJoinClause:
+        """Normalize sides so ``left`` is the fact column, flipping ``op``."""
+        left_is_joined = left.startswith(table + ".")
+        right_is_joined = right.startswith(table + ".")
+        if left_is_joined == right_is_joined:
+            raise SqlSyntaxError(
+                f"theta JOIN ON must reference {table!r} on exactly one side",
+                self._cur.pos,
+            )
+        if left_is_joined:
+            left, right = right, left
+            op = self._THETA_FLIP.get(op, op)
+        return ThetaJoinClause(
+            table=table, left=left, op=op, right=right, delta_text=delta_text
         )
 
     def _predicate(self) -> AstPredicate:

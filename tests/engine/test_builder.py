@@ -1,0 +1,399 @@
+"""The lazy relational builder API and the theta-join plan path.
+
+Covers the PR-4 redesign: theta/band joins as first-class plan nodes behind
+``session.table(...)``, the deprecated ``Session.theta_join`` shim
+(byte-identical Result and Timeline), three-mode agreement against the
+brute-force oracle, and the aggregate-only fast path that never
+materializes a pair.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import RunPairCandidates
+from repro.core.theta import Theta, ThetaOp, theta_join_reference
+from repro.engine.builder import RelationBuilder
+from repro.engine.session import Session
+from repro.errors import PlanError
+from repro.plan.logical import Aggregate, Query, ThetaJoin
+from repro.storage.column import IntType
+
+ALL_OPS = [("<", 0), ("<=", 0), (">", 0), (">=", 0), ("=", 0), ("within", 25)]
+
+
+def spans_of(timeline):
+    return [
+        (s.device, s.kind, s.op, s.nbytes, s.seconds, s.phase)
+        for s in timeline._spans
+    ]
+
+
+@pytest.fixture()
+def session():
+    s = Session()
+    rng = np.random.default_rng(11)
+    s.create_table(
+        "orders",
+        {"price": IntType(), "qty": IntType(), "region": IntType()},
+        {
+            "price": rng.integers(0, 5000, 700),
+            "qty": rng.integers(0, 9, 700),
+            "region": rng.integers(0, 4, 700),
+        },
+    )
+    s.create_table(
+        "quotes", {"price": IntType()}, {"price": rng.integers(0, 5000, 250)}
+    )
+    s.bwdecompose("orders", "price", residual_bits=4)
+    s.bwdecompose("quotes", "price", residual_bits=4)
+    return s
+
+
+def oracle_pairs(session, op, delta, left_mask=None):
+    left_v = session.catalog.table("orders").values("price")
+    right_v = session.catalog.table("quotes").values("price")
+    truth = theta_join_reference(left_v, right_v, Theta(ThetaOp(op), delta))
+    if left_mask is not None:
+        keep = left_mask[truth.left_positions]
+        truth = truth.narrowed(keep)
+    return truth.canonicalized()
+
+
+class TestBuilderConstruction:
+    def test_builds_the_equivalent_logical_query(self, session):
+        built = (
+            session.table("orders")
+            .where("price", between=(100, 2000))
+            .band_join("quotes", on="price", delta=25)
+            .group_by("qty")
+            .count("n")
+            .build()
+        )
+        assert isinstance(built, Query)
+        assert built.table == "orders"
+        assert built.group_by == ("qty",)
+        assert built.aggregates == (Aggregate("count", None, "n"),)
+        assert built.theta_joins == (
+            ThetaJoin("price", "quotes", "price", "within", 25),
+        )
+
+    def test_builder_is_immutable_and_lazy(self, session):
+        base = session.table("orders").band_join("quotes", on="price", delta=5)
+        with_count = base.count("n")
+        assert isinstance(base, RelationBuilder)
+        assert base is not with_count
+        assert base.build().aggregates == ()
+        assert with_count.build().aggregates != ()
+
+    def test_builder_matches_plain_query_path(self, session):
+        """Non-theta blocks built here are the same Query objects as before."""
+        built = (
+            session.table("orders")
+            .where("price", "<=", 2500)
+            .group_by("region")
+            .count("n")
+            .sum("price", "total")
+            .run(mode="classic")
+            .sorted_by("region")
+        )
+        from repro.plan.expr import ColRef, Predicate
+        from repro.core.relax import ValueRange
+
+        query = Query(
+            table="orders",
+            where=(Predicate(ColRef("price"), ValueRange(None, 2500)),),
+            group_by=("region",),
+            aggregates=(
+                Aggregate("count", None, "n"),
+                Aggregate("sum", ColRef("price"), "total"),
+            ),
+        )
+        direct = session.query(query, mode="classic").sorted_by("region")
+        for col in ("region", "n", "total"):
+            assert np.array_equal(built.column(col), direct.column(col))
+
+    def test_unknown_table_fails_fast(self, session):
+        with pytest.raises(Exception):
+            session.table("nope")
+
+    def test_where_sugar_forms(self, session):
+        ne = session.table("orders").where("qty", "<>", 3).select("qty").build()
+        assert ne.where[0].negated
+        with pytest.raises(PlanError):
+            session.table("orders").where("qty")
+        with pytest.raises(PlanError):
+            session.table("orders").where("qty", "<", 3, between=(1, 2))
+
+
+class TestThetaViaBuilder:
+    @pytest.mark.parametrize("op,delta", ALL_OPS)
+    def test_bare_join_matches_oracle(self, session, op, delta):
+        result = (
+            session.table("orders")
+            .theta_join("quotes", on="price", op=op, delta=delta)
+            .run(mode="ar")
+        )
+        truth = oracle_pairs(session, op, delta)
+        assert result.row_count == len(truth)
+        assert np.array_equal(result.column("left_pos"), truth.left_positions)
+        assert np.array_equal(result.column("right_pos"), truth.right_positions)
+
+    @pytest.mark.parametrize("mode", ["ar", "classic"])
+    def test_selection_under_join_count_on_top(self, session, mode):
+        """The workload class the old API could not express (§IV-D + SPJA)."""
+        result = (
+            session.table("orders")
+            .where("price", between=(500, 4000))
+            .band_join("quotes", on="price", delta=40)
+            .count("n")
+            .run(mode=mode)
+        )
+        left_v = session.catalog.table("orders").values("price")
+        mask = (left_v >= 500) & (left_v <= 4000)
+        truth = oracle_pairs(session, "within", 40, left_mask=mask)
+        assert result.scalar("n") == len(truth)
+        assert result.row_count == 1
+
+    @pytest.mark.parametrize("op,delta", ALL_OPS)
+    def test_three_modes_agree_with_grouped_aggregates(self, session, op, delta):
+        """SQL-shaped block: selection + theta join + grouped aggregates,
+        ``ar`` and ``classic`` identical, checked against the oracle."""
+        builder = (
+            session.table("orders")
+            .where("price", ">=", 200)
+            .theta_join("quotes", on="price", op=op, delta=delta)
+            .group_by("qty")
+            .count("n")
+            .sum("price", "total")
+        )
+        ar = builder.run(mode="ar").sorted_by("qty")
+        classic = builder.run(mode="classic").sorted_by("qty")
+        for col in ("qty", "n", "total"):
+            assert np.array_equal(ar.column(col), classic.column(col)), col
+
+        left_v = session.catalog.table("orders").values("price")
+        qty = session.catalog.table("orders").values("qty")
+        mask = left_v >= 200
+        truth = oracle_pairs(session, op, delta, left_mask=mask)
+        pair_qty = qty[truth.left_positions]
+        pair_price = left_v[truth.left_positions]
+        expect_keys = np.unique(pair_qty)
+        assert np.array_equal(ar.column("qty"), expect_keys)
+        for i, key in enumerate(expect_keys):
+            pair_sel = pair_qty == key
+            assert ar.column("n")[i] == int(pair_sel.sum())
+            assert ar.column("total")[i] == int(pair_price[pair_sel].sum())
+
+        # The free approximate answer still runs and stays sound.
+        approx = builder.run(mode="approximate")
+        assert approx.approximate.candidate_rows >= len(truth)
+
+    def test_aggregate_charges_independent_of_strategy_and_emit(self, session):
+        """strategy/emit are pure simulation knobs for aggregated theta
+        blocks too: identical result columns AND byte-identical modeled
+        Timelines — every refine-phase pair charge is a function of pair
+        counts, never of the representation that carried them."""
+        results = [
+            session.table("orders")
+            .where("price", ">=", 200)
+            .band_join(
+                "quotes", on="price", delta=25, strategy=strategy, emit=emit
+            )
+            .group_by("qty")
+            .count("n")
+            .sum("price", "total")
+            .run(mode="ar")
+            for strategy, emit in (
+                ("sorted", "runs"),
+                ("sorted", "pairs"),
+                ("bruteforce", "pairs"),
+            )
+        ]
+        a = results[0]
+        for b in results[1:]:
+            for col in ("qty", "n", "total"):
+                assert np.array_equal(a.column(col), b.column(col))
+            assert spans_of(a.timeline) == spans_of(b.timeline)
+
+    def test_min_max_avg_over_pairs(self, session):
+        builder = (
+            session.table("orders")
+            .band_join("quotes", on="price", delta=30)
+            .min("price", "lo")
+            .max("price", "hi")
+            .avg("price", "mean")
+        )
+        ar = builder.run(mode="ar")
+        classic = builder.run(mode="classic")
+        truth = oracle_pairs(session, "within", 30)
+        left_v = session.catalog.table("orders").values("price")
+        pair_price = left_v[truth.left_positions]
+        assert ar.scalar("lo") == classic.scalar("lo") == int(pair_price.min())
+        assert ar.scalar("hi") == classic.scalar("hi") == int(pair_price.max())
+        expect_mean = pair_price.sum() / len(pair_price)
+        assert ar.scalar("mean") == classic.scalar("mean")
+        assert ar.scalar("mean") == pytest.approx(expect_mean)
+
+    def test_host_only_predicate_under_join(self, session):
+        """A predicate on a non-decomposed column refines pair-side."""
+        builder = (
+            session.table("orders")
+            .where("qty", "<>", 0)
+            .band_join("quotes", on="price", delta=25)
+            .count("n")
+        )
+        ar = builder.run(mode="ar")
+        classic = builder.run(mode="classic")
+        qty = session.catalog.table("orders").values("qty")
+        truth = oracle_pairs(session, "within", 25, left_mask=qty != 0)
+        assert ar.scalar("n") == classic.scalar("n") == len(truth)
+
+    def test_empty_selection_yields_zero_count(self, session):
+        builder = (
+            session.table("orders")
+            .where("price", between=(4900, 4901))
+            .where("price", between=(1, 2))  # contradictory
+            .band_join("quotes", on="price", delta=25)
+            .count("n")
+        )
+        assert builder.run(mode="ar").scalar("n") == 0
+        assert builder.run(mode="classic").scalar("n") == 0
+
+    def test_approximate_count_bounds_contain_exact(self, session):
+        builder = (
+            session.table("orders")
+            .band_join("quotes", on="price", delta=25)
+            .count("n")
+        )
+        approx = builder.run(mode="approximate")
+        exact = builder.run(mode="ar").scalar("n")
+        bound = approx.approximate.bound("n")
+        assert bound.lo <= exact <= bound.hi
+
+
+class TestDeprecatedShim:
+    def test_emits_deprecation_warning(self, session):
+        with pytest.warns(DeprecationWarning):
+            session.theta_join("orders.price", "quotes.price", "<")
+
+    @pytest.mark.parametrize("op,delta", ALL_OPS)
+    @pytest.mark.parametrize("strategy,emit", [
+        ("auto", "auto"),
+        ("sorted", "runs"),
+        ("sorted", "pairs"),
+        ("bruteforce", "pairs"),
+    ])
+    def test_shim_is_byte_identical_to_builder(
+        self, session, op, delta, strategy, emit
+    ):
+        """Every op × strategy × emit: same Result columns, same modeled
+        Timeline span for span — the shim is a pure alias of the plan path."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = session.theta_join(
+                "orders.price", "quotes.price", op, delta,
+                strategy=strategy, emit=emit,
+            )
+        built = (
+            session.table("orders")
+            .theta_join(
+                "quotes", on="price", op=op, delta=delta,
+                strategy=strategy, emit=emit,
+            )
+            .run(mode="ar")
+        )
+        assert shim.row_count == built.row_count
+        assert np.array_equal(shim.column("left_pos"), built.column("left_pos"))
+        assert np.array_equal(
+            shim.column("right_pos"), built.column("right_pos")
+        )
+        assert shim.approximate.candidate_rows == built.approximate.candidate_rows
+        assert spans_of(shim.timeline) == spans_of(built.timeline)
+
+    def test_shim_rejects_malformed_operands(self, session):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(PlanError):
+                session.theta_join("price", "quotes.price", "<")
+            with pytest.raises(PlanError):
+                session.theta_join("orders.price", "quotes.price", "!!")
+
+
+class TestAggregateOnlyFastPath:
+    def test_count_never_materializes_pairs(self, session, monkeypatch):
+        """ROADMAP follow-on: run-length results survive past refinement for
+        aggregate-only consumers — no per-pair array is ever allocated."""
+
+        def boom(self):  # pragma: no cover - the assertion is "not called"
+            raise AssertionError(
+                "aggregate-only theta query materialized its pairs"
+            )
+
+        monkeypatch.setattr(RunPairCandidates, "materialized", boom)
+        result = (
+            session.table("orders")
+            .where("price", ">=", 100)
+            .band_join("quotes", on="price", delta=25, strategy="sorted")
+            .group_by("qty")
+            .count("n")
+            .run(mode="ar")
+        )
+        assert int(result.column("n").sum()) > 0
+
+    def test_bare_join_does_materialize(self, session, monkeypatch):
+        """Sanity for the test above: pair *output* queries must hit the
+        single materialization point."""
+        calls = []
+        original = RunPairCandidates.materialized
+
+        def spy(self):
+            calls.append(len(self))
+            return original(self)
+
+        monkeypatch.setattr(RunPairCandidates, "materialized", spy)
+        session.table("orders").band_join(
+            "quotes", on="price", delta=25, strategy="sorted"
+        ).run(mode="ar")
+        assert len(calls) == 1
+
+
+class TestThetaQueryValidation:
+    def test_select_list_rejected(self, session):
+        with pytest.raises(PlanError):
+            session.table("orders").band_join(
+                "quotes", on="price", delta=1
+            ).select("price").build()
+
+    def test_two_theta_joins_rejected(self, session):
+        with pytest.raises(PlanError):
+            session.table("orders").band_join("quotes", on="price", delta=1) \
+                .band_join("quotes", on="price", delta=2).build()
+
+    def test_fk_join_combination_rejected(self, session):
+        with pytest.raises(PlanError):
+            session.table("orders").join("quotes", fk="qty") \
+                .band_join("quotes", on="price", delta=1).count().build()
+
+    def test_qualified_reference_rejected(self, session):
+        with pytest.raises(PlanError):
+            session.table("orders").band_join("quotes", on="price", delta=1) \
+                .group_by("quotes.price").count().build()
+
+    def test_unknown_theta_op_rejected(self, session):
+        with pytest.raises(PlanError):
+            session.table("orders").theta_join("quotes", on="price", op="!=")
+
+    def test_undecomposed_side_rejected_at_plan_time(self, session):
+        session.create_table("plain", {"v": IntType()}, {"v": np.arange(10)})
+        with pytest.raises(PlanError):
+            session.table("orders").theta_join(
+                "plain", on=("price", "v"), op="<"
+            ).run(mode="ar")
+
+    def test_no_pushdown_ablation_rejected(self, session):
+        with pytest.raises(PlanError):
+            session.table("orders").band_join(
+                "quotes", on="price", delta=1
+            ).run(mode="ar", pushdown=False)

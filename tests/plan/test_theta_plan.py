@@ -1,0 +1,142 @@
+"""Rewriter lowering and EXPLAIN coverage for theta-join plans (PR 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.relax import ValueRange
+from repro.engine.session import Session
+from repro.errors import PlanError
+from repro.plan.expr import BinOp, ColRef, Const, Predicate
+from repro.plan.explain import explain
+from repro.plan.logical import Aggregate, Query, ThetaJoin
+from repro.plan.physical import (
+    ApproxPairAggregate,
+    ApproxScanSelect,
+    ApproxThetaJoin,
+    PhysicalPlan,
+    RefinePairAggregate,
+    RefinePairGroup,
+    RefinePairSelect,
+    RefineThetaJoin,
+    ShipPairs,
+)
+from repro.plan.rewriter import rewrite_to_ar_plan
+from repro.storage.column import IntType
+
+
+@pytest.fixture()
+def session():
+    s = Session()
+    rng = np.random.default_rng(3)
+    s.create_table(
+        "orders",
+        {"price": IntType(), "qty": IntType()},
+        {
+            "price": rng.integers(0, 2000, 300),
+            "qty": rng.integers(0, 5, 300),
+        },
+    )
+    s.create_table(
+        "quotes", {"price": IntType()}, {"price": rng.integers(0, 2000, 100)}
+    )
+    s.bwdecompose("orders", "price", residual_bits=4)
+    s.bwdecompose("quotes", "price", residual_bits=4)
+    return s
+
+
+def theta_query(**kwargs):
+    defaults = dict(
+        table="orders",
+        theta_joins=(ThetaJoin("price", "quotes", "price", "within", 16),),
+    )
+    defaults.update(kwargs)
+    return Query(**defaults)
+
+
+class TestThetaLowering:
+    def test_bare_join_plan_shape(self, session):
+        plan = rewrite_to_ar_plan(theta_query(), session.catalog)
+        assert [type(op) for op in plan.ops] == [
+            ApproxThetaJoin, ShipPairs, RefineThetaJoin,
+        ]
+        plan.validate()  # idempotent; the A&R prefix invariant holds
+
+    def test_full_block_plan_shape(self, session):
+        query = theta_query(
+            where=(
+                Predicate(ColRef("price"), ValueRange(100, 1500)),  # drivable
+                Predicate(ColRef("qty"), ValueRange(1, 1), negated=True),  # host
+            ),
+            group_by=("qty",),
+            aggregates=(Aggregate("count", None, "n"),),
+        )
+        plan = rewrite_to_ar_plan(query, session.catalog)
+        kinds = [type(op) for op in plan.ops]
+        assert kinds == [
+            ApproxScanSelect,       # drivable selection under the join
+            ApproxThetaJoin,
+            ApproxPairAggregate,    # free approximate answer
+            ShipPairs,
+            RefinePairSelect,       # residual re-check of the drivable pred
+            RefinePairSelect,       # host-only predicate
+            RefineThetaJoin,
+            RefinePairGroup,
+            RefinePairAggregate,
+        ]
+
+    def test_exact_device_column_skips_pair_reselect(self, session):
+        """residual_bits=0 → the approximate selection is already exact."""
+        session.bwdecompose("orders", "qty", residual_bits=0)
+        query = theta_query(
+            where=(Predicate(ColRef("qty"), ValueRange(1, 3)),),
+        )
+        plan = rewrite_to_ar_plan(query, session.catalog)
+        assert not any(isinstance(op, RefinePairSelect) for op in plan.ops)
+
+    def test_undecomposed_join_side_rejected(self, session):
+        query = theta_query(
+            theta_joins=(ThetaJoin("qty", "quotes", "price", "<"),),
+        )
+        with pytest.raises(PlanError):
+            rewrite_to_ar_plan(query, session.catalog)
+
+    def test_no_pushdown_rejected(self, session):
+        with pytest.raises(PlanError):
+            rewrite_to_ar_plan(theta_query(), session.catalog, pushdown=False)
+
+    def test_expression_aggregate_over_pairs(self, session):
+        """Aggregates over left-side expressions survive the lowering."""
+        query = theta_query(
+            aggregates=(
+                Aggregate("sum", BinOp("*", ColRef("price"), Const(2)), "t"),
+            ),
+        )
+        ar = session.query(query, mode="ar")
+        classic = session.query(query, mode="classic")
+        assert ar.scalar("t") == classic.scalar("t")
+
+
+class TestExplainCoverage:
+    def test_every_theta_operator_renders(self, session):
+        query = theta_query(
+            where=(Predicate(ColRef("price"), ValueRange(100, 1500)),),
+            group_by=("qty",),
+            aggregates=(Aggregate("count", None, "n"),),
+        )
+        text = session.explain(query)
+        assert "bwd.thetajoinapproximate(|price - quotes.price| <= 16)" in text
+        assert "──── PCI-E ────  bwd.ship(pairs)" in text
+        assert "bwd.thetajoinrefine(within)" in text
+        assert "cpu.grouppairs(qty)" in text
+        assert "cpu.countpairs() -> n" in text
+        # every plan line carries a phase tag or the bus marker
+        for line in text.splitlines()[1:]:
+            assert line.startswith(("  [approx]", "  [refine]", "  ──── PCI-E"))
+
+    def test_unknown_plan_node_raises_plan_error(self, session):
+        plan = rewrite_to_ar_plan(theta_query(), session.catalog)
+        bad = PhysicalPlan(
+            query=plan.query, ops=plan.ops + ["not an op"], pushdown=True
+        )
+        with pytest.raises(PlanError, match="str"):
+            explain(bad)

@@ -191,16 +191,23 @@ class TestBinderErrors:
         with pytest.raises(SqlError):
             session.execute("select count(*) from lineitem where 1 = 1")
 
-    def test_non_dense_join_key_rejected(self, session):
+    def test_non_dense_join_key_binds_as_theta_equality(self, session):
+        """PR 4: ``ON a = b`` against a non-dense key is no longer an
+        error — it falls back to a theta equality join (the FK fast path
+        still requires the paper's dense 0..N-1 index)."""
         session.create_table(
             "sparse_dim", {"key": IntType(), "v": IntType()},
             {"key": [3, 9, 17], "v": [1, 2, 3]},
         )
-        with pytest.raises(SqlError, match="dense"):
-            session.execute(
-                "select count(*) from lineitem "
-                "join sparse_dim on lineitem.partkey = sparse_dim.key"
-            )
+        session.bwdecompose("sparse_dim", "key", 32)
+        result = session.execute(
+            "select count(*) as n from lineitem "
+            "join sparse_dim on lineitem.partkey = sparse_dim.key"
+        )
+        partkey = session.catalog.table("lineitem").values("partkey")
+        keys = session.catalog.table("sparse_dim").values("key")
+        truth = int((partkey[:, None] == keys[None, :]).sum())
+        assert result.scalar("n") == truth
 
 
 class TestApproximateAnswersViaSql:
