@@ -7,8 +7,12 @@ the brute-force oracle; large and extra-large sizes only the sorted path —
 and at xlarge only its *run-length* emission — can touch; a repeated-join
 entry for the memoized sort permutations; the whole run-length A&R
 pipeline; a builder-path ``count(*)`` over the large band join that
-*asserts* the aggregate-only fast path never materializes a pair) and a
-TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows.
+*asserts* the aggregate-only fast path never materializes a pair), a
+TPC-H Q6-shaped A&R run at ≥ 1M lineitem rows, and the
+``serve.throughput.*`` family: the same mixed selection-query set pushed
+through the multi-query scheduler at batch widths 1/4/16, so
+``b1 / b16`` is the measured batching speedup (PR 5's acceptance
+criterion asks for ≥ 2×).
 
 Three entry points:
 
@@ -75,6 +79,7 @@ from repro.core.theta import Theta, ThetaOp, theta_join_approx, theta_join_refin
 from repro.device.machine import Machine
 from repro.device.timeline import Timeline
 from repro.engine.session import Session
+from repro.serve.bench import build_serve_session, query_ranges, run_once
 from repro.storage.bitpack import gather_codes, pack_codes, unpack_codes
 from repro.storage.column import IntType
 from repro.storage.decompose import decompose_values
@@ -100,6 +105,12 @@ THETA_XLARGE_SIZES = (1_000_000, 200_000)
 #: Joins re-hitting one dimension column (amortized sort permutations).
 THETA_REPEAT_JOINS = 4
 
+#: Queries per serve.throughput entry; batch widths 1/4/16 sweep the
+#: scheduler from solo execution to full fusion over the same query set,
+#: so time(b1)/time(b16) IS the batching speedup on this machine.
+SERVE_QUERIES = 32
+QUICK_SERVE_QUERIES = 8
+
 #: --quick shape: small everything, for smoke runs and the tier-1 test.
 QUICK_N_ROWS = 20_000
 QUICK_TPCH_SF = 0.002
@@ -107,9 +118,9 @@ QUICK_THETA_SIZES = (2_000, 600)
 QUICK_THETA_LARGE_SIZES = (5_000, 1_200)
 QUICK_THETA_XLARGE_SIZES = (8_000, 2_000)
 
-#: Per-PR trajectory file; older PRs' files (BENCH_PR1/PR2/PR3) are kept as
+#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR4) are kept as
 #: recorded history and compared against via ``--compare``.
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 
 #: ``--compare`` flags a shared benchmark whose after/before speedup drops
 #: below this factor.
@@ -199,6 +210,29 @@ class _Fixtures:
 
         self.tpch = build_tpch_session(TpchConfig(scale_factor=self.tpch_sf, seed=7))
         self.q6 = q6_sql()
+
+        self._quick = quick
+        self._serve: tuple | None = None
+
+    def serve_workload(self) -> tuple:
+        """The serving session + query set, built lazily on first use.
+
+        Lazy on purpose: the serve entries run *last* in the suite, and
+        deferring their allocations keeps every earlier benchmark's heap
+        shape identical to the pre-PR-5 suite — measured before/after
+        points stay comparable (extra resident memory measurably slows
+        unrelated allocation-heavy benchmarks in the same process).
+        Warmed at the widest batch so the one-time shared structures
+        (sorted-code view, sort permutation) are steady state, like a
+        long-running server's.
+        """
+        if self._serve is None:
+            n_serve = QUICK_SERVE_QUERIES if self._quick else SERVE_QUERIES
+            session = build_serve_session(self.n_rows)
+            ranges = query_ranges(self.n_rows, n_serve)
+            run_once(session, ranges, max_batch=16)
+            self._serve = (session, ranges)
+        return self._serve
 
     @classmethod
     def get(cls, quick: bool = False) -> "_Fixtures":
@@ -341,6 +375,10 @@ def build_suite(quick: bool = False) -> dict:
         "join.theta.count.large": lambda: _run_theta_count_large(fx),
         "join.theta.pipeline.large": lambda: _run_theta_pipeline_large(fx),
         "tpch.q6.ar": lambda: _run_tpch_q6(fx),
+        # Deliberately last + lazily built: see _Fixtures.serve_workload.
+        "serve.throughput.b1": lambda: run_once(*fx.serve_workload(), max_batch=1),
+        "serve.throughput.b4": lambda: run_once(*fx.serve_workload(), max_batch=4),
+        "serve.throughput.b16": lambda: run_once(*fx.serve_workload(), max_batch=16),
     }
 
 

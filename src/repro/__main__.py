@@ -10,6 +10,13 @@ Usage::
 
 Demos: ``spatial`` (the Table I trips table) and ``tpch`` (lineitem+part).
 Modes: ``ar`` (default), ``classic``, ``approximate``.
+
+Subcommands::
+
+    python -m repro serve-bench [--rows N] [--queries N] [--batches 1 4 16]
+
+drives the multi-query scheduler and prints queries/sec per batch width
+(see :mod:`repro.serve.bench`).
 """
 
 from __future__ import annotations
@@ -60,6 +67,11 @@ def render_result(result) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve-bench":
+        from .serve.bench import main as serve_bench_main
+
+        return serve_bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="A&R co-processing demo shell"
     )

@@ -47,17 +47,20 @@ def select_approx(
     vrange: ValueRange,
     *,
     scramble: bool = True,
+    precomputed_hits: np.ndarray | None = None,
 ) -> Approximation:
     """Approximate a selection: relaxed scan of the approximation stream.
 
     Returns the candidate superset with the column's bucket bounds attached
     as payload ``label``.  Output order is scrambled like a real massively
-    parallel scatter unless ``scramble`` is disabled.
+    parallel scatter unless ``scramble`` is disabled.  ``precomputed_hits``
+    (ascending positions from a shared cooperative pass) skips the NumPy
+    scan only; results and modeled charges are byte-identical.
     """
     lo_code, hi_code = relax_to_code_range(vrange, column.decomposition)
     ids = gpu.scan_code_range(
         column, lo_code, hi_code, timeline, op=f"select.approx({label})",
-        scramble=scramble,
+        scramble=scramble, precomputed_hits=precomputed_hits,
     )
     codes = column.approx_at(ids) if ids.size else np.empty(0, dtype=np.uint64)
     payload = _payload_from_codes(column, codes)

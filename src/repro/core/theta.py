@@ -41,6 +41,7 @@ simulation shortcut obtained the same set.
 from __future__ import annotations
 
 import enum
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,6 +61,7 @@ __all__ = [
     "Theta",
     "ThetaOp",
     "exact_run_bounds",
+    "theta_certain_pair_count",
     "theta_join_approx",
     "theta_join_refine",
     "theta_join_reference",
@@ -455,6 +457,125 @@ def theta_join_approx(
         tuples=n_left * right.length, op_class=OpClass.ARITH,
     )
     return pairs
+
+
+#: Memoized certain-pair counts, keyed by column identities and θ.  Columns
+#: are immutable, so the count is a pure function of the key; entries are
+#: purged when either column dies (``weakref.finalize``) so recycled ids
+#: cannot alias.  Values are single ints — the memo is a few machine words
+#: per distinct (left, right, θ) a workload ever asks about.
+_CERTAIN_COUNT_MEMO: dict[tuple, int] = {}
+
+
+def theta_certain_pair_count(
+    left: BwdColumn,
+    right: BwdColumn,
+    theta: Theta,
+    *,
+    left_ids: np.ndarray | None = None,
+) -> int:
+    """Pairs whose buckets satisfy θ for *every* residual assignment.
+
+    The lower bound of the free approximate theta count (the §IV-F
+    "certain" side applied to pairs): a certain pair survives exact
+    refinement no matter what the residual bits turn out to be, so
+    ``[certain, candidates]`` are strict bounds on the exact join
+    cardinality.  Like the candidate runs, the certain pairs of every
+    supported θ form one contiguous span of a bound-sorted right side
+    (:meth:`Theta.certain` is monotone in the right value), so the count
+    is two ``searchsorted`` sweeps — with the needles sorted once up
+    front (every query array is a shifted copy of the left lower bound,
+    and a sum is order-invariant, so one transient ``np.sort`` serves
+    every sweep with no scatter-back) — never a pair materialization.
+    Whole-column counts are memoized per (left, right, θ): the columns
+    are immutable and servers re-ask the same free bound per repeated
+    query; the memo holds plain ints, so the computation retains no
+    arrays (a deliberately transient footprint — see the BENCH_PR5 heap
+    note in PERFORMANCE.md).  A pure simulation computation: callers
+    bill it inside the aggregate reduction they already charge, exactly
+    like the unary certain masks.
+    """
+    memo_key = None
+    if left_ids is None:
+        memo_key = (id(left), id(right), theta.op, theta.delta)
+        cached = _CERTAIN_COUNT_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+    count = _certain_pair_count(left, right, theta, left_ids)
+    if memo_key is not None:
+        _CERTAIN_COUNT_MEMO[memo_key] = count
+        for column in (left, right):
+            weakref.finalize(
+                column, _CERTAIN_COUNT_MEMO.pop, memo_key, None
+            )
+    return count
+
+
+def _certain_pair_count(
+    left: BwdColumn,
+    right: BwdColumn,
+    theta: Theta,
+    left_ids: np.ndarray | None,
+) -> int:
+    left_b = _bounds(left)
+    if left_ids is not None:
+        left_ids = np.asarray(left_ids, dtype=np.int64)
+        left_b = IntervalColumn.from_bounds(
+            left_b.lo[left_ids], left_b.hi[left_ids]
+        )
+    right_b = _bounds(right)
+    n_right = len(right_b.lo)
+    if len(left_b.lo) == 0 or n_right == 0:
+        return 0
+    # Decomposition bounds are uniform-width, so every needle array below
+    # is a shifted copy of the left lower bound: sort it once (transient —
+    # the only sum consumers need no scatter-back) and shift per sweep for
+    # the fast sorted-needle binary search.
+    left_width = int(left_b.hi[0] - left_b.lo[0])
+    lo_sorted = np.sort(left_b.lo)
+    op = theta.op
+    if op in (ThetaOp.LT, ThetaOp.LE):
+        # left_hi (<|<=) right_lo  ⇔  a suffix of the lo-sorted right side.
+        key = right_b.lo[right.sort_permutation("lo")]
+        side = "right" if op is ThetaOp.LT else "left"
+        starts = np.searchsorted(key, lo_sorted + left_width, side=side)
+        return int((n_right - starts).sum())
+    if op in (ThetaOp.GT, ThetaOp.GE):
+        # left_lo (>|>=) right_hi  ⇔  a prefix of the hi-sorted right side.
+        key = right_b.hi[right.sort_permutation("hi")]
+        side = "left" if op is ThetaOp.GT else "right"
+        stops = np.searchsorted(key, lo_sorted, side=side)
+        return int(stops.sum())
+    if op is ThetaOp.EQ:
+        # Certain equality needs degenerate intervals on both sides.
+        if left.decomposition.residual_bits or right.decomposition.residual_bits:
+            return 0
+        key = right_b.lo[right.sort_permutation("lo")]
+        starts = np.searchsorted(key, lo_sorted, side="left")
+        stops = np.searchsorted(key, lo_sorted, side="right")
+        return int((stops - starts).sum())
+    # WITHIN holds for all interval points iff the extreme distance fits:
+    # right_lo >= left_hi − δ and right_hi <= left_lo + δ; with the uniform
+    # right width c this is right_lo ∈ [left_hi − δ, left_lo + δ − c].
+    width = _uniform_width(right_b)
+    if width is None:  # non-uniform bounds: tiled oracle (tests/ad-hoc only)
+        total = 0
+        tile = max(_TILE_MIN, _TILE_ELEMS // max(n_right, 1))
+        for start in range(0, len(left_b.lo), tile):
+            stop = min(start + tile, len(left_b.lo))
+            total += int(theta.certain(
+                left_b.lo[start:stop, None], left_b.hi[start:stop, None],
+                right_b.lo[None, :], right_b.hi[None, :],
+            ).sum())
+        return total
+    key = right_b.lo[right.sort_permutation("lo")]
+    starts = np.searchsorted(
+        key, lo_sorted + (left_width - theta.delta), side="left"
+    )
+    stops = np.searchsorted(
+        key, lo_sorted + (theta.delta - width), side="right"
+    )
+    return int(np.maximum(stops - starts, 0).sum())
 
 
 def exact_run_bounds(

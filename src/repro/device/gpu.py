@@ -140,6 +140,7 @@ class SimulatedGPU:
         timeline: Timeline,
         op: str = "select.approx",
         scramble: bool = False,
+        precomputed_hits: np.ndarray | None = None,
     ) -> np.ndarray:
         """Relaxed selection scan: positions with code in ``[lo_code, hi_code]``.
 
@@ -149,15 +150,25 @@ class SimulatedGPU:
         enabled the output order is (deterministically) perturbed, modeling
         that a massively parallel selection "can only maintain the input
         order at additional costs, which we want to avoid" (§IV-A item 3).
+
+        ``precomputed_hits`` lets a caller that already evaluated the same
+        predicate by other means (the serve layer's shared cooperative
+        pass) supply the ascending hit positions; the kernel then skips the
+        NumPy scan but charges *exactly* what the scan would have — the
+        hits are the same set, so the charge is byte-identical by
+        construction (the charge-neutrality invariant).
         """
         self._require_resident(column)
-        # Fused zero-unpack scan: the predicate is evaluated directly
-        # against the column's memoized code view — no per-query O(n)
-        # materialization of the packed stream.  (The single-compare
-        # unsigned wrap-around variant was measured *slower* here: its
-        # 8-byte shifted temporary outweighs one saved 1-byte bool pass.)
-        codes = column.approx_codes_i64()
-        hits = np.flatnonzero((codes >= lo_code) & (codes <= hi_code))
+        if precomputed_hits is None:
+            # Fused zero-unpack scan: the predicate is evaluated directly
+            # against the column's memoized code view — no per-query O(n)
+            # materialization of the packed stream.  (The single-compare
+            # unsigned wrap-around variant was measured *slower* here: its
+            # 8-byte shifted temporary outweighs one saved 1-byte bool pass.)
+            codes = column.approx_codes_i64()
+            hits = np.flatnonzero((codes >= lo_code) & (codes <= hi_code))
+        else:
+            hits = precomputed_hits
         read = packed_nbytes(column.length, max(column.decomposition.approx_bits, 1))
         self._charge(
             timeline, op, read + hits.size * _OID_BYTES,

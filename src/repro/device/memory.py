@@ -36,6 +36,19 @@ class MemoryPool:
     def holds(self, label: str) -> bool:
         return label in self._allocations
 
+    def headroom(self, fraction: float = 1.0) -> int | None:
+        """Free bytes scaled by ``fraction`` (None = unbounded capacity).
+
+        The admission-control probe of the serve layer: batches are sized
+        against the device's free memory *before* any kernel runs, so
+        over-committed workloads queue instead of dying mid-plan.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise DeviceError(f"headroom fraction must be in (0, 1], got {fraction}")
+        if self.capacity is None:
+            return None
+        return int((self.capacity - self.allocated) * fraction)
+
     def size_of(self, label: str) -> int:
         try:
             return self._allocations[label]

@@ -64,6 +64,23 @@ class Timeline:
         return iter(self._spans)
 
     # ------------------------------------------------------------------
+    def span_tuples(self) -> list[tuple]:
+        """The spans as plain comparable tuples.
+
+        The byte-identity currency of the charge-neutrality tests: two
+        executions are modeled-equal iff their span tuple lists compare
+        equal (same operators, bytes, seconds and phases, in order).
+        """
+        return [
+            (s.device, s.kind, s.op, s.nbytes, s.seconds, s.phase)
+            for s in self._spans
+        ]
+
+    def spans_equal(self, other: "Timeline") -> bool:
+        """True when both ledgers are span-for-span byte-identical."""
+        return self.span_tuples() == other.span_tuples()
+
+    # ------------------------------------------------------------------
     # Aggregations used by the figures
     # ------------------------------------------------------------------
     def total_seconds(self, *, phases: Iterable[str] | None = None) -> float:

@@ -40,7 +40,13 @@ from ..core.refine import (
     ship_candidates,
     ship_pairs,
 )
-from ..core.theta import Theta, ThetaOp, theta_join_approx, theta_join_refine
+from ..core.theta import (
+    Theta,
+    ThetaOp,
+    theta_certain_pair_count,
+    theta_join_approx,
+    theta_join_refine,
+)
 from ..core.relax import ValueRange
 from ..device.machine import Machine
 from ..device.model import AccessPattern, OpClass
@@ -102,6 +108,10 @@ class _ExecState:
         self.pair_group_keys: dict[str, np.ndarray] = {}
         self._pair_rows: tuple[np.ndarray, np.ndarray] | None = None
         self._pair_values: dict[str, np.ndarray] = {}
+        # Serve-layer injection: id(physical op) -> precomputed scan hits
+        # from a shared cooperative pass (wall-clock only; charges and
+        # results stay byte-identical to a solo run).
+        self.scan_hits: dict[int, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     def pair_left_rows(self) -> tuple[np.ndarray, np.ndarray]:
@@ -207,16 +217,24 @@ class ArExecutor:
         timeline: Timeline | None = None,
         *,
         approximate_only: bool = False,
+        scan_hits: dict[int, np.ndarray] | None = None,
     ) -> Result:
         """Execute a plan; with ``approximate_only`` stop before shipping.
 
         The approximate-only mode is the paper's advantage (4): evaluating
         just the approximation subplan yields a fast approximate answer
         "without wasting resources".
+
+        ``scan_hits`` maps ``id(op)`` of an :class:`ApproxScanSelect` to
+        hit positions a shared cooperative pass already computed (the
+        serve layer's fused batches).  It short-circuits only the NumPy
+        evaluation; the operator's modeled charge and emitted candidates
+        are byte-identical to the solo scan.
         """
         timeline = timeline if timeline is not None else Timeline()
         state = _ExecState(plan.query, self._catalog, self._machine)
         state.timeline = timeline
+        state.scan_hits = scan_hits
 
         for op in plan.ops:
             if approximate_only and op.phase == "refine":
@@ -260,9 +278,14 @@ class ArExecutor:
             n = len(self._catalog.table(state.query.table))
             state.candidates = Approximation(ids=np.arange(n, dtype=np.int64))
         elif isinstance(op, ApproxScanSelect):
+            hits = (
+                state.scan_hits.get(id(op))
+                if state.scan_hits is not None
+                else None
+            )
             state.candidates = select_approx(
                 machine.gpu, tl, state.bwd(op.column), op.column,
-                op.predicate.vrange,
+                op.predicate.vrange, precomputed_hits=hits,
             )
         elif isinstance(op, ApproxProbeSelect):
             assert state.candidates is not None
@@ -328,10 +351,22 @@ class ArExecutor:
                 max(n, 1), tl, op=f"agg.{agg.func}.approx(pairs:{agg.alias})"
             )
             if agg.func == "count" and not state.query.group_by:
-                # Sound strict bounds: every candidate pair may vanish in
-                # refinement, none can appear.  (A certain-pair lower bound
-                # is a ROADMAP follow-on.)
-                state.approximate.aggregates[agg.alias] = Interval(0.0, float(n))
+                # Strict bounds: no pair outside the candidates can appear,
+                # and a pair whose buckets satisfy θ for every residual
+                # assignment cannot vanish — provided no selection under
+                # the join could still drop its left row (with a WHERE
+                # clause the sound certain floor stays 0).
+                certain = 0
+                if not state.query.where:
+                    tj = state.query.theta_joins[0]
+                    certain = theta_certain_pair_count(
+                        self._theta_bwd(state.query.table, tj.left_column),
+                        self._theta_bwd(tj.right_table, tj.right_column),
+                        self._theta_of(tj),
+                    )
+                state.approximate.aggregates[agg.alias] = Interval(
+                    float(certain), float(n)
+                )
             else:
                 state.approximate.aggregates[agg.alias] = None
         elif isinstance(op, ShipPairs):

@@ -23,7 +23,7 @@ builder calls, in any of the three modes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from ..core.relax import CompareOp, ValueRange
 from ..errors import PlanError
@@ -32,6 +32,7 @@ from ..plan.logical import Aggregate, FkJoin, Query, ThetaJoin
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..device.timeline import Timeline
+    from ..serve.handles import QueryHandle
     from .result import Result
     from .session import Session
 
@@ -244,6 +245,39 @@ class RelationBuilder:
     def explain(self, *, pushdown: bool = True) -> str:
         """Render the physical A&R plan this block rewrites into."""
         return self._session.explain(self.build(), pushdown=pushdown)
+
+    # ------------------------------------------------------------------
+    # Serving (deferred execution through a scheduler)
+    # ------------------------------------------------------------------
+    def submit(self, server, *, mode: str = "ar") -> "QueryHandle":
+        """Enqueue this block on a :meth:`Session.serve` scheduler.
+
+        Returns a handle immediately; the query executes inside a shared
+        batch, with Result and Timeline byte-identical to :meth:`run`.
+        """
+        return server.submit(self.build(), mode=mode)
+
+    def submit_many(
+        self, server, variants: "Iterable", *, mode: str = "ar"
+    ) -> "list[QueryHandle]":
+        """Enqueue one query per variant of this block — the serving-side
+        fan-out for parameter sweeps (the same dashboard over many ranges).
+
+        Each ``variant`` is either a callable mapping this builder to a
+        derived builder, or a tuple of :meth:`where` positional arguments
+        (e.g. ``("price", "<=", 100)``); builders are immutable, so every
+        variant derives from the same base block::
+
+            handles = session.table("trips").count("n").submit_many(
+                server, [("lon", "<=", cut) for cut in cuts])
+        """
+        handles = []
+        for variant in variants:
+            derived = (
+                variant(self) if callable(variant) else self.where(*variant)
+            )
+            handles.append(server.submit(derived.build(), mode=mode))
+        return handles
 
     def __repr__(self) -> str:
         parts = [f"table={self._table!r}"]

@@ -44,6 +44,79 @@ class ScanRequest:
     vrange: ValueRange
 
 
+def cooperative_scan_hits(
+    column: BwdColumn, requests: list[ScanRequest]
+) -> dict[str, np.ndarray]:
+    """One shared pass answering every request's relaxed scan — zero charges.
+
+    The wall-clock mechanism behind the serve layer's fused batches: the
+    column's memoized sorted-code view (one "pass over the packed stream",
+    built once, shared by every query that ever scans this column) turns
+    each request's code range into a ``searchsorted`` pair plus an
+    ascending sort of the O(hits) matching positions — instead of one
+    O(n) stream comparison per query.
+
+    Returns per-label hit positions **identical** to what the solo kernel's
+    ``flatnonzero`` emits (the ascending set of positions whose code falls
+    in the relaxed range), so callers can feed them back into
+    :meth:`~repro.device.gpu.SimulatedGPU.scan_code_range` as
+    ``precomputed_hits`` and keep every per-query modeled ledger
+    byte-identical to its solo run.  This function itself charges nothing;
+    modeled accounting stays with the per-query kernels.
+    """
+    perm = column.sort_permutation("lo")
+    key = column.sorted_approx_codes()
+    hits_by_label: dict[str, np.ndarray] = {}
+    for request in requests:
+        lo, hi = relax_to_code_range(request.vrange, column.decomposition)
+        start = int(np.searchsorted(key, lo, side="left"))
+        stop = int(np.searchsorted(key, hi, side="right"))
+        hits_by_label[request.label] = np.sort(perm[start:stop])
+    return hits_by_label
+
+
+def cooperative_pass_seconds(
+    gpu: SimulatedGPU,
+    column: BwdColumn,
+    n_requests: int,
+    total_hits: int,
+) -> float:
+    """Modeled seconds of one fused cooperative pass (stats, not charges).
+
+    What :func:`cooperative_select_approx` would bill for ``n_requests``
+    fused predicates emitting ``total_hits`` candidates in total.  The
+    serve layer surfaces this next to the per-query solo charges so the
+    modeled sharing gain is visible without ever entering a query's
+    ledger (batched ledgers stay byte-identical to solo runs).
+    """
+    timeline = Timeline()
+    _charge_fused_pass(gpu, timeline, column, n_requests, total_hits * _OID_BYTES)
+    return timeline.total_seconds()
+
+
+def _charge_fused_pass(
+    gpu: SimulatedGPU,
+    timeline: Timeline,
+    column: BwdColumn,
+    n_requests: int,
+    output_bytes: int,
+) -> None:
+    """Charge one fused pass: a single stream read plus per-request compares."""
+    stream_bytes = packed_nbytes(
+        column.length, max(column.decomposition.approx_bits, 1)
+    )
+    # One stream read and one unpack per tuple; each additional predicate
+    # contributes only its fused compare.
+    fused_tuples = int(
+        column.length * (1 + (n_requests - 1) * _EXTRA_PREDICATE_FRACTION)
+    )
+    gpu._charge(
+        timeline, f"select.approx.coop(x{n_requests})",
+        stream_bytes + output_bytes,
+        tuples=fused_tuples, op_class=OpClass.SCAN,
+    )
+
+
 def cooperative_select_approx(
     gpu: SimulatedGPU,
     timeline: Timeline,
@@ -66,9 +139,6 @@ def cooperative_select_approx(
     gpu._require_resident(column)
 
     codes = column.approx_codes_i64()
-    stream_bytes = packed_nbytes(
-        column.length, max(column.decomposition.approx_bits, 1)
-    )
     results: dict[str, Approximation] = {}
     output_bytes = 0
     for request in requests:
@@ -86,16 +156,7 @@ def cooperative_select_approx(
             exact=column.decomposition.residual_bits == 0,
         )
         output_bytes += hits.size * _OID_BYTES
-    # One stream read and one unpack per tuple; each additional predicate
-    # contributes only its fused compare.
-    fused_tuples = int(
-        column.length * (1 + (len(requests) - 1) * _EXTRA_PREDICATE_FRACTION)
-    )
-    gpu._charge(
-        timeline, f"select.approx.coop(x{len(requests)})",
-        stream_bytes + output_bytes,
-        tuples=fused_tuples, op_class=OpClass.SCAN,
-    )
+    _charge_fused_pass(gpu, timeline, column, len(requests), output_bytes)
     return results
 
 

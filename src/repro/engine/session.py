@@ -100,6 +100,40 @@ class Session:
         self.catalog.table(name)  # fail fast on unknown tables
         return RelationBuilder(self, name)
 
+    def serve(
+        self,
+        *,
+        max_batch: int = 16,
+        max_in_flight: int = 64,
+        device_headroom_fraction: float = 1.0,
+    ):
+        """Open a multi-query scheduler over this session (PR 5).
+
+        Returns a :class:`~repro.serve.scheduler.Scheduler`: submit
+        queries concurrently (``submit`` / ``submit_many``, or
+        ``builder.submit(server)``), get
+        :class:`~repro.serve.handles.QueryHandle`\\ s back, and read
+        ``handle.result()`` when needed — compatible queries execute in
+        shared batches, each query's Result and modeled Timeline staying
+        byte-identical to a solo ``run()``.  Usable as a context manager
+        (``with session.serve() as server: ...``); exiting drains the
+        queue::
+
+            with session.serve(max_batch=16) as server:
+                handles = [
+                    session.table("trips").where("lon", between=r)
+                    .count("n").submit(server)
+                    for r in ranges
+                ]
+                counts = [h.result().scalar("n") for h in handles]
+        """
+        from ..serve.scheduler import AdmissionPolicy, Scheduler
+
+        return Scheduler(self, AdmissionPolicy(
+            max_in_flight=max_in_flight, max_batch=max_batch,
+            device_headroom_fraction=device_headroom_fraction,
+        ))
+
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------

@@ -98,6 +98,16 @@ class ThetaJoin:
                 f"unqualified column of {self.right_table!r}"
             )
 
+    def share_key(self) -> tuple[str, str]:
+        """The right side two theta joins must share to batch together.
+
+        Joins against the same right column reuse its memoized
+        ``sort_permutation`` and decoded views; the serve-layer batch
+        former groups them so those shared structures stay hot (one sort,
+        many joins — and, under an evicting view budget, no thrash).
+        """
+        return (self.right_table, self.right_column)
+
 
 @dataclass(frozen=True)
 class Query:
@@ -181,6 +191,34 @@ class Query:
 
     def is_aggregation(self) -> bool:
         return bool(self.aggregates)
+
+    def batch_fingerprint(self) -> tuple:
+        """Coarse batch-compatibility key for the serve-layer batch former.
+
+        Two queries with equal fingerprints can share device-side work in
+        one scheduler batch:
+
+        * ``("scan", table, column)`` — plain blocks whose first
+          scan-drivable predicate targets ``column``: their relaxed
+          selection scans fuse into one cooperative pass over that
+          column's approximation stream;
+        * ``("theta", right_table, right_column)`` — theta blocks sharing
+          a right side: they reuse its memoized sort permutation and
+          decoded views (see :meth:`ThetaJoin.share_key`);
+        * ``("solo", table)`` — nothing shareable; the scheduler runs the
+          query alone.
+
+        The fingerprint is syntactic (no catalog access): the scheduler
+        re-validates against the rewritten physical plan before fusing, so
+        a non-decomposed column or a reordered predicate degrades to a
+        solo run instead of an unsound fuse.
+        """
+        if self.theta_joins:
+            return ("theta",) + self.theta_joins[0].share_key()
+        for pred in self.where:
+            if pred.is_simple_column:
+                return ("scan", self.table, pred.target.name)
+        return ("solo", self.table)
 
 
 def simple_filter_query(table: str, column: str, predicate: Predicate) -> Query:

@@ -1,0 +1,31 @@
+"""Multi-query serving: admission, batching and cooperative execution.
+
+The §VII-B throughput extension grown into a subsystem: a
+:class:`~repro.serve.scheduler.Scheduler` accepts queries concurrently
+(:meth:`repro.engine.session.Session.serve` /
+:meth:`~repro.serve.scheduler.Scheduler.submit`), applies admission
+control (bounded in-flight work, device-memory backpressure), groups
+compatible plans with a batch former keyed by
+:meth:`~repro.plan.logical.Query.batch_fingerprint`, and executes each
+batch so device-side work is shared — same-column approximation scans
+fuse into one cooperative pass, theta joins sharing a right side reuse
+its memoized sort permutation and decoded views.
+
+The non-negotiable contract, inherited from PRs 1–4 and extended to
+batching: **sharing is wall-clock only**.  Every query's
+:class:`~repro.device.timeline.Timeline` and
+:class:`~repro.engine.result.Result` are byte-identical to what a solo
+``run()`` would produce; the scheduler carves per-query answers out of
+the shared pass without letting the batch shape leak into any ledger.
+"""
+
+from .handles import QueryHandle
+from .scheduler import AdmissionPolicy, QueryQueue, Scheduler, ServeStats
+
+__all__ = [
+    "AdmissionPolicy",
+    "QueryHandle",
+    "QueryQueue",
+    "Scheduler",
+    "ServeStats",
+]

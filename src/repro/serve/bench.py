@@ -1,0 +1,108 @@
+"""``python -m repro serve-bench``: the multi-query throughput driver.
+
+Builds a synthetic single-table workload, pushes the same mixed query set
+through a scheduler at several batch widths, and reports wall-clock
+queries/sec per width — the interactive twin of the
+``serve.throughput.*`` entries in ``benchmarks/wallclock.py``::
+
+    python -m repro serve-bench
+    python -m repro serve-bench --rows 2000000 --queries 64 --batches 1 4 16 32
+    python -m repro serve-bench --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from ..engine.session import Session
+from ..storage.column import IntType
+
+#: (lo, hi) selection windows cycle through these relative widths.
+_WINDOW_FRACTIONS = (0.005, 0.01, 0.02)
+
+
+def build_serve_session(n_rows: int, seed: int = 11) -> Session:
+    """One fact table with a decomposed scan column, device-resident."""
+    rng = np.random.default_rng(seed)
+    session = Session()
+    session.create_table(
+        "events",
+        {"value": IntType()},
+        {"value": rng.integers(0, n_rows, size=n_rows)},
+    )
+    session.bwdecompose("events", "value", 24)
+    return session
+
+
+def query_ranges(n_rows: int, n_queries: int, seed: int = 23) -> list[tuple[int, int]]:
+    """Deterministic mixed selection windows over the value domain."""
+    rng = np.random.default_rng(seed)
+    ranges = []
+    for i in range(n_queries):
+        width = int(n_rows * _WINDOW_FRACTIONS[i % len(_WINDOW_FRACTIONS)])
+        lo = int(rng.integers(0, max(n_rows - width, 1)))
+        ranges.append((lo, lo + width))
+    return ranges
+
+
+def run_once(
+    session: Session, ranges: list[tuple[int, int]], max_batch: int
+) -> float:
+    """Wall seconds to serve every query at the given batch width."""
+    server = session.serve(max_batch=max_batch, max_in_flight=len(ranges) + 1)
+    t0 = time.perf_counter()
+    handles = [
+        session.table("events").where("value", between=r).count("n")
+        .submit(server)
+        for r in ranges
+    ]
+    server.drain()
+    elapsed = time.perf_counter() - t0
+    for handle in handles:  # consume (and surface any failure)
+        handle.result()
+    return elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve-bench",
+        description="multi-query scheduler throughput (queries/sec per batch width)",
+    )
+    parser.add_argument("--rows", type=int, default=1_000_000)
+    parser.add_argument("--queries", type=int, default=32)
+    parser.add_argument(
+        "--batches", type=int, nargs="+", default=[1, 4, 16],
+        metavar="WIDTH", help="max_batch widths to sweep",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small inputs (20k rows, 8 queries) for a smoke run",
+    )
+    args = parser.parse_args(argv)
+    n_rows = 20_000 if args.quick else args.rows
+    n_queries = 8 if args.quick else args.queries
+
+    session = build_serve_session(n_rows)
+    ranges = query_ranges(n_rows, n_queries)
+    # Warm the workload once at the widest batch (memoized views and the
+    # shared sorted-code view build here, as they would in any long-running
+    # server) so widths are compared on steady state.
+    run_once(session, ranges, max_batch=max(args.batches))
+
+    print(f"{n_queries} queries over {n_rows} rows")
+    print(f"{'max_batch':>9} {'seconds':>9} {'queries/s':>10} {'vs batch 1':>10}")
+    base_qps = None
+    for width in args.batches:
+        seconds = run_once(session, ranges, max_batch=width)
+        qps = n_queries / seconds
+        if base_qps is None:
+            base_qps = qps
+        print(f"{width:9d} {seconds:9.3f} {qps:10.1f} {qps / base_qps:9.2f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

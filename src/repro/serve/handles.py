@@ -1,0 +1,127 @@
+"""Query handles: the future-shaped consumer side of the serving API.
+
+Submitting a query yields a :class:`QueryHandle` immediately; execution
+happens later, inside a scheduler batch.  ``result()`` drives the
+scheduler cooperatively until this query's batch has run — there are no
+threads in the simulation, so "async" means *deferred and batched*, with
+the waiting side doing the work, exactly like a cooperative event loop.
+Handles also support ``await`` (they are trivially awaitable) so serving
+code written against an asyncio front-end composes without change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..device.timeline import Timeline
+    from ..engine.result import Result
+    from ..plan.logical import Query
+    from .scheduler import Scheduler
+
+#: Handle lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+class QueryHandle:
+    """One submitted query's pending result."""
+
+    __slots__ = (
+        "query", "mode", "pushdown", "predicate_order", "seq",
+        "_scheduler", "_state", "_result", "_error",
+    )
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        query: "Query",
+        mode: str,
+        seq: int,
+        *,
+        pushdown: bool = True,
+        predicate_order: str = "query",
+    ) -> None:
+        self.query = query
+        self.mode = mode
+        self.pushdown = pushdown
+        self.predicate_order = predicate_order
+        self.seq = seq
+        self._scheduler = scheduler
+        self._state = QUEUED
+        self._result: "Result | None" = None
+        self._error: Exception | None = None
+
+    # ------------------------------------------------------------------
+    # Scheduler side
+    # ------------------------------------------------------------------
+    def _begin(self) -> None:
+        self._state = RUNNING
+
+    def _fulfill(self, result: "Result") -> None:
+        self._result = result
+        self._state = DONE
+
+    def _fail(self, error: Exception) -> None:
+        self._error = error
+        self._state = FAILED
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def done(self) -> bool:
+        """True once the query has executed (successfully or not)."""
+        return self._state in (DONE, FAILED)
+
+    def result(self) -> "Result":
+        """The query's exact :class:`Result`, executing its batch if needed.
+
+        Cooperative blocking: drives the owning scheduler until this
+        handle's batch has run, then returns the result (or re-raises the
+        query's execution error).
+        """
+        if not self.done():
+            self._scheduler._drain_until(self)
+        if self._state == FAILED:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def timeline(self) -> "Timeline":
+        """This query's own modeled ledger — byte-identical to a solo run."""
+        return self.result().timeline
+
+    def explain(self) -> str:
+        """Render the query's physical A&R plan.
+
+        Uses the ``pushdown``/``predicate_order`` options the query was
+        submitted with, so for ``ar``/``approximate`` handles the
+        rendered plan is the one the scheduler runs.  Like
+        :meth:`Session.explain`, this always shows the A&R lowering — a
+        ``classic``-mode handle executes the bulk CPU pipeline instead,
+        for which no plan rendering exists.
+        """
+        from ..plan.explain import explain as explain_plan
+        from ..plan.rewriter import rewrite_to_ar_plan
+
+        return explain_plan(rewrite_to_ar_plan(
+            self.query, self._scheduler.session.catalog,
+            pushdown=self.pushdown, predicate_order=self.predicate_order,
+        ))
+
+    def __await__(self):
+        if False:  # pragma: no cover - generator shape only
+            yield
+        return self.result()
+
+    def __repr__(self) -> str:
+        return f"QueryHandle(seq={self.seq}, mode={self.mode!r}, state={self._state!r})"
+
+
+class CancelledError(ExecutionError):
+    """The scheduler was closed before this query could run."""

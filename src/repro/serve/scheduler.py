@@ -1,0 +1,466 @@
+"""The multi-query scheduler: admission, batch forming, shared execution.
+
+The paper's cooperative-scan observation (§VII-B) turned into the serving
+layer the ROADMAP's traffic goal needs: many in-flight queries, one pass
+over the shared device-side structures wherever their plans overlap.
+
+Three cooperating pieces:
+
+* :class:`QueryQueue` — FIFO admission queue.  The batch former pops the
+  head and greedily collects every queued query with the same
+  *compatibility group* (the :meth:`~repro.plan.logical.Query.
+  batch_fingerprint` plus execution options) until the batch cap or the
+  device-memory backpressure limit is reached.
+
+* :class:`AdmissionPolicy` — bounded in-flight work (submitting past
+  ``max_in_flight`` first drains a batch: cooperative backpressure, the
+  submitter pays), bounded batch width, and a device-memory footprint
+  check: each query's expected device scratch (its candidate output,
+  sized with the free code histograms) must fit the GPU pool's free
+  bytes next to its batch mates, or the batch splits.
+
+* :class:`Scheduler` — executes batches.  Same-column selection batches
+  run ONE cooperative pass (:func:`~repro.engine.cooperative.
+  cooperative_scan_hits` over the column's memoized sorted-code view) and
+  carve each query's candidate positions out of it; the positions are
+  injected back into the unchanged per-query kernel path
+  (``scan_code_range(precomputed_hits=...)``), so every query's Timeline
+  and Result are **byte-identical to its solo run** — batching is a pure
+  wall-clock optimization, the charge-neutrality invariant of PRs 1–4
+  extended to multi-query execution.  Theta batches sharing a right side
+  run back to back so the right column's memoized sort permutations and
+  decoded views are built once and stay hot (which, under an evicting
+  view budget, is exactly what segment-granular eviction protects).
+
+Everything is cooperative (no threads): execution happens when a handle's
+``result()`` is awaited, when admission forces a drain, or when
+:meth:`Scheduler.drain` / :meth:`Scheduler.close` is called.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..engine.cooperative import (
+    ScanRequest,
+    cooperative_pass_seconds,
+    cooperative_scan_hits,
+)
+from ..errors import PlanError, ReproError
+from ..plan.logical import Query
+from ..plan.physical import ApproxScanSelect
+from ..plan.rewriter import estimated_selectivity, rewrite_to_ar_plan
+from .handles import CancelledError, QueryHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.builder import RelationBuilder
+    from ..engine.session import Session
+
+_OID_BYTES = 8
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Admission-control knobs of one scheduler."""
+
+    #: Most queries queued at once; a submit beyond this first drains a
+    #: batch (cooperative backpressure — the submitter makes room).
+    max_in_flight: int = 64
+    #: Widest batch the former may build.
+    max_batch: int = 16
+    #: Fraction of the device pool's free bytes batches may claim as
+    #: expected scratch (estimated candidate output) before splitting.
+    device_headroom_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise PlanError("max_in_flight must be at least 1")
+        if self.max_batch < 1:
+            raise PlanError("max_batch must be at least 1")
+        if not 0.0 < self.device_headroom_fraction <= 1.0:
+            raise PlanError("device_headroom_fraction must be in (0, 1]")
+
+
+@dataclass
+class ServeStats:
+    """Aggregate counters of one scheduler's lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    fused_batches: int = 0
+    fused_queries: int = 0
+    shared_right_batches: int = 0
+    largest_batch: int = 0
+    backpressure_stalls: int = 0
+    memory_splits: int = 0
+    #: size -> number of batches executed at that size (bounded by
+    #: max_batch, unlike a per-batch list, so a long-running scheduler's
+    #: stats stay O(1) in memory).
+    batch_size_counts: dict[int, int] = field(default_factory=dict)
+    #: Modeled seconds of the fused cooperative passes actually run —
+    #: next to what the same scans cost as per-query solo charges.  The
+    #: gap is the modeled sharing gain; it never enters a query's ledger.
+    modeled_fused_scan_seconds: float = 0.0
+    modeled_solo_scan_seconds: float = 0.0
+
+    @property
+    def modeled_scan_sharing_gain(self) -> float:
+        """Solo / fused modeled seconds of the shared scans (1.0 = none)."""
+        if self.modeled_fused_scan_seconds <= 0.0:
+            return 1.0
+        return self.modeled_solo_scan_seconds / self.modeled_fused_scan_seconds
+
+
+class _Pending:
+    """One queued query with its execution options and admission facts."""
+
+    __slots__ = ("handle", "query", "mode", "pushdown", "predicate_order",
+                 "group", "scratch_bytes")
+
+    def __init__(self, handle, query, mode, pushdown, predicate_order,
+                 group, scratch_bytes) -> None:
+        self.handle = handle
+        self.query = query
+        self.mode = mode
+        self.pushdown = pushdown
+        self.predicate_order = predicate_order
+        self.group = group
+        self.scratch_bytes = scratch_bytes
+
+
+class QueryQueue:
+    """FIFO admission queue with compatibility-grouped batch popping."""
+
+    def __init__(self) -> None:
+        self._items: deque[_Pending] = deque()
+
+    def push(self, pending: _Pending) -> None:
+        self._items.append(pending)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def pop_batch(
+        self, policy: AdmissionPolicy, budget: int | None
+    ) -> tuple[list[_Pending], bool]:
+        """Pop the head plus every compatible queued query that fits.
+
+        Compatibility is the pending's ``group`` (logical fingerprint +
+        execution options).  The batch stops growing at ``max_batch`` or
+        when the next member's expected device scratch would push the
+        batch past ``budget`` (the device pool's scaled headroom, see
+        :meth:`~repro.device.memory.MemoryPool.headroom`; None =
+        unbounded); returns ``(batch, split_by_memory)``.  The head
+        always ships — a query too large for the headroom runs alone
+        rather than starving (real allocations remain capacity-checked
+        by the device pool).
+        """
+        head = self._items.popleft()
+        batch = [head]
+        if head.group[0][0] == "solo":
+            return batch, False
+        scratch = head.scratch_bytes
+        split = False
+        survivors: deque[_Pending] = deque()
+        while self._items and len(batch) < policy.max_batch:
+            pending = self._items.popleft()
+            if pending.group != head.group:
+                survivors.append(pending)
+                continue
+            if budget is not None and scratch + pending.scratch_bytes > budget:
+                survivors.append(pending)
+                split = True
+                continue
+            scratch += pending.scratch_bytes
+            batch.append(pending)
+        self._items.extendleft(reversed(survivors))
+        return batch, split
+
+
+class Scheduler:
+    """Accepts queries concurrently, executes them in shared batches."""
+
+    def __init__(self, session: "Session", policy: AdmissionPolicy | None = None) -> None:
+        self.session = session
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.stats = ServeStats()
+        self._queue = QueryQueue()
+        self._seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: "Query | RelationBuilder",
+        *,
+        mode: str = "ar",
+        pushdown: bool = True,
+        predicate_order: str = "query",
+    ) -> QueryHandle:
+        """Enqueue one query (a logical :class:`Query` or a builder).
+
+        Returns immediately with a :class:`QueryHandle`; execution is
+        deferred to batch time.  Submitting past ``max_in_flight`` first
+        drains one batch — admission backpressure, paid by the submitter.
+        """
+        from ..engine.session import MODES
+
+        if self._closed:
+            raise PlanError("scheduler is closed")
+        if mode not in MODES:
+            raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
+        if not isinstance(query, Query):
+            query = query.build()
+        if len(self._queue) >= self.policy.max_in_flight:
+            self.stats.backpressure_stalls += 1
+            self._run_one_batch()
+        self._seq += 1
+        handle = QueryHandle(
+            self, query, mode, self._seq,
+            pushdown=pushdown, predicate_order=predicate_order,
+        )
+        group = (query.batch_fingerprint(), mode, pushdown, predicate_order)
+        pending = _Pending(
+            handle, query, mode, pushdown, predicate_order,
+            group, self._estimate_scratch_bytes(query, mode),
+        )
+        self._queue.push(pending)
+        self.stats.submitted += 1
+        return handle
+
+    def submit_many(
+        self,
+        queries: Iterable["Query | RelationBuilder"],
+        *,
+        mode: str = "ar",
+        pushdown: bool = True,
+        predicate_order: str = "query",
+    ) -> list[QueryHandle]:
+        """Enqueue several queries; one handle each, same options."""
+        return [
+            self.submit(
+                q, mode=mode, pushdown=pushdown, predicate_order=predicate_order
+            )
+            for q in queries
+        ]
+
+    # ------------------------------------------------------------------
+    # Draining (cooperative execution)
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Run batches until the queue is empty."""
+        while self._queue:
+            self._run_one_batch()
+
+    def _drain_until(self, handle: QueryHandle) -> None:
+        while not handle.done() and self._queue and not self._closed:
+            self._run_one_batch()
+        if not handle.done():
+            handle._fail(CancelledError(
+                f"query #{handle.seq} never ran: "
+                + ("the scheduler was closed before its batch executed"
+                   if self._closed
+                   else "it was not queued on this scheduler")
+            ))
+
+    def close(self) -> None:
+        """Drain everything still queued and refuse further submissions."""
+        self.drain()
+        self._closed = True
+
+    def _abort(self) -> None:
+        """Close without draining; queued queries fail with CancelledError."""
+        self._closed = True
+        while self._queue:
+            pending = self._queue._items.popleft()
+            pending.handle._fail(CancelledError(
+                f"query #{pending.handle.seq} never ran: the scheduler "
+                "was closed before its batch executed"
+            ))
+            self.stats.failed += 1
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # do not mask the in-flight exception with queued queries'
+            self._abort()
+
+    # ------------------------------------------------------------------
+    # Admission: expected device scratch of one query
+    # ------------------------------------------------------------------
+    def _estimate_scratch_bytes(self, query: Query, mode: str) -> int:
+        """Expected device-side output bytes, from the free histograms.
+
+        Classic mode touches no device memory.  A theta block emits id
+        streams for both sides; a plain block's first drivable scan emits
+        its candidate ids, sized by the (relaxed) histogram selectivity —
+        the same estimate the cost-based predicate ordering uses.
+        """
+        if mode == "classic":
+            return 0
+        catalog = self.session.catalog
+        if query.theta_joins:
+            tj = query.theta_joins[0]
+            rows = len(catalog.table(query.table)) + len(
+                catalog.table(tj.right_table)
+            )
+            return rows * _OID_BYTES
+        for pred in query.where:
+            if not pred.is_simple_column:
+                continue
+            try:
+                sel = estimated_selectivity(pred, catalog, query.table)
+            except (PlanError, ReproError):
+                return 0
+            return int(sel * len(catalog.table(query.table))) * _OID_BYTES
+        return 0
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def _run_one_batch(self) -> None:
+        if not self._queue:
+            return
+        budget = self.session.machine.gpu.pool.headroom(
+            self.policy.device_headroom_fraction
+        )
+        batch, split = self._queue.pop_batch(self.policy, budget)
+        self.stats.batches += 1
+        size = len(batch)
+        self.stats.batch_size_counts[size] = (
+            self.stats.batch_size_counts.get(size, 0) + 1
+        )
+        self.stats.largest_batch = max(self.stats.largest_batch, size)
+        if split:
+            self.stats.memory_splits += 1
+        for pending in batch:
+            pending.handle._begin()
+        kind = batch[0].group[0][0]
+        if kind == "scan" and len(batch) > 1 and batch[0].mode in ("ar", "approximate"):
+            self._run_fused_scan_batch(batch)
+        else:
+            if kind == "theta" and len(batch) > 1:
+                self.stats.shared_right_batches += 1
+            for pending in batch:
+                self._run_solo(pending)
+
+    def _run_solo(self, pending: _Pending) -> None:
+        try:
+            result = self.session.query(
+                pending.query, mode=pending.mode, pushdown=pending.pushdown,
+                predicate_order=pending.predicate_order,
+            )
+        except ReproError as exc:
+            pending.handle._fail(exc)
+            self.stats.failed += 1
+            return
+        pending.handle._fulfill(result)
+        self.stats.completed += 1
+
+    def _run_with_plan(self, pending: _Pending, plan, scan_hits=None):
+        """Execute an already-rewritten A&R plan for one pending query.
+
+        Returns the :class:`Result` on success, None on a captured
+        failure — so the fused path can read batch stats off it.
+        """
+        try:
+            result = self.session._ar.run(
+                plan,
+                approximate_only=(pending.mode == "approximate"),
+                scan_hits=scan_hits,
+            )
+        except ReproError as exc:
+            pending.handle._fail(exc)
+            self.stats.failed += 1
+            return None
+        pending.handle._fulfill(result)
+        self.stats.completed += 1
+        return result
+
+    def _run_fused_scan_batch(self, batch: list[_Pending]) -> None:
+        """One cooperative pass for the batch's shared first scans.
+
+        Rewrites every member's plan, validates that each indeed opens
+        with an :class:`ApproxScanSelect` on the shared column (the
+        fingerprint is syntactic; predicate reordering or a
+        non-decomposed column degrades members to solo runs), evaluates
+        all first-scan predicates in one pass over the column's
+        sorted-code view, and runs each member's **unchanged** plan with
+        its carved hit positions injected — identical candidates,
+        identical charges, one shared pass of wall-clock work.
+        """
+        _, table, column_name = batch[0].group[0]
+        column = self.session.catalog.decomposition_of(table, column_name)
+        fused: list[tuple[_Pending, object]] = []  # (pending, plan)
+        for pending in batch:
+            try:
+                plan = rewrite_to_ar_plan(
+                    pending.query, self.session.catalog,
+                    pushdown=pending.pushdown,
+                    predicate_order=pending.predicate_order,
+                )
+            except ReproError as exc:
+                pending.handle._fail(exc)
+                self.stats.failed += 1
+                continue
+            first = plan.ops[0] if plan.ops else None
+            if (
+                column is not None
+                and isinstance(first, ApproxScanSelect)
+                and first.column == column_name
+            ):
+                fused.append((pending, plan))
+            else:
+                # Degraded member: run the plan already in hand, no carve.
+                self._run_with_plan(pending, plan)
+        if not fused:
+            return
+        requests = [
+            ScanRequest(str(i), plan.ops[0].predicate.vrange)
+            for i, (_, plan) in enumerate(fused)
+        ]
+        hits_by_label = cooperative_scan_hits(column, requests)
+        total_hits = sum(h.size for h in hits_by_label.values())
+        self.stats.fused_batches += 1
+        self.stats.fused_queries += len(fused)
+        self.stats.modeled_fused_scan_seconds += cooperative_pass_seconds(
+            self.session.machine.gpu, column, len(fused), total_hits
+        )
+        for i, (pending, plan) in enumerate(fused):
+            hits = hits_by_label[str(i)]
+            result = self._run_with_plan(
+                pending, plan, scan_hits={id(plan.ops[0]): hits}
+            )
+            if result is None:
+                continue
+            # The first span is the carved scan, charged exactly like the
+            # solo kernel — sum it as the batch's solo-cost baseline.
+            spans = result.timeline.spans
+            if spans:
+                self.stats.modeled_solo_scan_seconds += spans[0].seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Queries admitted but not yet executed."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler(queued={len(self._queue)}, "
+            f"submitted={self.stats.submitted}, batches={self.stats.batches})"
+        )

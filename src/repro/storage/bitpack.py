@@ -228,6 +228,30 @@ def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
     return out
 
 
+def unpack_codes_range(
+    words: np.ndarray, bits: int, start: int, stop: int
+) -> np.ndarray:
+    """Decode codes ``[start, stop)`` of a packed stream.
+
+    Equivalent to ``unpack_codes(words, bits, total)[start:stop]`` while
+    touching only the words the range occupies — the rebuild primitive of
+    segment-granular view eviction.  ``start * bits`` must land on a word
+    boundary so the range decodes as a self-contained stream; any multiple
+    of 64 codes qualifies for every width (codes-per-period
+    ``64 / gcd(bits, 64)`` divides 64).
+    """
+    check_bits(bits)
+    if not 0 <= start <= stop:
+        raise ValueError(f"invalid code range [{start}, {stop})")
+    if (start * bits) % _WORD_BITS:
+        raise BitWidthError(
+            f"range start {start} is not word-aligned for width {bits}"
+        )
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    first_word = (start * bits) // _WORD_BITS
+    return unpack_codes(words[first_word:], bits, stop - start)
+
+
 def _unpack_tail(words: np.ndarray, bits: int, count: int) -> np.ndarray:
     """Unpack fewer than one period of codes from a word-aligned slice."""
     bit_pos = np.arange(count, dtype=np.uint64) * np.uint64(bits)

@@ -27,7 +27,13 @@ import numpy as np
 
 from ..errors import DecompositionError
 from ..util import bits_for_range, mask
-from .bitpack import gather_codes, pack_codes, packed_nbytes, unpack_codes
+from .bitpack import (
+    gather_codes,
+    pack_codes,
+    packed_nbytes,
+    unpack_codes,
+    unpack_codes_range,
+)
 
 
 @dataclass(frozen=True)
@@ -184,82 +190,222 @@ def _frozen(codes: np.ndarray) -> np.ndarray:
     return codes
 
 
+#: Rows per eviction segment of a decoded view.  A multiple of 64, so every
+#: segment boundary is word-aligned in the packed stream for *any* code
+#: width (codes-per-period = 64/gcd(bits, 64) divides 64) and evicted
+#: segments can be re-decoded from a self-contained word slice.
+VIEW_SEGMENT_ROWS = 1 << 16
+
+
+class _PartialView:
+    """A decoded view with evicted holes: one array (or ``None``) per segment.
+
+    Holding slices of the original full array would pin its whole buffer
+    alive, so surviving segments are *copies*; the memory of evicted
+    segments is genuinely released.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list) -> None:
+        self.parts = parts
+
+    @property
+    def resident(self) -> int:
+        return sum(1 for p in self.parts if p is not None)
+
+
 class _ViewBudget:
     """Optional LRU byte budget over every column's decoded code views.
 
     Decoded views double host memory next to the packed streams (see
     PERFORMANCE.md); memory-constrained runs can cap them with
     :func:`set_view_budget` and trade rebuild cost back in.  Unbounded by
-    default — the knob then costs one registry insert per view and nothing
-    per access.  Eviction clears the column's cache slot; arrays already
-    handed to callers stay valid (they are plain read-only ndarrays), and
-    the next access rebuilds from the packed stream.  Purely host-side
-    simulation state: modeled :class:`Timeline` charges never depend on
-    whether a view was cached (the code-cache invariant).
+    default — the knob then costs one registry insert per view segment and
+    nothing per access.  Purely host-side simulation state: modeled
+    :class:`Timeline` charges never depend on whether a view was cached
+    (the code-cache invariant).
+
+    **Eviction is segment-granular** (PR 5) for the decoded code streams:
+    a view is registered as ``ceil(rows / segment_rows)`` independently
+    evictable entries, so budget pressure drops only as many bytes as it
+    needs instead of whole columns — a batch scanning many columns no
+    longer thrashes the cache, and a partially evicted view rebuilds only
+    its missing segments from the packed stream.  Views without a
+    per-segment rebuild (sort permutations, the sorted-code view) stay
+    whole-view entries.  Arrays already handed to callers remain valid
+    (they are plain read-only ndarrays).
     """
 
     def __init__(self) -> None:
         self.limit: int | None = None
+        self.segment_rows = VIEW_SEGMENT_ROWS
         self.used = 0
-        # (id(column), attr) -> (weakref, attr, nbytes); insertion order = LRU.
-        self._entries: OrderedDict[tuple[int, str], tuple] = OrderedDict()
+        # (id(column), attr, seg) -> (weakref, attr, seg, nbytes);
+        # insertion order = LRU.
+        self._entries: OrderedDict[tuple[int, str, int], tuple] = OrderedDict()
+        # Secondary index: (id(column), attr) -> resident segment keys, so
+        # per-view operations (touch on every cache hit, the whole-view
+        # checks in _evict) stay O(own segments) instead of scanning the
+        # full registry.
+        self._by_view: dict[tuple[int, str], set] = {}
 
-    def configure(self, limit: int | None) -> None:
+    # ------------------------------------------------------------------
+    def configure(
+        self, limit: int | None, segment_rows: int | None = None
+    ) -> None:
         if limit is not None and limit < 0:
             raise ValueError(f"view budget must be non-negative, got {limit}")
+        if segment_rows is not None and segment_rows != self.segment_rows:
+            if segment_rows < 64 or segment_rows % 64:
+                raise ValueError(
+                    "segment_rows must be a positive multiple of 64, got "
+                    f"{segment_rows}"
+                )
+            # Entry keys encode the old segment grid: flush rather than
+            # translate (reconfiguration is a test/tuning operation).
+            self._flush()
+            self.segment_rows = segment_rows
         self.limit = limit
         self._evict()
 
-    def note(self, column: "BwdColumn", attr: str, nbytes: int) -> None:
-        """Register a freshly materialized view (most-recently-used)."""
-        key = (id(column), attr)
-        if key not in self._entries:
-            ref = weakref.ref(column, lambda _ref, key=key: self._forget(key))
-            self._entries[key] = (ref, attr, nbytes)
-            self.used += nbytes
-        self._entries.move_to_end(key)
+    def segments_of(self, n_rows: int) -> list[tuple[int, int]]:
+        """The ``[start, stop)`` row ranges of a view's eviction segments."""
+        step = self.segment_rows
+        if n_rows <= step:
+            return [(0, n_rows)]
+        return [(a, min(a + step, n_rows)) for a in range(0, n_rows, step)]
+
+    # ------------------------------------------------------------------
+    def note(self, column: "BwdColumn", attr: str, view: np.ndarray) -> None:
+        """Register a freshly materialized full view (most-recently-used)."""
+        cid = id(column)
+        if attr in column.SEGMENTED_VIEWS:
+            ranges = self.segments_of(len(view))
+        else:
+            ranges = [(0, len(view))]
+        itemsize = view.itemsize
+        for seg, (a, b) in enumerate(ranges):
+            key = (cid, attr, seg)
+            if key not in self._entries:
+                ref = weakref.ref(column, lambda _r, key=key: self._forget(key))
+                nbytes = (b - a) * itemsize
+                self._entries[key] = (ref, attr, seg, nbytes)
+                self._by_view.setdefault((cid, attr), set()).add(seg)
+                self.used += nbytes
+            self._entries.move_to_end(key)
         self._evict()
 
     def touch(self, column: "BwdColumn", attr: str) -> None:
         """Refresh a view's recency on a cache hit (no-op when unbounded)."""
         if self.limit is None:
             return
-        key = (id(column), attr)
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        cid = id(column)
+        for seg in sorted(self._by_view.get((cid, attr), ())):
+            self._entries.move_to_end((cid, attr, seg))
 
-    def _forget(self, key: tuple[int, str]) -> None:
+    # ------------------------------------------------------------------
+    def _forget(self, key: tuple[int, str, int]) -> None:
         entry = self._entries.pop(key, None)
         if entry is not None:
-            self.used -= entry[2]
+            self.used -= entry[3]
+            self._unindex(key)
+
+    def _unindex(self, key: tuple[int, str, int]) -> None:
+        cid, attr, seg = key
+        segs = self._by_view.get((cid, attr))
+        if segs is not None:
+            segs.discard(seg)
+            if not segs:
+                del self._by_view[(cid, attr)]
+
+    def _view_keys(self, cid: int, attr: str) -> list[tuple[int, str, int]]:
+        return [
+            (cid, attr, seg) for seg in sorted(self._by_view.get((cid, attr), ()))
+        ]
+
+    def _drop_entries(self, keys: list[tuple[int, str, int]]) -> None:
+        for k in keys:
+            _, _, _, nbytes = self._entries.pop(k)
+            self.used -= nbytes
+            self._unindex(k)
+
+    def _flush(self) -> None:
+        """Drop every cached view entirely (segment grid is changing)."""
+        for ref, attr, _seg, _nbytes in list(self._entries.values()):
+            column = ref()
+            if column is not None:
+                setattr(column, attr, None)
+        self._entries.clear()
+        self._by_view.clear()
+        self.used = 0
 
     def _evict(self) -> None:
         if self.limit is None:
             return
         while self.used > self.limit and self._entries:
-            _, (ref, attr, nbytes) = self._entries.popitem(last=False)
-            self.used -= nbytes
+            (cid, attr, seg), (ref, _, _, nbytes) = next(
+                iter(self._entries.items())
+            )
             column = ref()
-            if column is not None:
+            if column is None:
+                self._drop_entries([(cid, attr, seg)])
+                continue
+            view_keys = self._view_keys(cid, attr)
+            view_bytes = sum(self._entries[k][3] for k in view_keys)
+            needed = self.used - self.limit
+            if (
+                needed >= view_bytes
+                or len(view_keys) == 1
+                or attr not in column.SEGMENTED_VIEWS
+            ):
+                # The whole view must go anyway (or cannot be split):
+                # drop it without the segment-copy conversion.
+                self._drop_entries(view_keys)
                 setattr(column, attr, None)
+                continue
+            self._evict_segment(column, attr, seg)
+            self._drop_entries([(cid, attr, seg)])
+
+    def _evict_segment(self, column: "BwdColumn", attr: str, seg: int) -> None:
+        """Release one segment of a view, keeping the others resident."""
+        view = getattr(column, attr)
+        if isinstance(view, np.ndarray):
+            ranges = self.segments_of(len(view))
+            parts: list = [
+                _frozen(view[a:b].copy()) for a, b in ranges
+            ]
+            view = _PartialView(parts)
+            setattr(column, attr, view)
+        view.parts[seg] = None
 
 
 _VIEW_BUDGET = _ViewBudget()
 
 
-def set_view_budget(nbytes: int | None) -> None:
+def set_view_budget(
+    nbytes: int | None, *, segment_rows: int | None = None
+) -> None:
     """Cap the total bytes of cached decoded code views (None = unbounded).
 
-    With a budget, least-recently-used views are dropped first; a budget of
-    0 keeps every column permanently cold (views rebuild on each use).  The
-    default is unbounded — the PR-1 behavior.
+    With a budget, least-recently-used view *segments* are dropped first
+    (``segment_rows`` rows each, default :data:`VIEW_SEGMENT_ROWS`); a
+    budget of 0 keeps every column permanently cold (views rebuild on each
+    use).  The default is unbounded — the PR-1 behavior.  Passing
+    ``segment_rows`` changes the eviction granularity and flushes every
+    cached view (the entry grid changes shape).
     """
-    _VIEW_BUDGET.configure(nbytes)
+    _VIEW_BUDGET.configure(nbytes, segment_rows)
 
 
 def view_budget() -> int | None:
     """The current decoded-view byte budget (None = unbounded)."""
     return _VIEW_BUDGET.limit
+
+
+def view_segment_rows() -> int:
+    """Rows per independently evictable view segment."""
+    return _VIEW_BUDGET.segment_rows
 
 
 def view_cache_bytes() -> int:
@@ -287,9 +433,15 @@ class BwdColumn:
     __slots__ = (
         "decomposition", "length", "_approx_words", "_residual_words",
         "_approx_cache", "_approx_i64_cache", "_residual_cache",
-        "_perm_approx_cache", "_perm_exact_cache",
+        "_perm_approx_cache", "_perm_exact_cache", "_sorted_codes_cache",
         "__weakref__",
     )
+
+    #: Cache attributes with a per-segment rebuild (decoded or derived code
+    #: streams): the view budget may evict them segment-granularly.  Sort
+    #: permutations and the sorted-code view are global functions of the
+    #: whole column and stay whole-view entries.
+    SEGMENTED_VIEWS = ("_approx_cache", "_approx_i64_cache", "_residual_cache")
 
     def __init__(
         self,
@@ -302,11 +454,12 @@ class BwdColumn:
         self.length = length
         self._approx_words = approx_words
         self._residual_words = residual_words
-        self._approx_cache: np.ndarray | None = None
-        self._approx_i64_cache: np.ndarray | None = None
-        self._residual_cache: np.ndarray | None = None
+        self._approx_cache: np.ndarray | _PartialView | None = None
+        self._approx_i64_cache: np.ndarray | _PartialView | None = None
+        self._residual_cache: np.ndarray | _PartialView | None = None
         self._perm_approx_cache: np.ndarray | None = None
         self._perm_exact_cache: np.ndarray | None = None
+        self._sorted_codes_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -324,10 +477,10 @@ class BwdColumn:
         # The split already decoded both streams — seed the code views for
         # free instead of unpacking them again on first use.
         col._approx_cache = _frozen(approx)
-        _VIEW_BUDGET.note(col, "_approx_cache", approx.nbytes)
+        _VIEW_BUDGET.note(col, "_approx_cache", approx)
         if decomposition.residual_bits:
             col._residual_cache = _frozen(residual)
-            _VIEW_BUDGET.note(col, "_residual_cache", residual.nbytes)
+            _VIEW_BUDGET.note(col, "_residual_cache", residual)
         return col
 
     # ------------------------------------------------------------------
@@ -349,19 +502,46 @@ class BwdColumn:
         return self.decomposition.residual_bits > 0
 
     # ------------------------------------------------------------------
+    def _assembled(
+        self, attr: str, partial: "_PartialView", rebuild_segment, dtype
+    ) -> np.ndarray:
+        """Reassemble a partially evicted view: keep resident segments,
+        re-derive only the holes — the payoff of segment-granular eviction.
+
+        ``partial`` is the caller's captured view object: rebuilding may
+        itself trigger evictions that clear the column's cache slot, but
+        the captured object stays valid (eviction only nulls its ``parts``
+        entries, which the loop below rebuilds anyway).
+        """
+        full = np.empty(self.length, dtype=dtype)
+        for seg, (a, b) in enumerate(_VIEW_BUDGET.segments_of(self.length)):
+            part = partial.parts[seg]
+            if part is not None:
+                full[a:b] = part
+            else:
+                full[a:b] = rebuild_segment(a, b)
+        view = _frozen(full)
+        setattr(self, attr, view)
+        _VIEW_BUDGET.note(self, attr, view)
+        return view
+
     def approx_codes(self) -> np.ndarray:
         """Decoded approximation stream (read-only, memoized)."""
         view = self._approx_cache
-        if view is None:
-            view = _frozen(unpack_codes(
-                self._approx_words, max(self.decomposition.approx_bits, 1),
-                self.length,
-            ))
-            self._approx_cache = view
-            _VIEW_BUDGET.note(self, "_approx_cache", view.nbytes)
-        else:
+        bits = max(self.decomposition.approx_bits, 1)
+        if isinstance(view, np.ndarray):
             _VIEW_BUDGET.touch(self, "_approx_cache")
-        return view
+            return view
+        if view is None:
+            view = _frozen(unpack_codes(self._approx_words, bits, self.length))
+            self._approx_cache = view
+            _VIEW_BUDGET.note(self, "_approx_cache", view)
+            return view
+        return self._assembled(
+            "_approx_cache", view,
+            lambda a, b: unpack_codes_range(self._approx_words, bits, a, b),
+            np.uint64,
+        )
 
     def approx_codes_i64(self) -> np.ndarray:
         """Decoded approximation stream as signed ints (read-only, memoized).
@@ -370,17 +550,24 @@ class BwdColumn:
         one O(n) ``astype`` copy per predicate evaluation.
         """
         view = self._approx_i64_cache
+        if isinstance(view, np.ndarray):
+            _VIEW_BUDGET.touch(self, "_approx_i64_cache")
+            return view
         if view is None:
             view = _frozen(self.approx_codes().astype(np.int64))
             self._approx_i64_cache = view
-            _VIEW_BUDGET.note(self, "_approx_i64_cache", view.nbytes)
-        else:
-            _VIEW_BUDGET.touch(self, "_approx_i64_cache")
-        return view
+            _VIEW_BUDGET.note(self, "_approx_i64_cache", view)
+            return view
+        codes = self.approx_codes()  # one touch, not one per hole segment
+        return self._assembled(
+            "_approx_i64_cache", view,
+            lambda a, b: codes[a:b].astype(np.int64),
+            np.int64,
+        )
 
     def approx_at(self, positions: np.ndarray) -> np.ndarray:
         """Random-access approximation codes (device-side gather)."""
-        if self._approx_cache is not None:
+        if isinstance(self._approx_cache, np.ndarray):
             _VIEW_BUDGET.touch(self, "_approx_cache")
             return self._approx_cache[self._checked(positions)]
         return gather_codes(
@@ -392,19 +579,23 @@ class BwdColumn:
 
     def residuals(self) -> np.ndarray:
         """Decoded residual stream (read-only, memoized)."""
-        if self.decomposition.residual_bits == 0:
+        bits = self.decomposition.residual_bits
+        if bits == 0:
             return np.zeros(self.length, dtype=np.uint64)
         view = self._residual_cache
-        if view is None:
-            view = _frozen(unpack_codes(
-                self._residual_words, self.decomposition.residual_bits,
-                self.length,
-            ))
-            self._residual_cache = view
-            _VIEW_BUDGET.note(self, "_residual_cache", view.nbytes)
-        else:
+        if isinstance(view, np.ndarray):
             _VIEW_BUDGET.touch(self, "_residual_cache")
-        return view
+            return view
+        if view is None:
+            view = _frozen(unpack_codes(self._residual_words, bits, self.length))
+            self._residual_cache = view
+            _VIEW_BUDGET.note(self, "_residual_cache", view)
+            return view
+        return self._assembled(
+            "_residual_cache", view,
+            lambda a, b: unpack_codes_range(self._residual_words, bits, a, b),
+            np.uint64,
+        )
 
     #: Valid ``bound`` arguments of :meth:`sort_permutation`.
     SORT_BOUNDS = ("lo", "hi", "exact")
@@ -445,9 +636,31 @@ class BwdColumn:
                 np.argsort(key, kind="stable").astype(np.int64, copy=False)
             )
             setattr(self, attr, view)
-            _VIEW_BUDGET.note(self, attr, view.nbytes)
+            _VIEW_BUDGET.note(self, attr, view)
         else:
             _VIEW_BUDGET.touch(self, attr)
+        return view
+
+    def sorted_approx_codes(self) -> np.ndarray:
+        """The i64 approximation codes in stable-sorted order (memoized).
+
+        The shared binary-search key of the serve layer's cooperative
+        carve: ``sorted_approx_codes() ==
+        approx_codes_i64()[sort_permutation("lo")]``, so a code-range
+        predicate maps to one ``searchsorted`` pair instead of an O(n)
+        scan.  Cached like the sort permutations: whole-view, registered
+        with the LRU view budget, rebuilt after eviction.  Purely
+        host-side simulation state — modeled charges never depend on it.
+        """
+        view = self._sorted_codes_cache
+        if view is None:
+            view = _frozen(
+                self.approx_codes_i64()[self.sort_permutation("lo")]
+            )
+            self._sorted_codes_cache = view
+            _VIEW_BUDGET.note(self, "_sorted_codes_cache", view)
+        else:
+            _VIEW_BUDGET.touch(self, "_sorted_codes_cache")
         return view
 
     def residual_at(self, positions: np.ndarray) -> np.ndarray:
@@ -455,7 +668,7 @@ class BwdColumn:
         if self.decomposition.residual_bits == 0:
             positions = np.asarray(positions)
             return np.zeros(len(positions), dtype=np.uint64)
-        if self._residual_cache is not None:
+        if isinstance(self._residual_cache, np.ndarray):
             _VIEW_BUDGET.touch(self, "_residual_cache")
             return self._residual_cache[self._checked(positions)]
         return gather_codes(

@@ -39,3 +39,11 @@ def test_quick_measure_reports_every_benchmark():
     results = _wallclock.measure(reps=1, quick=True)
     assert set(results) == set(_wallclock.build_suite(quick=True))
     assert all(v > 0 for v in results.values())
+
+
+def test_serve_throughput_family_is_in_the_suite():
+    """PR 5's scheduler benchmarks must stay collected at every width."""
+    suite = set(_wallclock.build_suite(quick=True))
+    assert {
+        "serve.throughput.b1", "serve.throughput.b4", "serve.throughput.b16"
+    } <= suite

@@ -8,6 +8,8 @@ from repro.core.relax import ValueRange
 from repro.device.machine import Machine
 from repro.engine.cooperative import (
     ScanRequest,
+    cooperative_pass_seconds,
+    cooperative_scan_hits,
     cooperative_select_approx,
     individual_scan_seconds,
 )
@@ -98,3 +100,57 @@ class TestCooperativeScan:
         )["q1"]
         assert ordered.order_preserved
         assert np.all(np.diff(ordered.ids) > 0)
+
+
+class TestCooperativeCarve:
+    """The serve layer's zero-charge shared pass (PR 5)."""
+
+    def test_carved_hits_equal_the_solo_scan(self, setup):
+        machine, _, column = setup
+        from repro.core.relax import relax_to_code_range
+
+        carved = cooperative_scan_hits(column, REQUESTS)
+        codes = column.approx_codes_i64()
+        for request in REQUESTS:
+            lo, hi = relax_to_code_range(request.vrange, column.decomposition)
+            solo = np.flatnonzero((codes >= lo) & (codes <= hi))
+            got = carved[request.label]
+            assert got.dtype == solo.dtype
+            assert np.array_equal(got, solo), request.label
+
+    def test_carve_handles_empty_and_full_ranges(self, setup):
+        machine, _, column = setup
+        requests = [
+            ScanRequest("none", ValueRange(10**9, None)),   # past the domain
+            ScanRequest("all", ValueRange(None, None)),     # everything
+            ScanRequest("inverted", ValueRange.empty()),
+        ]
+        carved = cooperative_scan_hits(column, requests)
+        assert carved["none"].size == 0
+        assert carved["inverted"].size == 0
+        assert carved["all"].size == column.length
+
+    def test_carved_hits_keep_charges_byte_identical(self, setup):
+        """precomputed_hits short-circuits compute only, never the charge."""
+        machine, _, column = setup
+        from repro.core.relax import relax_to_code_range
+
+        request = REQUESTS[1]
+        lo, hi = relax_to_code_range(request.vrange, column.decomposition)
+        t_solo, t_carved = machine.new_timeline(), machine.new_timeline()
+        solo = machine.gpu.scan_code_range(column, lo, hi, t_solo)
+        carved = cooperative_scan_hits(column, [request])[request.label]
+        via_kernel = machine.gpu.scan_code_range(
+            column, lo, hi, t_carved, precomputed_hits=carved
+        )
+        assert np.array_equal(solo, via_kernel)
+        assert t_solo.spans_equal(t_carved)
+
+    def test_pass_seconds_match_the_fused_charge(self, setup):
+        machine, _, column = setup
+        tl = machine.new_timeline()
+        results = cooperative_select_approx(machine.gpu, tl, column, REQUESTS)
+        total_hits = sum(len(r.ids) for r in results.values())
+        assert cooperative_pass_seconds(
+            machine.gpu, column, len(REQUESTS), total_hits
+        ) == pytest.approx(tl.total_seconds())

@@ -1,0 +1,158 @@
+"""Batched-vs-solo equivalence: the serving layer's charge-neutrality pin.
+
+Any mix of selection and band-join queries pushed through the scheduler
+must yield byte-identical :class:`Result`s and per-query
+:class:`Timeline` spans versus sequential ``run()`` calls — batching is
+a wall-clock optimization only, invisible to every modeled ledger.  The
+property must also survive an evicting (segment-granular) view budget:
+rebuilding shared views mid-batch may cost wall-clock, never bytes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import IntType, Session
+from repro.storage.decompose import set_view_budget
+
+
+@pytest.fixture(autouse=True)
+def restore_budget():
+    yield
+    set_view_budget(None)
+
+
+def make_session(seed=17, n=8_000) -> Session:
+    rng = np.random.default_rng(seed)
+    s = Session()
+    s.create_table(
+        "f",
+        {"a": IntType(), "b": IntType(), "plain": IntType()},
+        {
+            "a": rng.integers(0, 30_000, n),
+            "b": rng.integers(0, 3_000, n),
+            "plain": rng.integers(0, 25, n),
+        },
+    )
+    s.create_table("q", {"v": IntType()}, {"v": rng.integers(0, 30_000, 600)})
+    s.bwdecompose("f", "a", 24)
+    s.bwdecompose("f", "b", 26)
+    s.bwdecompose("q", "v", 24)
+    return s
+
+
+@pytest.fixture(scope="module")
+def session():
+    return make_session()
+
+
+def mixed_builders(session, ranges, deltas):
+    """A workload interleaving fusable scans, probes and band joins."""
+    builders = []
+    for lo, hi in ranges:
+        builders.append(
+            session.table("f").where("a", between=(lo, hi)).count("n")
+        )
+        builders.append(
+            session.table("f").where("a", between=(lo, hi)).sum("b", "s")
+        )
+    for delta in deltas:
+        builders.append(
+            session.table("f").band_join("q", on=("a", "v"), delta=delta)
+            .count("m")
+        )
+        builders.append(
+            session.table("f").where("a", "<=", 4_000)
+            .band_join("q", on=("a", "v"), delta=delta)
+        )
+    builders.append(
+        session.table("f").where("a", between=(100, 9_000))
+        .where("b", "<=", 1_500).group_by("plain").count("n")
+    )
+    builders.append(session.table("f").where("a", "<=", 2_000).select("b"))
+    return builders
+
+
+def assert_results_identical(solo, batched, label=""):
+    assert solo.row_count == batched.row_count, label
+    assert list(solo.columns) == list(batched.columns), label
+    for name in solo.columns:
+        a, b = solo.columns[name], batched.columns[name]
+        assert np.asarray(a).dtype == np.asarray(b).dtype, (label, name)
+        assert np.array_equal(a, b), (label, name)
+    assert solo.approximate == batched.approximate, label
+    assert solo.timeline.spans_equal(batched.timeline), (
+        label, "modeled ledgers diverged"
+    )
+
+
+def run_equivalence(session, builders, max_batch=16):
+    solo = [b.run(mode="ar") for b in builders]
+    server = session.serve(max_batch=max_batch)
+    handles = [b.submit(server) for b in builders]
+    server.drain()
+    for i, (s_res, handle) in enumerate(zip(solo, handles)):
+        assert_results_identical(s_res, handle.result(), label=f"query #{i}")
+    return server
+
+
+class TestMixedWorkloadEquivalence:
+    RANGES = [(0, 999), (500, 4_000), (10_000, 11_000), (25_000, 29_999)]
+    DELTAS = [5, 40]
+
+    def test_mixed_batch_is_byte_identical(self, session):
+        builders = mixed_builders(session, self.RANGES, self.DELTAS)
+        server = run_equivalence(session, builders)
+        assert server.stats.fused_queries >= 2  # the scans really fused
+
+    def test_equivalence_under_evicting_budget(self, session):
+        # A budget far smaller than the working set, with fine-grained
+        # segments: views evict and rebuild *between* batch members.
+        set_view_budget(64 * 1024, segment_rows=512)
+        builders = mixed_builders(session, self.RANGES, self.DELTAS)
+        run_equivalence(session, builders)
+
+    def test_equivalence_at_every_batch_width(self, session):
+        builders = mixed_builders(session, self.RANGES[:2], self.DELTAS[:1])
+        for width in (1, 2, 5, 16):
+            run_equivalence(session, builders, max_batch=width)
+
+
+class TestPropertyEquivalence:
+    @given(
+        seeds=st.lists(st.integers(0, 2**16), min_size=1, max_size=6),
+        width=st.sampled_from([1, 3, 16]),
+        budgeted=st.booleans(),
+    )
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_random_mix_is_byte_identical(self, session, seeds, width, budgeted):
+        if budgeted:
+            set_view_budget(96 * 1024, segment_rows=1024)
+        else:
+            set_view_budget(None)
+        builders = []
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            kind = int(rng.integers(0, 3))
+            lo = int(rng.integers(0, 25_000))
+            hi = lo + int(rng.integers(1, 6_000))
+            if kind == 0:
+                builders.append(
+                    session.table("f").where("a", between=(lo, hi)).count("n")
+                )
+            elif kind == 1:
+                builders.append(
+                    session.table("f").where("a", between=(lo, hi))
+                    .avg("b", "m")
+                )
+            else:
+                delta = int(rng.integers(0, 60))
+                builders.append(
+                    session.table("f")
+                    .band_join("q", on=("a", "v"), delta=delta).count("m")
+                )
+        run_equivalence(session, builders, max_batch=width)

@@ -1,0 +1,290 @@
+"""Unit tests for the multi-query scheduler: admission, batching, handles."""
+
+import numpy as np
+import pytest
+
+from repro import IntType, PlanError, Session
+from repro.device.machine import Machine
+from repro.device.model import DeviceSpec
+from repro.plan.logical import Query
+from repro.serve import AdmissionPolicy, QueryQueue, Scheduler
+from repro.serve.handles import QueryHandle
+from repro.serve.scheduler import _Pending
+
+
+def make_session(n=20_000, seed=3) -> Session:
+    rng = np.random.default_rng(seed)
+    s = Session()
+    s.create_table(
+        "f",
+        {"a": IntType(), "b": IntType(), "plain": IntType()},
+        {
+            "a": rng.integers(0, 50_000, n),
+            "b": rng.integers(0, 5_000, n),
+            "plain": rng.integers(0, 40, n),
+        },
+    )
+    s.create_table("r", {"v": IntType()}, {"v": rng.integers(0, 50_000, 800)})
+    s.bwdecompose("f", "a", 24)
+    s.bwdecompose("f", "b", 24)
+    s.bwdecompose("r", "v", 24)
+    return s
+
+
+@pytest.fixture(scope="module")
+def session():
+    return make_session()
+
+
+def count_between(session, lo, hi):
+    return session.table("f").where("a", between=(lo, hi)).count("n")
+
+
+class TestFingerprints:
+    def test_scan_fingerprint_keys_on_first_simple_predicate(self, session):
+        q = count_between(session, 10, 20).build()
+        assert q.batch_fingerprint() == ("scan", "f", "a")
+
+    def test_theta_fingerprint_keys_on_shared_right_side(self, session):
+        q = session.table("f").band_join("r", on=("a", "v"), delta=9).build()
+        assert q.batch_fingerprint() == ("theta", "r", "v")
+        assert q.theta_joins[0].share_key() == ("r", "v")
+
+    def test_unshareable_block_is_solo(self):
+        q = Query(table="f", select=("plain",))
+        assert q.batch_fingerprint() == ("solo", "f")
+
+
+class TestHandles:
+    def test_submit_returns_pending_handle(self, session):
+        server = session.serve()
+        handle = count_between(session, 0, 999).submit(server)
+        assert isinstance(handle, QueryHandle)
+        assert not handle.done()
+        result = handle.result()
+        assert handle.done() and handle.state == "done"
+        assert result.scalar("n") >= 0
+        assert handle.timeline() is result.timeline
+
+    def test_handle_is_awaitable(self, session):
+        import asyncio
+
+        server = session.serve()
+        handle = count_between(session, 0, 2_000).submit(server)
+
+        async def consume():
+            return await handle
+
+        result = asyncio.run(consume())
+        assert result.scalar("n") == count_between(session, 0, 2_000).run().scalar("n")
+
+    def test_explain_renders_the_plan(self, session):
+        server = session.serve()
+        handle = count_between(session, 0, 999).submit(server)
+        assert "uselectapproximate" in handle.explain()
+
+    def test_error_is_captured_and_reraised(self, session):
+        server = session.serve()
+        # 'plain' is not decomposed: the theta rewrite fails with PlanError.
+        bad = session.table("f").theta_join("r", on=("plain", "v"), op="<")
+        ok = count_between(session, 0, 500)
+        h_bad = bad.submit(server)
+        h_ok = ok.submit(server)
+        server.drain()
+        with pytest.raises(PlanError):
+            h_bad.result()
+        assert h_ok.result().scalar("n") == ok.run().scalar("n")
+        assert server.stats.failed == 1
+
+    def test_drain_until_foreign_handle_fails_it(self, session):
+        server_a = session.serve()
+        server_b = session.serve()
+        handle = count_between(session, 0, 99).submit(server_a)
+        foreign = QueryHandle(server_b, handle.query, "ar", 99)
+        with pytest.raises(Exception):
+            foreign.result()
+        assert foreign.state == "failed"
+
+
+class TestAdmission:
+    def test_policy_validation(self):
+        with pytest.raises(PlanError):
+            AdmissionPolicy(max_in_flight=0)
+        with pytest.raises(PlanError):
+            AdmissionPolicy(max_batch=0)
+        with pytest.raises(PlanError):
+            AdmissionPolicy(device_headroom_fraction=0.0)
+
+    def test_unknown_mode_rejected_at_submit(self, session):
+        server = session.serve()
+        with pytest.raises(PlanError):
+            count_between(session, 0, 9).submit(server, mode="warp")
+
+    def test_in_flight_bound_drains_cooperatively(self, session):
+        server = session.serve(max_in_flight=2, max_batch=2)
+        handles = [count_between(session, i, i + 500).submit(server) for i in range(6)]
+        assert server.stats.backpressure_stalls > 0
+        assert server.queued <= 2
+        server.drain()
+        assert all(h.done() for h in handles)
+
+    def test_closed_scheduler_refuses_submissions(self, session):
+        server = session.serve()
+        handle = count_between(session, 0, 9).submit(server)
+        server.close()
+        assert handle.done()
+        with pytest.raises(PlanError):
+            count_between(session, 0, 9).submit(server)
+
+    def test_context_manager_drains_on_exit(self, session):
+        with session.serve() as server:
+            handle = count_between(session, 5, 800).submit(server)
+        assert handle.done()
+
+    def test_exception_exit_cancels_queued_queries(self, session):
+        from repro.serve.handles import CancelledError
+
+        with pytest.raises(ValueError):
+            with session.serve() as server:
+                handle = count_between(session, 0, 9).submit(server)
+                raise ValueError("boom")
+        # The in-flight exception is not masked; the queued query is
+        # cancelled, not silently executed on the closed scheduler.
+        assert handle.state == "failed"
+        with pytest.raises(CancelledError):
+            handle.result()
+
+    def test_memory_backpressure_splits_batches(self):
+        # A GPU whose free memory fits only a couple of queries' expected
+        # candidate output: wide scans must split into several batches.
+        n = 20_000
+        spec = DeviceSpec(
+            name="tiny-gpu", kind="gpu",
+            memory_capacity=400_000,
+            seq_bandwidth=150e9, random_bandwidth=20e9, launch_overhead=5e-6,
+        )
+        s = Session(Machine(gpu_spec=spec))
+        rng = np.random.default_rng(0)
+        s.create_table("f", {"a": IntType()}, {"a": rng.integers(0, n, n)})
+        s.bwdecompose("f", "a", 24)
+        server = s.serve(max_batch=16)
+        builders = [
+            s.table("f").where("a", between=(0, n - 1)).count("n")
+            for _ in range(8)
+        ]
+        handles = [b.submit(server) for b in builders]
+        server.drain()
+        assert server.stats.memory_splits >= 1
+        assert server.stats.batches > 1
+        expected = builders[0].run().scalar("n")
+        assert all(h.result().scalar("n") == expected for h in handles)
+
+
+class TestBatching:
+    def test_same_column_scans_fuse(self, session):
+        server = session.serve(max_batch=8)
+        handles = [count_between(session, i * 100, i * 100 + 900).submit(server)
+                   for i in range(8)]
+        server.drain()
+        assert server.stats.fused_batches == 1
+        assert server.stats.fused_queries == 8
+        assert server.stats.largest_batch == 8
+        assert server.stats.modeled_scan_sharing_gain > 1.0
+        for i, h in enumerate(handles):
+            assert h.result().scalar("n") == count_between(
+                session, i * 100, i * 100 + 900
+            ).run().scalar("n")
+
+    def test_different_columns_do_not_fuse(self, session):
+        server = session.serve(max_batch=8)
+        count_between(session, 0, 99).submit(server)
+        session.table("f").where("b", "<=", 50).count("n").submit(server)
+        server.drain()
+        assert server.stats.fused_batches == 0
+        assert server.stats.batches == 2
+
+    def test_mixed_modes_do_not_share_a_batch(self, session):
+        server = session.serve(max_batch=8)
+        count_between(session, 0, 999).submit(server, mode="ar")
+        count_between(session, 0, 999).submit(server, mode="classic")
+        server.drain()
+        assert server.stats.batches == 2
+
+    def test_shared_right_theta_batch(self, session):
+        server = session.serve(max_batch=4)
+        builders = [
+            session.table("f").band_join("r", on=("a", "v"), delta=d).count("m")
+            for d in (3, 9, 27)
+        ]
+        handles = [b.submit(server) for b in builders]
+        server.drain()
+        assert server.stats.shared_right_batches == 1
+        for b, h in zip(builders, handles):
+            assert h.result().scalar("m") == b.run().scalar("m")
+
+    def test_submit_many_on_scheduler(self, session):
+        server = session.serve()
+        queries = [count_between(session, i, i + 99).build() for i in range(4)]
+        handles = server.submit_many(queries)
+        assert [h.result().scalar("n") for h in handles] == [
+            session.query(q).scalar("n") for q in queries
+        ]
+
+    def test_submit_many_on_builder(self, session):
+        server = session.serve()
+        base = session.table("f").count("n")
+        handles = base.submit_many(
+            server,
+            [("a", "<=", 1_000), ("a", ">", 40_000),
+             lambda b: b.where("a", between=(5, 50))],
+        )
+        expected = [
+            base.where("a", "<=", 1_000).run().scalar("n"),
+            base.where("a", ">", 40_000).run().scalar("n"),
+            base.where("a", between=(5, 50)).run().scalar("n"),
+        ]
+        assert [h.result().scalar("n") for h in handles] == expected
+
+    def test_approximate_mode_fuses_too(self, session):
+        server = session.serve(max_batch=4)
+        builders = [count_between(session, i, i + 3_000) for i in range(4)]
+        handles = [b.submit(server, mode="approximate") for b in builders]
+        server.drain()
+        assert server.stats.fused_batches == 1
+        for b, h in zip(builders, handles):
+            solo = b.run(mode="approximate")
+            got = h.result()
+            assert got.approximate.candidate_rows == solo.approximate.candidate_rows
+            assert got.timeline.spans_equal(solo.timeline)
+
+
+class TestQueryQueue:
+    def test_pop_respects_max_batch(self, session):
+        server = session.serve(max_batch=3)
+        for i in range(7):
+            count_between(session, i, i + 9).submit(server)
+        server.drain()
+        assert server.stats.batch_size_counts == {3: 2, 1: 1}
+
+    def test_pop_preserves_incompatible_queue_order(self):
+        """Queries skipped by the batch former stay queued in FIFO order."""
+
+        def pending(group, tag):
+            p = _Pending(
+                handle=tag, query=None, mode="ar", pushdown=True,
+                predicate_order="query", group=((group, "t", "c"), "ar"),
+                scratch_bytes=0,
+            )
+            return p
+
+        queue = QueryQueue()
+        assert len(queue) == 0 and not queue
+        order = [("scan", "a1"), ("theta", "t1"), ("scan", "a2"),
+                 ("solo", "s1"), ("scan", "a3"), ("theta", "t2")]
+        for group, tag in order:
+            queue.push(pending(group, tag))
+        batch, split = queue.pop_batch(AdmissionPolicy(max_batch=8), None)
+        assert [p.handle for p in batch] == ["a1", "a2", "a3"]
+        assert not split
+        # The incompatible survivors keep their exact submission order.
+        assert [p.handle for p in queue._items] == ["t1", "s1", "t2"]

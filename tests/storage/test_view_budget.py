@@ -13,18 +13,21 @@ from repro.device.gpu import SimulatedGPU
 from repro.device.model import DeviceSpec
 from repro.device.timeline import Timeline
 from repro.storage.decompose import (
+    VIEW_SEGMENT_ROWS,
+    _PartialView,
     decompose_values,
     set_view_budget,
     view_budget,
     view_cache_bytes,
+    view_segment_rows,
 )
 
 
 @pytest.fixture(autouse=True)
 def unbounded_after():
-    """Every test leaves the process-wide knob back at its default."""
+    """Every test leaves the process-wide knobs back at their defaults."""
     yield
-    set_view_budget(None)
+    set_view_budget(None, segment_rows=VIEW_SEGMENT_ROWS)
 
 
 def small_gpu() -> SimulatedGPU:
@@ -106,6 +109,106 @@ class TestBudgetKnob:
         col = decompose_values(np.arange(512), residual_bits=0)
         view = col.approx_codes()
         assert view_cache_bytes() >= base + view.nbytes
+
+
+class TestSegmentGranularEviction:
+    """PR 5: budget pressure drops view *segments*, not whole columns."""
+
+    def test_default_segment_size(self):
+        assert view_segment_rows() == VIEW_SEGMENT_ROWS
+
+    def test_segment_rows_must_be_multiple_of_64(self):
+        with pytest.raises(ValueError):
+            set_view_budget(None, segment_rows=100)
+        with pytest.raises(ValueError):
+            set_view_budget(None, segment_rows=0)
+
+    def test_partial_eviction_keeps_most_segments(self):
+        set_view_budget(None, segment_rows=256)
+        cols = [
+            decompose_values(np.arange(1024) + i, residual_bits=0)
+            for i in range(3)
+        ]
+        per_view = cols[0].approx_codes().nbytes  # 4 segments of 2 KiB
+        # Room for 2.5 views: only half of the oldest view must go.
+        set_view_budget(int(2.5 * per_view))
+        assert isinstance(cols[0]._approx_cache, _PartialView)
+        assert cols[0]._approx_cache.resident == 2
+        assert isinstance(cols[1]._approx_cache, np.ndarray)
+        assert isinstance(cols[2]._approx_cache, np.ndarray)
+
+    def test_partially_evicted_view_rebuilds_identically(self):
+        set_view_budget(None, segment_rows=128)
+        values = np.random.default_rng(5).integers(0, 1 << 20, 1000)
+        col = decompose_values(values, residual_bits=7)
+        codes_before = col.approx_codes().copy()
+        res_before = col.residuals().copy()
+        per_view = codes_before.nbytes
+        set_view_budget(per_view // 2)  # halve: segments of both views go
+        set_view_budget(None)
+        assert np.array_equal(col.approx_codes(), codes_before)
+        assert np.array_equal(col.residuals(), res_before)
+        assert np.array_equal(col.reconstruct(), values)
+        # Once reassembled the views are plain full arrays again.
+        assert isinstance(col._approx_cache, np.ndarray)
+
+    def test_whole_view_drops_without_conversion_when_all_must_go(self):
+        set_view_budget(None, segment_rows=128)
+        col = decompose_values(np.arange(1024), residual_bits=0)
+        assert col._approx_cache is not None
+        set_view_budget(0)
+        # Budget 0 cannot keep any segment: the attr goes straight to None.
+        assert col._approx_cache is None
+
+    def test_accounting_matches_resident_segments(self):
+        set_view_budget(None, segment_rows=256)
+        base = view_cache_bytes()
+        col = decompose_values(np.arange(1024), residual_bits=0)
+        view = col.approx_codes()
+        assert view_cache_bytes() >= base + view.nbytes
+        set_view_budget(view_cache_bytes() - 256 * 8)  # shave one segment
+        assert isinstance(col._approx_cache, _PartialView)
+        set_view_budget(None)
+        col.approx_codes()
+
+    def test_changing_segment_rows_flushes(self):
+        set_view_budget(None, segment_rows=256)
+        col = decompose_values(np.arange(512), residual_bits=0)
+        col.approx_codes()
+        assert view_cache_bytes() > 0
+        set_view_budget(None, segment_rows=512)
+        assert view_cache_bytes() == 0
+        assert col._approx_cache is None
+
+    def test_i64_view_reassembles_from_codes(self):
+        set_view_budget(None, segment_rows=64)
+        values = np.random.default_rng(9).integers(0, 1 << 12, 500)
+        col = decompose_values(values, residual_bits=3)
+        i64_before = col.approx_codes_i64().copy()
+        # Evict a sliver so the i64 view goes partial, then reassemble.
+        set_view_budget(view_cache_bytes() - 64 * 8)
+        set_view_budget(None)
+        after = col.approx_codes_i64()
+        assert after.dtype == np.int64
+        assert np.array_equal(after, i64_before)
+
+    def test_segmented_eviction_charges_identically(self):
+        """Partial eviction is wall-clock only: a column squeezed through
+        a tiny segmented budget charges exactly like an unbounded one."""
+        values = np.random.default_rng(2).integers(0, 100_000, 4000)
+        spans = []
+        for constrained in (False, True):
+            set_view_budget(None, segment_rows=128)
+            gpu = small_gpu()
+            col = decompose_values(values, residual_bits=4)
+            gpu.load_column("c", col, None)
+            if constrained:
+                set_view_budget(5 * 128 * 8)  # a handful of segments
+            t = Timeline()
+            gpu.scan_code_range(col, 10, 4000, t)
+            gpu.scan_code_range(col, 10, 4000, t)
+            spans.append(t.span_tuples())
+        assert spans[0] == spans[1]
 
 
 class TestBudgetTimelineInvariance:
