@@ -111,6 +111,11 @@ THETA_REPEAT_JOINS = 4
 SERVE_QUERIES = 32
 QUICK_SERVE_QUERIES = 8
 
+#: Queries per shard.* entry (narrow windows; pruning routes each to ~1
+#: shard, so the s4/s1 ratio is the real scale-out speedup).
+SHARD_QUERIES = 16
+QUICK_SHARD_QUERIES = 6
+
 #: --quick shape: small everything, for smoke runs and the tier-1 test.
 QUICK_N_ROWS = 20_000
 QUICK_TPCH_SF = 0.002
@@ -118,9 +123,9 @@ QUICK_THETA_SIZES = (2_000, 600)
 QUICK_THETA_LARGE_SIZES = (5_000, 1_200)
 QUICK_THETA_XLARGE_SIZES = (8_000, 2_000)
 
-#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR4) are kept as
+#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR5) are kept as
 #: recorded history and compared against via ``--compare``.
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 
 #: ``--compare`` flags a shared benchmark whose after/before speedup drops
 #: below this factor.
@@ -213,6 +218,7 @@ class _Fixtures:
 
         self._quick = quick
         self._serve: tuple | None = None
+        self._shard: dict[int, tuple] = {}
 
     def serve_workload(self) -> tuple:
         """The serving session + query set, built lazily on first use.
@@ -233,6 +239,31 @@ class _Fixtures:
             run_once(session, ranges, max_batch=16)
             self._serve = (session, ranges)
         return self._serve
+
+    def shard_workload(self, n_shards: int) -> tuple:
+        """A sharded session at ``n_shards`` + the narrow query set.
+
+        Lazy per shard count, for the same heap-shape reason as
+        :meth:`serve_workload` (the shard entries also run last).  Warmed
+        once so memoized views and sort permutations are steady state.
+        """
+        if n_shards not in self._shard:
+            from repro.shard.bench import (
+                build_shard_session,
+                run_scan_once,
+                run_theta_once,
+                scan_ranges,
+            )
+
+            n_queries = (
+                QUICK_SHARD_QUERIES if self._quick else SHARD_QUERIES
+            )
+            session = build_shard_session(self.n_rows, n_shards)
+            ranges = scan_ranges(self.n_rows, n_queries)
+            run_scan_once(session, ranges)
+            run_theta_once(session, ranges)
+            self._shard[n_shards] = (session, ranges)
+        return self._shard[n_shards]
 
     @classmethod
     def get(cls, quick: bool = False) -> "_Fixtures":
@@ -349,6 +380,18 @@ def _run_tpch_q6(fx: _Fixtures) -> None:
     fx.tpch.execute(fx.q6, mode="ar")
 
 
+def _run_shard_scan(fx: _Fixtures, n_shards: int) -> None:
+    from repro.shard.bench import run_scan_once
+
+    run_scan_once(*fx.shard_workload(n_shards))
+
+
+def _run_shard_theta(fx: _Fixtures, n_shards: int) -> None:
+    from repro.shard.bench import run_theta_once
+
+    run_theta_once(*fx.shard_workload(n_shards))
+
+
 def build_suite(quick: bool = False) -> dict:
     fx = _Fixtures.get(quick)
     n = fx.n_rows
@@ -379,6 +422,14 @@ def build_suite(quick: bool = False) -> dict:
         "serve.throughput.b1": lambda: run_once(*fx.serve_workload(), max_batch=1),
         "serve.throughput.b4": lambda: run_once(*fx.serve_workload(), max_batch=4),
         "serve.throughput.b16": lambda: run_once(*fx.serve_workload(), max_batch=16),
+        # Sharded scale-out (PR 6): narrow windows over the range-partitioned
+        # column, so pruning routes each query to ~1 shard and sN scans ~1/N
+        # of the rows per query.  s4/s1 is the real scale-out speedup.
+        "shard.scan.s1": lambda: _run_shard_scan(fx, 1),
+        "shard.scan.s2": lambda: _run_shard_scan(fx, 2),
+        "shard.scan.s4": lambda: _run_shard_scan(fx, 4),
+        "shard.theta.s1": lambda: _run_shard_theta(fx, 1),
+        "shard.theta.s4": lambda: _run_shard_theta(fx, 4),
     }
 
 
@@ -397,8 +448,18 @@ def test_wallclock(benchmark, bench_name):
 # ----------------------------------------------------------------------
 # Trajectory recorder
 # ----------------------------------------------------------------------
-def measure(reps: int, quick: bool = False) -> dict[str, float]:
+def measure(
+    reps: int, quick: bool = False, only: list[str] | None = None
+) -> dict[str, float]:
     suite = build_suite(quick)
+    if only:
+        unknown = sorted(set(only) - set(suite))
+        if unknown:
+            raise SystemExit(
+                f"--only: unknown benchmark(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(suite))}"
+            )
+        suite = {k: suite[k] for k in suite if k in only}
     results: dict[str, float] = {}
     for name, fn in suite.items():
         fn()  # warmup (also builds any lazy caches, as a real workload would)
@@ -484,13 +545,26 @@ def compare(
     return 0
 
 
-def record(label: str, reps: int, out: Path = _RESULT_FILE) -> None:
+def record(
+    label: str,
+    reps: int,
+    out: Path = _RESULT_FILE,
+    only: list[str] | None = None,
+) -> None:
+    """Measure (a subset of) the suite and merge under ``label`` in ``out``.
+
+    With ``--only``, existing measurements under the label are kept and
+    the named benchmarks are updated in place — the mechanism behind the
+    pairwise-interleaved recording convention (PR 5): each benchmark's
+    ``before`` and ``after`` points are taken seconds apart by alternating
+    single-benchmark recordings from the two checkouts.
+    """
     data = {}
     if out.exists():
         data = json.loads(out.read_text())
     data.setdefault("meta", {})
     data["meta"].update({"n_rows": N_ROWS, "tpch_sf": TPCH_SF, "reps": reps})
-    data[label] = measure(reps)
+    data.setdefault(label, {}).update(measure(reps, only=only))
     if "before" in data and "after" in data:
         data["speedup"] = {
             k: round(data["before"][k] / data["after"][k], 2)
@@ -521,6 +595,11 @@ if __name__ == "__main__":
         "--threshold", type=float, default=REGRESSION_THRESHOLD,
         help="--compare regression gate: flag speedups below this factor",
     )
+    parser.add_argument(
+        "--only", action="append", metavar="NAME",
+        help="record/measure only this benchmark (repeatable); recordings "
+        "merge into the label instead of replacing it",
+    )
     args = parser.parse_args()
     if args.compare:
         if len(args.compare) > 2:
@@ -533,6 +612,6 @@ if __name__ == "__main__":
             )
         )
     elif args.quick:
-        measure(reps=1, quick=True)
+        measure(reps=1, quick=True, only=args.only)
     else:
-        record(args.label, args.reps, args.out)
+        record(args.label, args.reps, args.out, only=args.only)

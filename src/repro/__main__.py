@@ -14,9 +14,11 @@ Modes: ``ar`` (default), ``classic``, ``approximate``.
 Subcommands::
 
     python -m repro serve-bench [--rows N] [--queries N] [--batches 1 4 16]
+    python -m repro shard-bench [--rows N] [--queries N] [--shards 1 2 4]
 
-drives the multi-query scheduler and prints queries/sec per batch width
-(see :mod:`repro.serve.bench`).
+drive the multi-query scheduler (queries/sec per batch width, see
+:mod:`repro.serve.bench`) and the sharded scale-out layer (wall seconds
+per shard count, see :mod:`repro.shard.bench`).
 """
 
 from __future__ import annotations
@@ -72,6 +74,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.bench import main as serve_bench_main
 
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "shard-bench":
+        from .shard.bench import main as shard_bench_main
+
+        return shard_bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="A&R co-processing demo shell"
     )

@@ -123,3 +123,74 @@ def aggregate_pairs(
     if func == "max":
         return grouped_max(values, gids, n_groups)
     raise ExecutionError(f"unknown aggregate {func!r}")
+
+
+def right_run_partials(
+    sorted_values: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Per-non-empty-run partials of right-side values — the run payload.
+
+    The right-side twin of :meth:`left_multiplicities`: aggregates over the
+    *right* column of a theta join vary within a run, but the runs index a
+    value-sorted right permutation, so every per-run reduction is O(runs):
+
+    * ``sum``   — a prefix-sum difference over the sorted values,
+    * ``count`` — the run length,
+    * ``min`` / ``max`` — the run's first / last sorted value (valid only
+      when ``sorted_values`` is ascending, i.e. the exact-sorted side).
+
+    Empty runs are dropped, matching the filtering of
+    :meth:`RunPairCandidates.left_multiplicities`, so the partials align
+    with the group ids computed from the weighted left-row view.
+    """
+    counts = np.asarray(stops, dtype=np.int64) - np.asarray(starts, dtype=np.int64)
+    keep = counts > 0
+    s = np.asarray(starts, dtype=np.int64)[keep]
+    e = np.asarray(stops, dtype=np.int64)[keep]
+    sorted_values = np.asarray(sorted_values, dtype=np.int64)
+    prefix = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(sorted_values, dtype=np.int64))
+    )
+    return {
+        "count": counts[keep],
+        "sum": prefix[e] - prefix[s],
+        "min": sorted_values[s] if len(s) else np.empty(0, dtype=np.int64),
+        "max": sorted_values[e - 1] if len(e) else np.empty(0, dtype=np.int64),
+    }
+
+
+def aggregate_pairs_right(
+    func: str,
+    partials: dict[str, np.ndarray],
+    gids: np.ndarray,
+    n_groups: int,
+) -> np.ndarray:
+    """One exact aggregate over right-side run payloads.
+
+    Matches :func:`aggregate_pairs` over the per-pair gathered right values
+    by construction: int64 partial sums/counts are associative, extrema
+    compose, and ``avg`` performs the single float64 division on the summed
+    int64 partials — so results are byte-identical whichever pair
+    representation (runs or materialized) produced them.
+    """
+    if n_groups == 0:
+        return np.array([], dtype=np.int64)
+    if func == "count":
+        return grouped_sum(partials["count"], gids, n_groups)
+    if func == "sum":
+        return grouped_sum(partials["sum"], gids, n_groups)
+    if func == "avg":
+        sums = grouped_sum(partials["sum"], gids, n_groups).astype(np.float64)
+        counts = grouped_sum(partials["count"], gids, n_groups)
+        if bool((counts == 0).any()):
+            raise ExecutionError("avg over an empty group")
+        return sums / counts
+    if len(partials["count"]) == 0:
+        raise ExecutionError(f"{func} of an empty result")
+    if func == "min":
+        return grouped_min(partials["min"], gids, n_groups)
+    if func == "max":
+        return grouped_max(partials["max"], gids, n_groups)
+    raise ExecutionError(f"unknown aggregate {func!r}")

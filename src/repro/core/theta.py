@@ -382,6 +382,7 @@ def theta_join_approx(
     strategy: str = "auto",
     emit: str = "auto",
     left_ids: np.ndarray | None = None,
+    precomputed_runs: tuple | None = None,
 ) -> PairCandidates | RunPairCandidates:
     """Device-side theta join over approximate intervals.
 
@@ -405,6 +406,14 @@ def theta_join_approx(
     selection that ran under the join): emitted pairs reference the
     *original* left positions, and the device bills |candidates|·|R|
     comparisons instead of |L|·|R|.
+
+    ``precomputed_runs`` injects ``(starts, stops, order, order_key)`` run
+    bounds computed elsewhere — the serve layer's fused theta sweep
+    (:func:`~repro.engine.cooperative.cooperative_theta_runs`) carves many
+    joins' runs out of one pass over the shared right side.  Only honored
+    on the whole-column sorted path, where it is bit-identical to
+    :func:`_sorted_runs` by construction; the modeled charge is a function
+    of the pair count and stream sizes and is unaffected.
     """
     if emit not in EMITS:
         raise ExecutionError(f"unknown emit mode {emit!r}; pick one of {EMITS}")
@@ -430,10 +439,17 @@ def theta_join_approx(
         # A row subset breaks the "whole column" precondition of the left
         # side's memoized sort permutation; the subset path searches with
         # unsorted needles (bit-identical results, see _searchsorted_via).
-        runs = _sorted_runs(
-            left_b, right_b, theta, right_width, right,
-            left if left_ids is None else None,
-        )
+        if precomputed_runs is not None and left_ids is None:
+            starts, stops, order, order_key = precomputed_runs
+            runs = RunPairCandidates(
+                np.arange(n_left, dtype=np.int64), starts, stops, order,
+                order_key=order_key,
+            )
+        else:
+            runs = _sorted_runs(
+                left_b, right_b, theta, right_width, right,
+                left if left_ids is None else None,
+            )
         if left_ids is not None:
             runs = RunPairCandidates(
                 left_ids, runs.starts, runs.stops, runs.order,

@@ -27,9 +27,11 @@ from ..core.grouping import (
 from ..core.intervals import Interval, IntervalColumn
 from ..core.pair_agg import (
     aggregate_pairs,
+    aggregate_pairs_right,
     group_pair_rows,
     pair_result_columns,
     pair_rows,
+    right_run_partials,
     ungrouped_pair_gids,
 )
 from ..core.refine import (
@@ -112,6 +114,10 @@ class _ExecState:
         # from a shared cooperative pass (wall-clock only; charges and
         # results stay byte-identical to a solo run).
         self.scan_hits: dict[int, np.ndarray] | None = None
+        # Same idea for theta joins: id(ApproxThetaJoin) -> precomputed
+        # (starts, stops, order, order_key) from a fused sweep over the
+        # shared right side.
+        self.theta_runs: dict[int, tuple] | None = None
 
     # ------------------------------------------------------------------
     def pair_left_rows(self) -> tuple[np.ndarray, np.ndarray]:
@@ -218,6 +224,7 @@ class ArExecutor:
         *,
         approximate_only: bool = False,
         scan_hits: dict[int, np.ndarray] | None = None,
+        theta_runs: dict[int, tuple] | None = None,
     ) -> Result:
         """Execute a plan; with ``approximate_only`` stop before shipping.
 
@@ -229,12 +236,16 @@ class ArExecutor:
         hit positions a shared cooperative pass already computed (the
         serve layer's fused batches).  It short-circuits only the NumPy
         evaluation; the operator's modeled charge and emitted candidates
-        are byte-identical to the solo scan.
+        are byte-identical to the solo scan.  ``theta_runs`` is the theta
+        twin: ``id(op)`` of an :class:`ApproxThetaJoin` to the
+        ``(starts, stops, order, order_key)`` run bounds of a fused sweep
+        over the shared right side.
         """
         timeline = timeline if timeline is not None else Timeline()
         state = _ExecState(plan.query, self._catalog, self._machine)
         state.timeline = timeline
         state.scan_hits = scan_hits
+        state.theta_runs = theta_runs
 
         for op in plan.ops:
             if approximate_only and op.phase == "refine":
@@ -333,12 +344,18 @@ class ArExecutor:
             left_ids = (
                 state.candidates.ids if state.candidates is not None else None
             )
+            runs = (
+                state.theta_runs.get(id(op))
+                if state.theta_runs is not None
+                else None
+            )
             state.pairs = theta_join_approx(
                 machine.gpu, tl,
                 self._theta_bwd(state.query.table, tj.left_column),
                 self._theta_bwd(tj.right_table, tj.right_column),
                 self._theta_of(tj),
                 strategy=tj.strategy, emit=tj.emit, left_ids=left_ids,
+                precomputed_runs=runs,
             )
             # The free approximate answer reports the device-side candidate
             # pair count (the old Session.theta_join contract).
@@ -644,20 +661,76 @@ class ArExecutor:
             gids, n_groups = state.pair_groups
         else:
             gids, n_groups = ungrouped_pair_gids(len(rows))
-        if agg.expr is not None:
-            values = np.broadcast_to(
-                agg.expr.eval_exact(state.pair_left_values), rows.shape
-            ).astype(np.int64)
-        else:
-            values = None
         op_count = 1 if agg.expr is None else 1 + agg.expr.op_count()
         machine.cpu.charge(
             tl, f"agg.{agg.func}.refine.pairs({agg.alias})",
             n_pairs * _OID_BYTES,
             tuples=n_pairs * op_count, op_class=OpClass.AGG,
         )
+        if self._is_right_side_agg(agg, state.query):
+            state.exact_aggregates[agg.alias] = self._aggregate_right_pairs(
+                agg, state, gids, n_groups
+            )
+            return
+        if agg.expr is not None:
+            values = np.broadcast_to(
+                agg.expr.eval_exact(state.pair_left_values), rows.shape
+            ).astype(np.int64)
+        else:
+            values = None
         state.exact_aggregates[agg.alias] = aggregate_pairs(
             agg.func, values, weights, gids, n_groups
+        )
+
+    @staticmethod
+    def _is_right_side_agg(agg: Aggregate, query: Query) -> bool:
+        """Does this aggregate project the theta join's *right* column?"""
+        if agg.expr is None or not query.theta_joins:
+            return False
+        tj = query.theta_joins[0]
+        qualified = f"{tj.right_table}.{tj.right_column}"
+        return qualified in agg.expr.columns()
+
+    def _aggregate_right_pairs(
+        self,
+        agg: Aggregate,
+        state: _ExecState,
+        gids: np.ndarray,
+        n_groups: int,
+    ) -> np.ndarray:
+        """Aggregate the right-side theta values *at the pairs*.
+
+        Run-shaped pair sets stay exploded-free: the runs index the
+        exact-sorted right permutation, so per-run count/sum/min/max
+        payloads (:func:`right_run_partials`) replace the per-pair gather.
+        Materialized pair sets gather ``right_values[right_positions]``
+        and reuse the ordinary weighted kernel (weights are all 1 there).
+        Both produce byte-identical outputs by construction.
+        """
+        tj = state.query.theta_joins[0]
+        rel = self._catalog.table(tj.right_table)
+        vals = np.asarray(rel.values(tj.right_column), dtype=np.int64)
+        qualified = f"{tj.right_table}.{tj.right_column}"
+        if not isinstance(agg.expr, ColRef):
+            raise ExecutionError(
+                f"aggregate {agg.alias!r}: right-side theta aggregates must "
+                f"be a bare column reference, got {agg.expr!r}"
+            )
+        assert agg.expr.name == qualified
+        pairs = state.pairs
+        if isinstance(pairs, RunPairCandidates):
+            if pairs.order_key != "exact" and len(pairs) > 0:
+                raise ExecutionError(
+                    "right-side aggregate over unrefined runs "
+                    f"(order_key={pairs.order_key!r})"
+                )
+            partials = right_run_partials(
+                vals[pairs.order], pairs.starts, pairs.stops
+            )
+            return aggregate_pairs_right(agg.func, partials, gids, n_groups)
+        _, weights = state.pair_left_rows()
+        return aggregate_pairs(
+            agg.func, vals[pairs.right_positions], weights, gids, n_groups
         )
 
     def _finalize_theta(self, state: _ExecState) -> Result:

@@ -23,9 +23,11 @@ from ..core.candidates import RunPairCandidates
 from ..core.grouping import combine_keys
 from ..core.pair_agg import (
     aggregate_pairs,
+    aggregate_pairs_right,
     group_pair_rows,
     pair_result_columns,
     pair_rows,
+    right_run_partials,
     ungrouped_pair_gids,
 )
 from ..core.theta import Theta, ThetaOp, exact_run_bounds
@@ -293,8 +295,35 @@ class ClassicExecutor:
         else:
             gids, n_groups = ungrouped_pair_gids(len(rows))
 
+        right_qualified = f"{tj.right_table}.{tj.right_column}"
+        right_partials: dict[str, np.ndarray] | None = None
         aggregate_columns: dict[str, np.ndarray] = {}
         for agg in query.aggregates:
+            if agg.expr is not None and right_qualified in agg.expr.columns():
+                # Right-side projection: the runs index the value-sorted
+                # right permutation (``key``), so run payloads replace the
+                # per-pair gather.  Billed per pair, like the left gathers.
+                if right_partials is None:
+                    # Billed once per column, like the left-side row_cache.
+                    self._cpu.charge(
+                        timeline, f"cpu.gather.pairs({right_qualified})",
+                        n_pairs * (_OID_BYTES + _OID_BYTES),
+                        tuples=n_pairs, op_class=OpClass.GATHER,
+                        pattern=AccessPattern.RANDOM, phase="approximate",
+                    )
+                    right_partials = right_run_partials(
+                        key, pairs.starts, pairs.stops
+                    )
+                self._cpu.charge(
+                    timeline, f"cpu.{agg.func}.pairs({agg.alias})",
+                    n_pairs * _OID_BYTES,
+                    tuples=n_pairs, op_class=OpClass.AGG,
+                    phase="approximate",
+                )
+                aggregate_columns[agg.alias] = aggregate_pairs_right(
+                    agg.func, right_partials, gids, n_groups
+                )
+                continue
             if agg.expr is not None:
                 values = np.broadcast_to(
                     agg.expr.eval_exact(resolve_rows), rows.shape

@@ -21,6 +21,9 @@ def streaming_input_bytes(catalog: Catalog, query: Query) -> int:
         dim = query.dim_table_of(name)
         if dim is not None:
             table, column = dim, name.split(".", 1)[1]
+        elif "." in name:
+            # Qualified non-dim reference: a theta join's right column.
+            table, column = name.split(".", 1)
         else:
             table, column = query.table, name
         rel = catalog.table(table)

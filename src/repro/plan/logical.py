@@ -137,10 +137,12 @@ class Query:
         """Scope of the theta-join query class (PR 4).
 
         One theta join per block; its output is the candidate pair set
-        (``left_pos``/``right_pos``) or aggregates over it.  Selections,
-        grouping and aggregate operands reference fact-table columns only —
-        per-pair projection of right-side values is future work, exactly as
-        the paper leaves generic join payloads to future work.
+        (``left_pos``/``right_pos``) or aggregates over it.  Selections and
+        grouping reference fact-table columns only.  Aggregates may
+        additionally project the join's *right* column as a bare reference
+        (``sum(right_table.right_column)``) — the run-payload path; generic
+        right-side expressions remain future work, exactly as the paper
+        leaves generic join payloads to future work.
         """
         if len(self.theta_joins) > 1:
             raise PlanError("at most one theta join per query block")
@@ -153,11 +155,24 @@ class Query:
                 "theta-join queries project the pair positions "
                 "(left_pos, right_pos); a SELECT column list is not supported"
             )
+        tj = self.theta_joins[0]
+        right_qualified = f"{tj.right_table}.{tj.right_column}"
         referenced: set[str] = set(self.group_by)
         for pred in self.where:
             referenced |= pred.columns()
         for agg in self.aggregates:
-            referenced |= agg.columns()
+            cols = agg.columns()
+            if right_qualified in cols:
+                from .expr import ColRef
+
+                if not isinstance(agg.expr, ColRef) or len(cols) > 1:
+                    raise PlanError(
+                        f"aggregate {agg.alias!r}: the theta join's right "
+                        f"column may only be projected as a bare reference "
+                        f"({right_qualified}), not inside an expression"
+                    )
+                continue
+            referenced |= cols
         qualified = sorted(c for c in referenced if "." in c)
         if qualified:
             raise PlanError(

@@ -335,6 +335,26 @@ class RefinePairAggregate(PhysicalOp):
         return f"cpu.{self.aggregate.func}pairs() -> {self.aggregate.alias}"
 
 
+@dataclass
+class ShardMerge(PhysicalOp):
+    """Gather N shards' fragment outputs on the coordinator and combine.
+
+    The explicit merge/ship step of a sharded plan (PR 6): the coordinator
+    pays a billed gather of every fragment's partial output (group keys +
+    partial aggregates, or pair oids), then combines partials with the
+    associative kernels (:mod:`repro.core.aggregates`) — byte-identical to
+    the single-device result by construction.  Wall clock is
+    max-over-shards of the fragment timelines *plus* this merge.
+    """
+
+    n_shards: int
+    kind: str  # "aggregate" | "pairs" | "approximate"
+    phase = "refine"
+
+    def describe(self) -> str:
+        return f"coord.merge({self.kind}, shards={self.n_shards})"
+
+
 # ----------------------------------------------------------------------
 @dataclass
 class PhysicalPlan:

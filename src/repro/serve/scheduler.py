@@ -45,14 +45,19 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from ..core.theta import Theta, ThetaOp
 from ..engine.cooperative import (
     ScanRequest,
+    ThetaRunRequest,
     cooperative_pass_seconds,
     cooperative_scan_hits,
+    cooperative_theta_runs,
+    fused_theta_pass_seconds,
+    theta_runs_fusable,
 )
 from ..errors import PlanError, ReproError
 from ..plan.logical import Query
-from ..plan.physical import ApproxScanSelect
+from ..plan.physical import ApproxScanSelect, ApproxThetaJoin
 from ..plan.rewriter import estimated_selectivity, rewrite_to_ar_plan
 from .handles import CancelledError, QueryHandle
 
@@ -108,6 +113,14 @@ class ServeStats:
     #: gap is the modeled sharing gain; it never enters a query's ledger.
     modeled_fused_scan_seconds: float = 0.0
     modeled_solo_scan_seconds: float = 0.0
+    #: Same pair of counters for fused theta sweeps over a shared right
+    #: side (PR 6): batches that carved their candidate runs out of one
+    #: concatenated ``searchsorted`` pass, and the modeled fused-kernel
+    #: seconds next to the per-query solo join charges.
+    fused_theta_batches: int = 0
+    fused_theta_queries: int = 0
+    modeled_fused_theta_seconds: float = 0.0
+    modeled_solo_theta_seconds: float = 0.0
 
     @property
     def modeled_scan_sharing_gain(self) -> float:
@@ -115,6 +128,13 @@ class ServeStats:
         if self.modeled_fused_scan_seconds <= 0.0:
             return 1.0
         return self.modeled_solo_scan_seconds / self.modeled_fused_scan_seconds
+
+    @property
+    def modeled_theta_sharing_gain(self) -> float:
+        """Solo / fused modeled seconds of the shared joins (1.0 = none)."""
+        if self.modeled_fused_theta_seconds <= 0.0:
+            return 1.0
+        return self.modeled_solo_theta_seconds / self.modeled_fused_theta_seconds
 
 
 class _Pending:
@@ -352,6 +372,9 @@ class Scheduler:
         kind = batch[0].group[0][0]
         if kind == "scan" and len(batch) > 1 and batch[0].mode in ("ar", "approximate"):
             self._run_fused_scan_batch(batch)
+        elif kind == "theta" and len(batch) > 1 and batch[0].mode in ("ar", "approximate"):
+            self.stats.shared_right_batches += 1
+            self._run_fused_theta_batch(batch)
         else:
             if kind == "theta" and len(batch) > 1:
                 self.stats.shared_right_batches += 1
@@ -371,7 +394,8 @@ class Scheduler:
         pending.handle._fulfill(result)
         self.stats.completed += 1
 
-    def _run_with_plan(self, pending: _Pending, plan, scan_hits=None):
+    def _run_with_plan(self, pending: _Pending, plan, scan_hits=None,
+                       theta_runs=None):
         """Execute an already-rewritten A&R plan for one pending query.
 
         Returns the :class:`Result` on success, None on a captured
@@ -382,6 +406,7 @@ class Scheduler:
                 plan,
                 approximate_only=(pending.mode == "approximate"),
                 scan_hits=scan_hits,
+                theta_runs=theta_runs,
             )
         except ReproError as exc:
             pending.handle._fail(exc)
@@ -452,6 +477,90 @@ class Scheduler:
             spans = result.timeline.spans
             if spans:
                 self.stats.modeled_solo_scan_seconds += spans[0].seconds
+
+    def _run_fused_theta_batch(self, batch: list[_Pending]) -> None:
+        """One concatenated ``searchsorted`` sweep for shared-right thetas.
+
+        Members whose plan opens with a whole-column
+        :class:`ApproxThetaJoin` (no drivable selection underneath) that
+        the solo kernel would answer on the sorted path get their
+        candidate runs carved out of ONE fused sweep per (bound, side)
+        over the shared right column
+        (:func:`~repro.engine.cooperative.cooperative_theta_runs`); the
+        runs are injected back into the unchanged per-query kernel
+        (``theta_join_approx(precomputed_runs=...)``), so every member's
+        Timeline and Result stay byte-identical to its solo run.
+        Ineligible members degrade to solo execution of the plan already
+        in hand.
+        """
+        fused: list[tuple[_Pending, object]] = []  # (pending, plan)
+        for pending in batch:
+            try:
+                plan = rewrite_to_ar_plan(
+                    pending.query, self.session.catalog,
+                    pushdown=pending.pushdown,
+                    predicate_order=pending.predicate_order,
+                )
+            except ReproError as exc:
+                pending.handle._fail(exc)
+                self.stats.failed += 1
+                continue
+            first = plan.ops[0] if plan.ops else None
+            tj = pending.query.theta_joins[0]
+            right = self.session.catalog.decomposition_of(
+                tj.right_table, tj.right_column
+            )
+            theta = Theta(ThetaOp(tj.op), tj.delta)
+            if (
+                right is not None
+                and isinstance(first, ApproxThetaJoin)
+                and theta_runs_fusable(right, theta)
+            ):
+                fused.append((pending, plan))
+            else:
+                self._run_with_plan(pending, plan)
+        if len(fused) < 2:
+            # A lone survivor gains nothing from the fused sweep; run it
+            # on the ordinary solo path.
+            for pending, plan in fused:
+                self._run_with_plan(pending, plan)
+            return
+        tj0 = fused[0][0].query.theta_joins[0]
+        right = self.session.catalog.decomposition_of(
+            tj0.right_table, tj0.right_column
+        )
+        lefts = []
+        requests = []
+        for i, (pending, _) in enumerate(fused):
+            tj = pending.query.theta_joins[0]
+            left = self.session.catalog.decomposition_of(
+                pending.query.table, tj.left_column
+            )
+            lefts.append(left)
+            requests.append(ThetaRunRequest(
+                str(i), left, Theta(ThetaOp(tj.op), tj.delta)
+            ))
+        runs_by_label = cooperative_theta_runs(right, requests)
+        self.stats.fused_theta_batches += 1
+        self.stats.fused_theta_queries += len(fused)
+        total_pairs = 0
+        for i, (pending, plan) in enumerate(fused):
+            result = self._run_with_plan(
+                pending, plan,
+                theta_runs={id(plan.ops[0]): runs_by_label[str(i)]},
+            )
+            if result is None:
+                continue
+            if result.approximate is not None:
+                total_pairs += result.approximate.candidate_rows
+            # The first span is the join, charged exactly like the solo
+            # kernel — sum it as the batch's solo-cost baseline.
+            spans = result.timeline.spans
+            if spans:
+                self.stats.modeled_solo_theta_seconds += spans[0].seconds
+        self.stats.modeled_fused_theta_seconds += fused_theta_pass_seconds(
+            self.session.machine.gpu, right, lefts, total_pairs
+        )
 
     # ------------------------------------------------------------------
     @property

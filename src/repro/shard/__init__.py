@@ -1,0 +1,32 @@
+"""Sharded execution: one catalog partitioned across N simulated devices.
+
+PR 6's tentpole.  :class:`~repro.shard.catalog.ShardedCatalog` splits each
+partitioned relation's rows into N shards — round-robin at load, rebalanced
+to code ranges when the partition column is decomposed — each shard owning
+its own simulated machine (device pool, timeline, memoized-view budget
+share).  :class:`~repro.shard.planner.ShardPlanner` lowers a logical plan
+into per-shard physical fragments plus an explicit, billed
+:class:`~repro.plan.physical.ShardMerge` step;
+:class:`~repro.shard.executor.ShardExecutor` runs the fragments on their
+shards' machines and reports **max-over-shards** wall clock (fragments run
+concurrently in the modeled timeline) plus the merge.  The merged Result is
+byte-identical to the single-device run — sharding, like batching (PR 5),
+is a pure wall-clock optimization.
+"""
+
+from .catalog import Shard, ShardedCatalog
+from .executor import ShardedResult, ShardExecutor
+from .planner import ShardedPlan, ShardPlanner
+from .scheduler import ShardScheduler
+from .session import ShardedSession
+
+__all__ = [
+    "Shard",
+    "ShardedCatalog",
+    "ShardedResult",
+    "ShardExecutor",
+    "ShardedPlan",
+    "ShardPlanner",
+    "ShardScheduler",
+    "ShardedSession",
+]

@@ -1,0 +1,159 @@
+"""``python -m repro shard-bench``: the sharded scale-out driver.
+
+Builds one partitioned fact table (plus a small replicated dimension for
+the theta entries), runs the same narrow-window query set against sharded
+sessions at several shard counts, and reports real wall seconds per
+count — the interactive twin of the ``shard.*`` entries in
+``benchmarks/wallclock.py``::
+
+    python -m repro shard-bench
+    python -m repro shard-bench --rows 2000000 --queries 32 --shards 1 2 4 8
+    python -m repro shard-bench --quick
+
+The windows are deliberately *narrow* relative to the range partition's
+code bands: the planner's pruning routes each query to ~one shard, so a
+4-shard session scans roughly a quarter of the rows per query — that is
+the real-wall-clock speedup being measured (the modeled max-over-shards
+wall clock is reported separately by every
+:class:`~repro.shard.executor.ShardedResult`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from ..storage.column import IntType
+from .session import ShardedSession
+
+#: Narrow selection windows (fractions of the value domain) so pruning
+#: can route each query to ~1 shard of the range partition.
+_WINDOW_FRACTIONS = (0.01, 0.02, 0.04)
+
+_DIM_ROWS_FRACTION = 0.02
+
+
+def build_shard_session(
+    n_rows: int, n_shards: int, seed: int = 11
+) -> ShardedSession:
+    """A partitioned fact table + replicated dim, decomposed and resident."""
+    rng = np.random.default_rng(seed)
+    session = ShardedSession(n_shards)
+    session.create_table(
+        "events",
+        {"value": IntType()},
+        {"value": rng.integers(0, n_rows, size=n_rows)},
+    )
+    n_dim = max(64, int(n_rows * _DIM_ROWS_FRACTION))
+    session.create_table(
+        "dim",
+        {"pivot": IntType()},
+        {"pivot": rng.integers(0, n_rows, size=n_dim)},
+        partition=False,
+    )
+    session.bwdecompose("events", "value", 24)
+    session.bwdecompose("dim", "pivot", 24)
+    return session
+
+
+def scan_ranges(
+    n_rows: int, n_queries: int, seed: int = 23
+) -> list[tuple[int, int]]:
+    """Deterministic narrow selection windows over the value domain."""
+    rng = np.random.default_rng(seed)
+    ranges = []
+    for i in range(n_queries):
+        width = int(n_rows * _WINDOW_FRACTIONS[i % len(_WINDOW_FRACTIONS)])
+        lo = int(rng.integers(0, max(n_rows - width, 1)))
+        ranges.append((lo, lo + width))
+    return ranges
+
+
+def run_scan_once(
+    session: ShardedSession, ranges: list[tuple[int, int]]
+) -> float:
+    """Wall seconds to answer every windowed aggregate, one by one."""
+    t0 = time.perf_counter()
+    for lo, hi in ranges:
+        (
+            session.table("events")
+            .where("value", between=(lo, hi))
+            .agg("sum", "value", alias="s")
+            .count(alias="n")
+            .run(mode="ar")
+        )
+    return time.perf_counter() - t0
+
+
+def run_theta_once(
+    session: ShardedSession, ranges: list[tuple[int, int]]
+) -> float:
+    """Wall seconds for narrow-window band joins against the shared dim."""
+    t0 = time.perf_counter()
+    for lo, hi in ranges:
+        (
+            session.table("events")
+            .where("value", between=(lo, hi))
+            .theta_join("dim", on=("value", "pivot"), op="within", delta=64)
+            .count(alias="n")
+            .run(mode="ar")
+        )
+    return time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro shard-bench",
+        description="sharded scale-out wall clock (narrow windows, pruned fragments)",
+    )
+    parser.add_argument("--rows", type=int, default=1_000_000)
+    parser.add_argument("--queries", type=int, default=16)
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4],
+        metavar="N", help="shard counts to sweep",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small inputs (20k rows, 6 queries) for a smoke run",
+    )
+    args = parser.parse_args(argv)
+    n_rows = 20_000 if args.quick else args.rows
+    n_queries = 6 if args.quick else args.queries
+    ranges = scan_ranges(n_rows, n_queries)
+
+    print(f"{n_queries} queries over {n_rows} rows")
+    header = (
+        f"{'shards':>6} {'scan s':>9} {'theta s':>9} "
+        f"{'scan x':>7} {'theta x':>8} {'modeled wall':>13}"
+    )
+    print(header)
+    base_scan = base_theta = None
+    for n_shards in args.shards:
+        session = build_shard_session(n_rows, n_shards)
+        # Warm once: memoized views and sort permutations build here, as
+        # they would in any long-running deployment.
+        run_scan_once(session, ranges)
+        run_theta_once(session, ranges)
+        scan_s = run_scan_once(session, ranges)
+        theta_s = run_theta_once(session, ranges)
+        if base_scan is None:
+            base_scan, base_theta = scan_s, theta_s
+        modeled = (
+            session.table("events")
+            .where("value", between=ranges[0])
+            .agg("sum", "value", alias="s")
+            .run(mode="ar")
+            .wall_clock_seconds
+        )
+        print(
+            f"{n_shards:6d} {scan_s:9.3f} {theta_s:9.3f} "
+            f"{base_scan / scan_s:6.2f}x {base_theta / theta_s:7.2f}x "
+            f"{modeled * 1e3:11.3f}ms"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -1,0 +1,391 @@
+"""Fragment execution and the billed merge — max-over-shards wall clock.
+
+Each fragment runs on its shard's own simulated machine with its own
+:class:`Timeline`; the modeled devices work **concurrently**, so the
+sharded wall clock is the *maximum* fragment total plus the coordinator's
+merge — not the sum.  The merge combines per-fragment partials with the
+associative int64 kernels of :mod:`repro.core.aggregates` (one float64
+division for ``avg``, after summation), which is bit-for-bit what the
+single-device engines compute — the merged Result is byte-identical to
+the one-machine run in every mode × strategy × emit shape.
+
+A fragment that raises one of the engines' empty-input errors ("min of an
+empty result", "avg over an empty group") simply contributes nothing; if
+*no* fragment contributes, the merge re-raises the same error the
+single-device run would have raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.aggregates import grouped_max, grouped_min, grouped_sum
+from ..core.intervals import Interval
+from ..core.pair_agg import group_pair_rows
+from ..device.model import OpClass
+from ..device.timeline import Timeline
+from ..engine.result import ApproximateAnswer, Result
+from ..errors import ExecutionError
+from .catalog import ShardedCatalog
+from .planner import AVG_CNT_SUFFIX, AVG_SUM_SUFFIX, Fragment, ShardedPlan
+
+_OID_BYTES = 8
+
+#: Engine errors that mean "this input slice was empty" — a fragment
+#: raising one contributes nothing instead of failing the sharded query.
+_EMPTY_INPUT_ERRORS = (
+    "min of an empty result",
+    "max of an empty result",
+    "avg over an empty group",
+)
+
+
+@dataclass
+class ShardedResult(Result):
+    """A merged :class:`Result` carrying the sharded wall-clock story."""
+
+    #: Modeled seconds of each executed fragment (its shard's timeline).
+    fragment_seconds: list[float] = field(default_factory=list)
+    #: Modeled seconds of the coordinator's merge/ship step.
+    merge_seconds: float = 0.0
+    #: ``max(fragment_seconds) + merge_seconds`` — fragments run
+    #: concurrently on their own devices in the modeled timeline.
+    wall_clock_seconds: float = 0.0
+    #: Shards the planner skipped (disjoint code band / impossible θ).
+    pruned_shards: list[int] = field(default_factory=list)
+
+
+class ShardExecutor:
+    """Runs a :class:`ShardedPlan`'s fragments and merges their outputs."""
+
+    def __init__(self, catalog: ShardedCatalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: ShardedPlan,
+        *,
+        scan_hits: dict[int, dict[int, np.ndarray]] | None = None,
+    ) -> ShardedResult:
+        """Run every fragment, then merge on the coordinator.
+
+        ``scan_hits`` maps shard index -> {id(op): hit positions} for the
+        placement-aware scheduler's fused batches; injection preserves
+        each fragment's charges and output exactly (PR 5 invariant).
+        """
+        fragments: list[tuple[Fragment, Result | None, str | None]] = []
+        timelines: list[Timeline] = []
+        for fragment in plan.fragments:
+            shard = self.catalog.shards[fragment.shard_index]
+            timeline = Timeline()
+            hits = (scan_hits or {}).get(fragment.shard_index)
+            try:
+                if plan.mode == "classic":
+                    result = shard.classic.run(fragment.query, timeline)
+                else:
+                    result = shard.ar.run(
+                        fragment.plan, timeline,
+                        approximate_only=(plan.mode == "approximate"),
+                        scan_hits=hits,
+                    )
+                fragments.append((fragment, result, None))
+            except ExecutionError as exc:
+                if str(exc) not in _EMPTY_INPUT_ERRORS:
+                    raise
+                fragments.append((fragment, None, str(exc)))
+            timelines.append(timeline)
+
+        merge_timeline = Timeline()
+        if plan.mode == "approximate":
+            merged = self._merge_approximate(plan, fragments, merge_timeline)
+        elif plan.merge is not None and plan.merge.kind == "pairs":
+            merged = self._merge_pairs(plan, fragments, merge_timeline)
+        else:
+            merged = self._merge_aggregates(plan, fragments, merge_timeline)
+
+        fragment_seconds = [tl.total_seconds() for tl in timelines]
+        merge_seconds = merge_timeline.total_seconds()
+        combined = Timeline()
+        for tl in timelines:
+            combined.extend(tl)
+        combined.extend(merge_timeline)
+        merged.timeline = combined
+        return ShardedResult(
+            columns=merged.columns,
+            row_count=merged.row_count,
+            timeline=combined,
+            approximate=merged.approximate,
+            decimal_scales=merged.decimal_scales,
+            fragment_seconds=fragment_seconds,
+            merge_seconds=merge_seconds,
+            wall_clock_seconds=(
+                max(fragment_seconds, default=0.0) + merge_seconds
+            ),
+            pruned_shards=list(plan.pruned),
+        )
+
+    # ------------------------------------------------------------------
+    # Merge: grouped / ungrouped aggregates
+    # ------------------------------------------------------------------
+    def _merge_aggregates(
+        self,
+        plan: ShardedPlan,
+        fragments: list[tuple[Fragment, Result | None, str | None]],
+        timeline: Timeline,
+    ) -> Result:
+        query = plan.query
+        contributed = [
+            (f, r) for f, r, _ in fragments if r is not None
+        ]
+        self._bill_merge(
+            timeline,
+            items=sum(r.row_count for _, r in contributed),
+            item_bytes=_OID_BYTES * max(
+                1, len(query.group_by) + len(query.aggregates)
+            ),
+        )
+        if query.group_by:
+            return self._merge_grouped(plan, fragments, contributed)
+        return self._merge_ungrouped(plan, fragments, contributed)
+
+    def _merge_ungrouped(self, plan, fragments, contributed) -> Result:
+        query = plan.query
+        columns: dict[str, np.ndarray] = {}
+        for agg in query.aggregates:
+            partials = self._scalar_partials(agg, contributed)
+            if agg.func in ("count", "sum"):
+                # int64 accumulation: wraps exactly like the one-machine sum.
+                columns[agg.alias] = np.array(
+                    [np.array(partials, dtype=np.int64).sum()],
+                    dtype=np.int64,
+                )
+            elif agg.func in ("min", "max"):
+                if not partials:
+                    raise ExecutionError(
+                        self._empty_error(agg, fragments)
+                    )
+                combine = min if agg.func == "min" else max
+                columns[agg.alias] = np.array(
+                    [combine(partials)], dtype=np.int64
+                )
+            elif agg.func == "avg":
+                sums = self._scalar_partials_by_alias(
+                    agg.alias + AVG_SUM_SUFFIX, contributed
+                )
+                counts = self._scalar_partials_by_alias(
+                    agg.alias + AVG_CNT_SUFFIX, contributed
+                )
+                total = int(np.array(counts, dtype=np.int64).sum())
+                if total == 0:
+                    raise ExecutionError("avg over an empty group")
+                columns[agg.alias] = (
+                    np.array(
+                        [np.array(sums, dtype=np.int64).sum()],
+                        dtype=np.int64,
+                    ).astype(np.float64)
+                    / np.array([total], dtype=np.int64)
+                )
+            else:
+                raise ExecutionError(f"unknown aggregate {agg.func!r}")
+        return Result(
+            columns=columns, row_count=1, timeline=Timeline(),
+            approximate=self._merged_approximate(plan, fragments),
+        )
+
+    def _scalar_partials(self, agg, contributed) -> list[int]:
+        if agg.func == "avg":
+            return []
+        return self._scalar_partials_by_alias(agg.alias, contributed)
+
+    @staticmethod
+    def _scalar_partials_by_alias(alias: str, contributed) -> list[int]:
+        values = []
+        for _, result in contributed:
+            if alias in result.columns:
+                values.append(int(result.columns[alias][0]))
+        return values
+
+    def _empty_error(self, agg, fragments) -> str:
+        """Re-raise what the single-device run would have said."""
+        for _, result, error in fragments:
+            if result is None and error is not None and agg.func in error:
+                return error
+        return f"{agg.func} of an empty result"
+
+    def _merge_grouped(self, plan, fragments, contributed) -> Result:
+        query = plan.query
+        keys = {
+            name: np.concatenate(
+                [r.columns[name] for _, r in contributed]
+                or [np.empty(0, dtype=np.int64)]
+            )
+            for name in query.group_by
+        }
+        n_rows = len(next(iter(keys.values())))
+        if n_rows == 0:
+            gids, n_groups = np.empty(0, dtype=np.int64), 0
+        else:
+            gids, n_groups = group_pair_rows(
+                [keys[name] for name in query.group_by]
+            )
+        columns: dict[str, np.ndarray] = {}
+        for name in query.group_by:
+            out = np.zeros(n_groups, dtype=np.int64)
+            out[gids] = keys[name]
+            columns[name] = out
+        for agg in query.aggregates:
+            columns[agg.alias] = self._merge_grouped_aggregate(
+                agg, contributed, gids, n_groups
+            )
+        return Result(
+            columns=columns, row_count=n_groups, timeline=Timeline(),
+            approximate=self._merged_approximate(plan, fragments),
+        )
+
+    def _merge_grouped_aggregate(
+        self, agg, contributed, gids, n_groups
+    ) -> np.ndarray:
+        def concat(alias: str) -> np.ndarray:
+            parts = [
+                r.columns[alias] for _, r in contributed
+                if alias in r.columns
+            ]
+            return (
+                np.concatenate(parts) if parts
+                else np.empty(0, dtype=np.int64)
+            )
+
+        if n_groups == 0:
+            return np.array([], dtype=np.int64)
+        if agg.func in ("count", "sum"):
+            return grouped_sum(
+                concat(agg.alias).astype(np.int64), gids, n_groups
+            )
+        if agg.func == "min":
+            return grouped_min(
+                concat(agg.alias).astype(np.int64), gids, n_groups
+            )
+        if agg.func == "max":
+            return grouped_max(
+                concat(agg.alias).astype(np.int64), gids, n_groups
+            )
+        if agg.func == "avg":
+            sums = grouped_sum(
+                concat(agg.alias + AVG_SUM_SUFFIX).astype(np.int64),
+                gids, n_groups,
+            ).astype(np.float64)
+            counts = grouped_sum(
+                concat(agg.alias + AVG_CNT_SUFFIX).astype(np.int64),
+                gids, n_groups,
+            )
+            if bool((counts == 0).any()):
+                raise ExecutionError("avg over an empty group")
+            return sums / counts
+        raise ExecutionError(f"unknown aggregate {agg.func!r}")
+
+    # ------------------------------------------------------------------
+    # Merge: bare theta-join pair sets
+    # ------------------------------------------------------------------
+    def _merge_pairs(self, plan, fragments, timeline) -> Result:
+        query = plan.query
+        row_maps = self.catalog.row_maps[query.table]
+        lefts, rights = [], []
+        for fragment, result, _ in fragments:
+            if result is None:
+                continue
+            rows = row_maps[fragment.shard_index]
+            lefts.append(rows[result.columns["left_pos"]])
+            rights.append(result.columns["right_pos"])
+        left = (
+            np.concatenate(lefts) if lefts else np.empty(0, dtype=np.int64)
+        )
+        right = (
+            np.concatenate(rights) if rights else np.empty(0, dtype=np.int64)
+        )
+        self._bill_merge(
+            timeline, items=len(left), item_bytes=2 * _OID_BYTES
+        )
+        order = np.lexsort((right, left))
+        return Result(
+            columns={"left_pos": left[order], "right_pos": right[order]},
+            row_count=len(left),
+            timeline=Timeline(),
+            approximate=self._merged_approximate(plan, fragments),
+        )
+
+    # ------------------------------------------------------------------
+    # Merge: approximate-only mode
+    # ------------------------------------------------------------------
+    def _merge_approximate(self, plan, fragments, timeline) -> Result:
+        query = plan.query
+        answer = self._merged_approximate(plan, fragments)
+        self._bill_merge(
+            timeline,
+            items=max(1, len(plan.fragments)) * max(1, len(query.aggregates)),
+            item_bytes=2 * _OID_BYTES,
+        )
+        return Result(
+            columns={}, row_count=0, timeline=Timeline(), approximate=answer
+        )
+
+    def _merged_approximate(
+        self, plan, fragments
+    ) -> ApproximateAnswer | None:
+        """Combine the fragments' free approximate answers.
+
+        Candidate counts and the ungrouped ``count`` bounds partition
+        across shards exactly (the global-decomposition alignment), so
+        they sum to the single-device values bit-for-bit.  Other bounds
+        are per-shard facts with no exact composition — the merged answer
+        reports ``None`` for them (documented scope).
+        """
+        if plan.mode == "classic":
+            return None  # classic runs carry no approximate answer
+        answer = ApproximateAnswer()
+        results = [r for _, r, _ in fragments if r is not None]
+        answer.candidate_rows = sum(
+            r.approximate.candidate_rows
+            for r in results
+            if r.approximate is not None
+        )
+        for agg in plan.query.aggregates:
+            if agg.func == "count" and not plan.query.group_by:
+                bounds = [
+                    r.approximate.aggregates.get(agg.alias)
+                    for r in results
+                    if r.approximate is not None
+                ]
+                if bounds and all(
+                    isinstance(b, Interval) for b in bounds
+                ):
+                    answer.aggregates[agg.alias] = Interval(
+                        sum(b.lo for b in bounds),
+                        sum(b.hi for b in bounds),
+                    )
+                    continue
+            answer.aggregates[agg.alias] = None
+        return answer
+
+    # ------------------------------------------------------------------
+    def _bill_merge(self, timeline: Timeline, *, items: int, item_bytes: int) -> None:
+        """The ShardMerge gather: fragment outputs land on the coordinator.
+
+        Billed like any host gather (random vs sequential, whichever the
+        model says is cheaper) plus one combine pass over the gathered
+        entries.
+        """
+        cpu = self.catalog.coordinator.cpu
+        cpu.charge_gather(
+            timeline, "shard.merge.gather",
+            items=items, item_bytes=item_bytes,
+            source_rows=max(items, 1),
+        )
+        cpu.charge(
+            timeline, "shard.merge.combine",
+            items * item_bytes,
+            tuples=items, op_class=OpClass.AGG, phase="refine",
+        )
+    # ------------------------------------------------------------------

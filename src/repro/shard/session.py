@@ -1,0 +1,155 @@
+"""The sharded session: Session's public surface over N simulated devices.
+
+Drop-in shape: ``create_table`` / ``bwdecompose`` / ``table`` (the lazy
+builder) / ``query`` / ``explain`` / ``serve``, so everything written
+against :class:`~repro.engine.session.Session` runs sharded unchanged.
+``query`` lowers through :class:`~repro.shard.planner.ShardPlanner` and
+executes through :class:`~repro.shard.executor.ShardExecutor`; the
+returned :class:`~repro.shard.executor.ShardedResult` carries the
+max-over-shards wall clock next to the byte-identical merged columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..device.timeline import Timeline
+from ..errors import PlanError
+from ..plan.logical import Query
+from ..storage.column import ColumnType
+from ..storage.decompose import set_view_budget
+from ..storage.relation import Relation, Schema
+from .catalog import ShardedCatalog
+from .executor import ShardedResult, ShardExecutor
+from .planner import ShardPlanner
+
+MODES = ("ar", "classic", "approximate")
+
+
+class ShardedSession:
+    """One logical session whose data lives on ``n_shards`` machines."""
+
+    def __init__(self, n_shards: int, **catalog_kwargs) -> None:
+        self.sharded_catalog = ShardedCatalog(n_shards, **catalog_kwargs)
+        self.planner = ShardPlanner(self.sharded_catalog)
+        self.executor = ShardExecutor(self.sharded_catalog)
+
+    @property
+    def n_shards(self) -> int:
+        return self.sharded_catalog.n_shards
+
+    @property
+    def catalog(self):
+        """The global (planning) catalog — what the builder introspects."""
+        return self.sharded_catalog.global_catalog
+
+    # ------------------------------------------------------------------
+    # DDL / loading
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        schema: Schema | Mapping[str, ColumnType],
+        data: Mapping[str, Iterable],
+        *,
+        partition: bool = True,
+    ) -> Relation:
+        """Create a table on every shard (partitioned or replicated)."""
+        return self.sharded_catalog.create_table(
+            name, schema, data, partition=partition
+        )
+
+    def bwdecompose(
+        self,
+        table: str,
+        column: str,
+        device_bits: int | None = None,
+        *,
+        residual_bits: int | None = None,
+        prefix_compression: bool = True,
+    ):
+        """Decompose globally and per shard; see ShardedCatalog.bwdecompose."""
+        return self.sharded_catalog.bwdecompose(
+            table, column, device_bits,
+            residual_bits=residual_bits,
+            prefix_compression=prefix_compression,
+        )
+
+    def set_view_budget(
+        self, per_shard_nbytes: int | None, *, segment_rows: int | None = None
+    ) -> None:
+        """Give each shard ``per_shard_nbytes`` of decoded-view cache.
+
+        The view cache is keyed per decomposition object and per-shard
+        decompositions are distinct objects, so an aggregate budget of
+        ``n_shards × per_shard_nbytes`` models N per-shard caches sharing
+        LRU pressure.  Views are charge-neutral, so any budget (including
+        an aggressively evicting one) leaves results and modeled charges
+        untouched.
+        """
+        total = (
+            None if per_shard_nbytes is None
+            else per_shard_nbytes * self.n_shards
+        )
+        set_view_budget(total, segment_rows=segment_rows)
+
+    # ------------------------------------------------------------------
+    # Query building / execution
+    # ------------------------------------------------------------------
+    def table(self, name: str):
+        """Start a lazy query block over ``name`` — the primary API."""
+        from ..engine.builder import RelationBuilder
+
+        self.catalog.table(name)  # fail fast on unknown tables
+        return RelationBuilder(self, name)
+
+    def query(
+        self,
+        query: Query,
+        *,
+        mode: str = "ar",
+        pushdown: bool = True,
+        predicate_order: str = "query",
+        timeline: Timeline | None = None,
+    ) -> ShardedResult:
+        """Plan per-shard fragments, run them, merge on the coordinator."""
+        if mode not in MODES:
+            raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
+        plan = self.planner.plan(
+            query, mode=mode, pushdown=pushdown,
+            predicate_order=predicate_order,
+        )
+        result = self.executor.execute(plan)
+        if timeline is not None:
+            timeline.extend(result.timeline)
+            result.timeline = timeline
+        return result
+
+    def serve(
+        self,
+        *,
+        max_batch: int = 16,
+        max_in_flight: int = 64,
+        device_headroom_fraction: float = 1.0,
+    ):
+        """Open a placement-aware multi-query scheduler over the shards."""
+        from ..serve.scheduler import AdmissionPolicy
+        from .scheduler import ShardScheduler
+
+        return ShardScheduler(self, AdmissionPolicy(
+            max_in_flight=max_in_flight, max_batch=max_batch,
+            device_headroom_fraction=device_headroom_fraction,
+        ))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, query: Query, *, pushdown: bool = True) -> str:
+        """Render the sharded plan: fragments, pruned shards, the merge."""
+        return self.planner.plan(query, pushdown=pushdown).describe()
+
+    def shard_rows(self, table: str) -> list[int]:
+        return self.sharded_catalog.shard_rows(table)
+
+    def device_footprint(self) -> int:
+        return self.sharded_catalog.device_footprint()

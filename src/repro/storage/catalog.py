@@ -90,6 +90,21 @@ class Catalog:
         self._histograms.pop((table, column), None)  # stale under new split
         return bwd
 
+    def register_decomposition(
+        self, table: str, column: str, bwd: BwdColumn
+    ) -> BwdColumn:
+        """Register an externally built decomposition for ``table.column``.
+
+        The sharding layer decomposes each shard's rows under the *global*
+        decomposition plan (so per-shard codes equal global codes at the
+        shard's rows) and registers the result here, where the planner and
+        executors expect to find it.
+        """
+        self.table(table)  # fail fast on unknown tables
+        self._decomposed[(table, column)] = bwd
+        self._histograms.pop((table, column), None)  # stale under new split
+        return bwd
+
     def histogram_of(self, table: str, column: str) -> "CodeHistogram":
         """Code histogram of a decomposed column, built lazily and cached.
 

@@ -1,0 +1,29 @@
+"""Tier-1 smoke for ``python -m repro shard-bench`` (PR 6).
+
+Runs the CLI driver in ``--quick`` shape so the sharded benchmark path
+(session construction, partition + repartition, scan and theta sweeps at
+several shard counts) cannot rot between perf PRs, and pins the CLI
+dispatch through ``repro.__main__``.
+"""
+
+from repro.__main__ import main as repro_main
+from repro.shard.bench import (
+    build_shard_session,
+    run_scan_once,
+    run_theta_once,
+    scan_ranges,
+)
+
+
+def test_shard_bench_quick_cli(capsys):
+    assert repro_main(["shard-bench", "--quick", "--shards", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "shards" in out
+    assert "modeled wall" in out
+
+
+def test_shard_bench_helpers_run():
+    session = build_shard_session(4_000, 2)
+    ranges = scan_ranges(4_000, 3)
+    assert run_scan_once(session, ranges) >= 0.0
+    assert run_theta_once(session, ranges) >= 0.0

@@ -1,0 +1,126 @@
+"""Fused theta batches: one searchsorted sweep, byte-identical ledgers.
+
+Theta-join queries sharing a right side and batched by the scheduler get
+their candidate runs carved out of ONE concatenated ``searchsorted``
+sweep over the shared right column (PR 6, satellite of the sharding
+work).  Every member's Result and per-query Timeline must stay
+byte-identical to its solo run; the sweep's saving shows up only in
+``ServeStats.modeled_theta_sharing_gain``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IntType, Session
+
+N = 6_000
+M = 500
+DOMAIN = 40_000
+
+
+def make_session(seed=29):
+    rng = np.random.default_rng(seed)
+    s = Session()
+    s.create_table(
+        "f",
+        {"a": IntType(), "b": IntType()},
+        {
+            "a": rng.integers(0, DOMAIN, N),
+            "b": rng.integers(0, DOMAIN, N),
+        },
+    )
+    s.create_table("q", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, M)})
+    s.bwdecompose("f", "a", 24)
+    s.bwdecompose("f", "b", 24)
+    s.bwdecompose("q", "v", 24)
+    return s
+
+
+@pytest.fixture(scope="module")
+def session():
+    return make_session()
+
+
+def theta_builders(session):
+    """Four whole-column theta blocks sharing the right side ``q.v``."""
+    return [
+        session.table("f").theta_join(
+            "q", on=("a", "v"), op="<"
+        ).count(alias="n"),
+        session.table("f").theta_join(
+            "q", on=("a", "v"), op="within", delta=48
+        ).count(alias="n"),
+        session.table("f").theta_join(
+            "q", on=("b", "v"), op=">="
+        ).count(alias="n"),
+        session.table("f").theta_join(
+            "q", on=("b", "v"), op="within", delta=16
+        ).count(alias="n"),
+    ]
+
+
+@pytest.mark.parametrize("mode", ["ar", "approximate"])
+def test_fused_theta_batch_is_byte_identical(session, mode):
+    solo = [b.run(mode=mode) for b in theta_builders(session)]
+    with session.serve(max_batch=8) as server:
+        handles = [
+            b.submit(server, mode=mode) for b in theta_builders(session)
+        ]
+        batched = [h.result() for h in handles]
+    for s, b in zip(solo, batched):
+        assert s.columns.keys() == b.columns.keys()
+        for k in s.columns:
+            assert np.array_equal(s.columns[k], b.columns[k])
+        assert s.timeline.span_tuples() == b.timeline.span_tuples()
+        if s.approximate is not None:
+            assert (
+                s.approximate.candidate_rows == b.approximate.candidate_rows
+            )
+
+
+def test_fused_theta_stats(session):
+    with session.serve(max_batch=8) as server:
+        for b in theta_builders(session):
+            b.submit(server)
+        server.drain()
+        stats = server.stats
+    assert stats.fused_theta_batches >= 1
+    assert stats.fused_theta_queries >= 2
+    assert stats.modeled_fused_theta_seconds > 0.0
+    assert stats.modeled_solo_theta_seconds > 0.0
+    # One concatenated sweep beats per-query sweeps in the model.
+    assert stats.modeled_theta_sharing_gain > 1.0
+
+
+def test_selection_under_theta_degrades_to_solo(session):
+    """A drivable selection under the join means the plan does not open
+    with the whole-column ApproxThetaJoin — such members run solo, still
+    byte-identical."""
+    builders = [
+        session.table("f")
+        .where("a", between=(0, 20_000))
+        .theta_join("q", on=("a", "v"), op="<")
+        .count(alias="n")
+        for _ in range(3)
+    ]
+    solo = [b.run(mode="ar") for b in builders]
+    with session.serve(max_batch=8) as server:
+        handles = [b.submit(server) for b in builders]
+        batched = [h.result() for h in handles]
+    for s, b in zip(solo, batched):
+        for k in s.columns:
+            assert np.array_equal(s.columns[k], b.columns[k])
+        assert s.timeline.span_tuples() == b.timeline.span_tuples()
+
+
+def test_classic_theta_batch_unchanged(session):
+    builders = theta_builders(session)
+    solo = [b.run(mode="classic") for b in builders]
+    with session.serve(max_batch=8) as server:
+        handles = [b.submit(server, mode="classic") for b in builders]
+        batched = [h.result() for h in handles]
+        stats = server.stats
+    assert stats.fused_theta_batches == 0  # classic never fuses
+    for s, b in zip(solo, batched):
+        for k in s.columns:
+            assert np.array_equal(s.columns[k], b.columns[k])

@@ -1,0 +1,120 @@
+"""Placement-aware scheduler: batch path ≡ sharded solo path, byte for byte.
+
+The per-shard fused cooperative pass must leave every query's merged
+Result, per-query Timeline spans and modeled wall clock identical to the
+sharded solo run — batching stays a pure wall-clock optimization one
+layer up (PR 5's invariant lifted over the shards).
+"""
+
+import numpy as np
+import pytest
+
+from repro import IntType
+from repro.shard import ShardedSession
+
+N = 8_000
+DOMAIN = 50_000
+
+
+def make_sharded(n_shards=4, seed=13):
+    rng = np.random.default_rng(seed)
+    s = ShardedSession(n_shards)
+    s.create_table(
+        "events", {"value": IntType()},
+        {"value": rng.integers(0, DOMAIN, N).astype(np.int64)},
+    )
+    s.bwdecompose("events", "value", 24)
+    return s
+
+
+@pytest.fixture(scope="module")
+def session():
+    return make_sharded()
+
+
+WINDOWS = [(i * 5_000, i * 5_000 + 8_000) for i in range(8)]
+
+
+def builder(session, window):
+    return (
+        session.table("events")
+        .where("value", between=window)
+        .agg("sum", "value", alias="s")
+        .count(alias="n")
+    )
+
+
+def test_batched_equals_sharded_solo(session):
+    solo = [builder(session, w).run(mode="ar") for w in WINDOWS]
+    with session.serve(max_batch=8) as server:
+        handles = [builder(session, w).submit(server) for w in WINDOWS]
+        batched = [h.result() for h in handles]
+    for s, b in zip(solo, batched):
+        assert s.columns.keys() == b.columns.keys()
+        for k in s.columns:
+            assert np.array_equal(s.columns[k], b.columns[k])
+        assert s.timeline.span_tuples() == b.timeline.span_tuples()
+        assert s.wall_clock_seconds == b.wall_clock_seconds
+        assert s.pruned_shards == b.pruned_shards
+
+
+def test_fused_stats_and_sharing_gain(session):
+    with session.serve(max_batch=8) as server:
+        for w in WINDOWS:
+            builder(session, w).submit(server)
+        server.drain()
+        stats = server.stats
+    assert stats.batches >= 1
+    assert stats.fused_batches >= 1
+    assert stats.fused_queries >= 2
+    assert stats.modeled_fused_scan_seconds > 0.0
+    assert stats.modeled_scan_sharing_gain > 1.0
+
+
+def test_batch_width_one_degrades_to_solo(session):
+    with session.serve(max_batch=1) as server:
+        handles = [builder(session, w).submit(server) for w in WINDOWS[:4]]
+        results = [h.result() for h in handles]
+    solo = [builder(session, w).run(mode="ar") for w in WINDOWS[:4]]
+    for s, b in zip(solo, results):
+        for k in s.columns:
+            assert np.array_equal(s.columns[k], b.columns[k])
+        assert s.timeline.span_tuples() == b.timeline.span_tuples()
+
+
+def test_classic_mode_routes_solo(session):
+    with session.serve(max_batch=8) as server:
+        handles = [
+            builder(session, w).submit(server, mode="classic")
+            for w in WINDOWS[:4]
+        ]
+        batched = [h.result() for h in handles]
+    solo = [builder(session, w).run(mode="classic") for w in WINDOWS[:4]]
+    for s, b in zip(solo, batched):
+        for k in s.columns:
+            assert np.array_equal(s.columns[k], b.columns[k])
+
+
+def test_admission_budget_is_min_shard_headroom(session):
+    server = session.serve()
+    budget = server._min_shard_headroom()
+    headrooms = [
+        shard.machine.gpu.pool.headroom(1.0)
+        for shard in session.sharded_catalog.shards
+    ]
+    bounded = [h for h in headrooms if h is not None]
+    assert budget == (min(bounded) if bounded else None)
+    server.close()
+
+
+def test_scratch_estimate_scales_to_largest_shard(session):
+    server = session.serve()
+    query = builder(session, WINDOWS[0]).build()
+    total_rows = sum(session.shard_rows("events"))
+    biggest = max(session.shard_rows("events"))
+    solo_estimate = super(
+        type(server), server
+    )._estimate_scratch_bytes(query, "ar")
+    sharded_estimate = server._estimate_scratch_bytes(query, "ar")
+    assert sharded_estimate == int(solo_estimate * biggest / total_rows)
+    server.close()
