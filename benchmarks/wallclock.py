@@ -125,7 +125,7 @@ QUICK_THETA_XLARGE_SIZES = (8_000, 2_000)
 
 #: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR5) are kept as
 #: recorded history and compared against via ``--compare``.
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
 
 #: ``--compare`` flags a shared benchmark whose after/before speedup drops
 #: below this factor.

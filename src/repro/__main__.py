@@ -15,10 +15,13 @@ Subcommands::
 
     python -m repro serve-bench [--rows N] [--queries N] [--batches 1 4 16]
     python -m repro shard-bench [--rows N] [--queries N] [--shards 1 2 4]
+    python -m repro chaos-bench [--rows N] [--queries N] [--rates 0 0.05 0.1]
 
 drive the multi-query scheduler (queries/sec per batch width, see
-:mod:`repro.serve.bench`) and the sharded scale-out layer (wall seconds
-per shard count, see :mod:`repro.shard.bench`).
+:mod:`repro.serve.bench`), the sharded scale-out layer (wall seconds per
+shard count, see :mod:`repro.shard.bench`), and the fault-injection sweep
+(availability / tail latency per fault rate, see
+:mod:`repro.faults.bench`).
 """
 
 from __future__ import annotations
@@ -78,6 +81,10 @@ def main(argv: list[str] | None = None) -> int:
         from .shard.bench import main as shard_bench_main
 
         return shard_bench_main(argv[1:])
+    if argv and argv[0] == "chaos-bench":
+        from .faults.bench import main as chaos_bench_main
+
+        return chaos_bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="A&R co-processing demo shell"
     )

@@ -32,12 +32,16 @@ class Machine:
         )
         self.cpu = Cpu(cpu_spec, threads=cpu_threads)
         self.bus = PciBus(bus_spec)
+        #: Straggler factor applied to every timeline this machine opens —
+        #: 1.0 (healthy) leaves all modeled charges bit-for-bit unchanged;
+        #: the fault layer raises it to model a slowed device.
+        self.slowdown: float = 1.0
 
     @classmethod
     def paper_testbed(cls, **kwargs) -> "Machine":
         """The exact §VI-A configuration."""
         return cls(GTX_680, XEON_E5_2650_X2, PCIE_GEN2, **kwargs)
 
-    @staticmethod
-    def new_timeline() -> Timeline:
-        return Timeline()
+    def new_timeline(self) -> Timeline:
+        """A fresh ledger carrying this machine's current slowdown."""
+        return Timeline(scale=self.slowdown)

@@ -21,6 +21,12 @@ class MemoryPool:
         self.name = name
         self.capacity = capacity
         self._allocations: dict[str, int] = {}
+        #: Optional fault hook ``(pool, label, nbytes) -> None`` consulted
+        #: before every allocation; it may raise (e.g.
+        #: :class:`~repro.errors.TransientAllocationError`) to model an
+        #: allocator hiccup under pressure.  Installed by the fault layer;
+        #: ``None`` (the default) is a no-op.
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     @property
@@ -62,6 +68,8 @@ class MemoryPool:
             raise DeviceError(f"negative allocation {nbytes}")
         if label in self._allocations:
             raise DeviceError(f"{self.name}: buffer {label!r} already allocated")
+        if self.fault_hook is not None:
+            self.fault_hook(self, label, nbytes)
         if self.capacity is not None and self.allocated + nbytes > self.capacity:
             raise DeviceOutOfMemory(
                 self.name, nbytes, self.capacity - self.allocated

@@ -28,9 +28,18 @@ class Span:
 
 
 class Timeline:
-    """Ordered collection of spans with per-device aggregation."""
+    """Ordered collection of spans with per-device aggregation.
 
-    def __init__(self) -> None:
+    ``scale`` multiplies every recorded span's seconds — the fault layer's
+    straggler model: a slowed device performs the same work, every charge
+    stretched by the same factor.  The default ``1.0`` leaves seconds
+    bit-for-bit untouched, preserving the byte-identity invariants.
+    """
+
+    def __init__(self, *, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError("timeline scale must be positive")
+        self.scale = scale
         self._spans: list[Span] = []
 
     # ------------------------------------------------------------------
@@ -45,6 +54,8 @@ class Timeline:
     ) -> Span:
         if seconds < 0 or nbytes < 0:
             raise ValueError("spans must have non-negative cost")
+        if self.scale != 1.0:
+            seconds = seconds * self.scale
         span = Span(device, kind, op, nbytes, seconds, phase)
         self._spans.append(span)
         return span

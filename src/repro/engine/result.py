@@ -51,6 +51,13 @@ class Result:
     #: decimal scale per output column (set by the SQL binder) so raw
     #: scaled-integer results can be decoded for presentation.
     decimal_scales: dict[str, int] = field(default_factory=dict)
+    #: True when part of the data could not be reached (a shard down past
+    #: its deadline): ``columns`` cover only the surviving shards and
+    #: ``approximate`` carries the sound bounds that remain valid.
+    degraded: bool = False
+    #: Fraction of the queried table's rows on shards that answered
+    #: (1.0 = full coverage; meaningful when ``degraded``).
+    shard_coverage: float = 1.0
 
     def decoded(self, name: str) -> np.ndarray:
         """Column values decoded to floats using the recorded decimal scale."""
@@ -84,4 +91,6 @@ class Result:
             timeline=self.timeline,
             approximate=self.approximate,
             decimal_scales=self.decimal_scales,
+            degraded=self.degraded,
+            shard_coverage=self.shard_coverage,
         )

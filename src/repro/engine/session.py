@@ -106,6 +106,7 @@ class Session:
         max_batch: int = 16,
         max_in_flight: int = 64,
         device_headroom_fraction: float = 1.0,
+        admission_timeout_batches: int | None = None,
     ):
         """Open a multi-query scheduler over this session (PR 5).
 
@@ -132,6 +133,7 @@ class Session:
         return Scheduler(self, AdmissionPolicy(
             max_in_flight=max_in_flight, max_batch=max_batch,
             device_headroom_fraction=device_headroom_fraction,
+            admission_timeout_batches=admission_timeout_batches,
         ))
 
     # ------------------------------------------------------------------

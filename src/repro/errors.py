@@ -29,6 +29,36 @@ class DeviceError(ReproError):
     """Base class for device-layer failures."""
 
 
+class DeviceFailure(DeviceError):
+    """A simulated device (shard) failed to execute its fragment.
+
+    Raised by the fault-injection layer (crashed shards, flaky fragments)
+    and by the sharded executor when a query cannot be answered because
+    every contributing shard is down.  ``transient`` distinguishes faults
+    a retry may outlive from permanent crashes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_index: int | None = None,
+        transient: bool = False,
+    ) -> None:
+        self.shard_index = shard_index
+        self.transient = transient
+        super().__init__(message)
+
+
+class TransientAllocationError(DeviceError):
+    """A device allocation failed transiently under memory pressure.
+
+    Unlike :class:`DeviceOutOfMemory` (a hard capacity violation), this
+    models the allocator hiccups of a busy device — the allocation is
+    expected to succeed when retried after backoff.
+    """
+
+
 class DeviceOutOfMemory(DeviceError):
     """An allocation exceeded the device's memory capacity."""
 
@@ -70,6 +100,17 @@ class SqlSyntaxError(SqlError):
 
 class ExecutionError(ReproError):
     """An operator failed at run time (type mismatch, misaligned inputs)."""
+
+
+class AdmissionError(ExecutionError):
+    """A served query can never be admitted (or was not admitted in time).
+
+    Raised at submit time when a query's expected device scratch exceeds
+    the pool's total capacity (it could never fit, no matter how long it
+    waits), and at batch time when a queued query outlives the scheduler's
+    configured admission timeout — fail fast instead of backpressuring
+    forever.
+    """
 
 
 class RefinementError(ExecutionError):

@@ -1,0 +1,30 @@
+"""Fault injection and failure-aware execution (PR 7's tentpole).
+
+The paper's approximate-then-refine split doubles as an availability
+story: because shard pruning is sound (a skipped shard provably
+contributes nothing), the surviving shards of a partially-failed catalog
+can still produce a *sound approximate* answer.  This package provides
+
+* :class:`~repro.faults.profile.FaultProfile` /
+  :class:`~repro.faults.profile.FaultInjector` — deterministic, seeded,
+  composable faults (crashes, flaky fragments, stragglers, allocator
+  hiccups) wired into the simulated device model;
+* :class:`~repro.faults.policy.RetryPolicy` — retry/backoff/deadline and
+  hedging knobs, all billed in modeled seconds;
+* :class:`~repro.faults.breaker.CircuitBreaker` — per-shard quarantine so
+  a dead device stops consuming retry budgets and admission headroom;
+* ``python -m repro chaos-bench`` (:mod:`repro.faults.bench`) — the fault
+  rate x shard count availability / tail-latency sweep.
+"""
+
+from .breaker import CircuitBreaker
+from .policy import RetryPolicy
+from .profile import AttemptFaults, FaultInjector, FaultProfile
+
+__all__ = [
+    "AttemptFaults",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultProfile",
+    "RetryPolicy",
+]

@@ -1,0 +1,234 @@
+"""``python -m repro chaos-bench``: availability and tail latency under faults.
+
+Sweeps seeded fault rates × shard counts over a mixed scan/theta workload
+served through the placement-aware scheduler, and reports per cell how
+many queries came back exact, degraded (partial shard coverage, sound
+bounds) or failed, the resulting availability, and the p50/p99 *modeled*
+wall clock (which includes retry backoffs and hedges — recovery is billed,
+not free)::
+
+    python -m repro chaos-bench
+    python -m repro chaos-bench --rows 500000 --queries 24 --shards 2 4
+    python -m repro chaos-bench --quick
+
+The final row is the permanent-crash scenario of the PR-7 acceptance
+criterion: one shard of the largest sweep count taken down for the whole
+workload.  Every query must still complete — almost all of them as
+``degraded=True`` answers with sound count intervals — because the
+windows are deliberately *wide* (they straddle the range partition's code
+bands, so nearly every query touches the dead shard and degrades rather
+than pruning around it).
+
+``--record FILE --label L`` merges ``chaos.avail.f0`` / ``chaos.avail.f10``
+(availability at fault rates 0 and 0.10) and ``chaos.tail.p99`` (p99
+modeled seconds at rate 0.10) into the wall-clock trajectory file, where
+the ``--compare`` gate checks them like any other entry.  All sweeps are
+seeded: same seed, same code -> identical numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..serve import handles
+from ..shard.bench import build_shard_session
+from ..shard.session import ShardedSession
+from .profile import FaultProfile
+
+#: Wide selection windows (fraction of the value domain) so queries
+#: straddle shard bands — a crashed shard degrades them instead of being
+#: pruned around.
+_WINDOW_FRACTION = 0.6
+
+#: The sweep's fault-rate axis (seeded transient dispatch failures).
+DEFAULT_RATES = (0.0, 0.05, 0.10)
+
+
+def wide_ranges(
+    n_rows: int, n_queries: int, seed: int = 29
+) -> list[tuple[int, int]]:
+    """Deterministic wide windows over the value domain."""
+    rng = np.random.default_rng(seed)
+    width = int(n_rows * _WINDOW_FRACTION)
+    ranges = []
+    for _ in range(n_queries):
+        lo = int(rng.integers(0, max(n_rows - width, 1)))
+        ranges.append((lo, lo + width))
+    return ranges
+
+
+def run_workload(
+    session: ShardedSession, ranges: list[tuple[int, int]]
+) -> dict:
+    """Serve the mixed scan/theta workload; tally terminal handle states.
+
+    Submits one windowed count and one band-join count per range through
+    the sharded scheduler, drains cooperatively, and returns the cell's
+    availability story.  Every handle must reach a terminal state — a
+    hang would leave ``exact + degraded + failed < submitted`` and the
+    assertion below trips.
+    """
+    submitted = []
+    with session.serve() as scheduler:
+        for lo, hi in ranges:
+            submitted.append(scheduler.submit(
+                session.table("events")
+                .where("value", between=(lo, hi))
+                .count(alias="n")
+            ))
+            submitted.append(scheduler.submit(
+                session.table("events")
+                .where("value", between=(lo, hi))
+                .theta_join(
+                    "dim", on=("value", "pivot"), op="within", delta=64
+                )
+                .count(alias="n")
+            ))
+        scheduler.drain()
+    tally = {"exact": 0, "degraded": 0, "failed": 0}
+    walls = []
+    for handle in submitted:
+        if handle.state == handles.DONE:
+            tally["exact"] += 1
+            walls.append(handle.result().wall_clock_seconds)
+        elif handle.state == handles.DEGRADED:
+            tally["degraded"] += 1
+            walls.append(handle.result().wall_clock_seconds)
+        else:
+            tally["failed"] += 1
+    total = len(submitted)
+    assert sum(tally.values()) == total, "a query never reached a terminal state"
+    walls_arr = np.asarray(walls) if walls else np.zeros(1)
+    return {
+        "total": total,
+        **tally,
+        "availability": (tally["exact"] + tally["degraded"]) / total,
+        "p50": float(np.quantile(walls_arr, 0.50)),
+        "p99": float(np.quantile(walls_arr, 0.99)),
+    }
+
+
+def run_cell(
+    n_rows: int,
+    n_shards: int,
+    ranges: list[tuple[int, int]],
+    profile: FaultProfile,
+    seed: int,
+) -> dict:
+    """One sweep cell: fresh session + injector (stateful RNG/breakers)."""
+    session = build_shard_session(n_rows, n_shards)
+    session.inject_faults(profile, seed=seed)
+    return run_workload(session, ranges)
+
+
+def record_entries(out: Path, label: str, entries: dict[str, float]) -> None:
+    """Merge chaos entries under ``label`` in the trajectory file.
+
+    Mirrors ``benchmarks/wallclock.py``'s merge-and-recompute convention
+    so the chaos entries gate alongside the wall-clock ones.
+    """
+    data = json.loads(out.read_text()) if out.exists() else {}
+    data.setdefault(label, {}).update(entries)
+    if "before" in data and "after" in data:
+        data["speedup"] = {
+            k: round(data["before"][k] / data["after"][k], 2)
+            for k in data["after"]
+            if k in data["before"] and data["after"][k] > 0
+        }
+    out.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(f"recorded {sorted(entries)} under {label!r} into {out}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos-bench",
+        description="availability / tail latency under seeded faults",
+    )
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument(
+        "--queries", type=int, default=12,
+        help="windows per cell (each submits one scan and one theta query)",
+    )
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=[2, 4], metavar="N",
+    )
+    parser.add_argument(
+        "--rates", type=float, nargs="+", default=list(DEFAULT_RATES),
+        metavar="R", help="transient fault rates to sweep",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small inputs (20k rows, 4 windows, rates 0/0.1) for a smoke run",
+    )
+    parser.add_argument(
+        "--record", type=Path, metavar="FILE",
+        help="merge chaos.avail.* / chaos.tail.p99 into this trajectory file",
+    )
+    parser.add_argument("--label", default="after")
+    args = parser.parse_args(argv)
+    n_rows = 20_000 if args.quick else args.rows
+    n_queries = 4 if args.quick else args.queries
+    rates = [0.0, 0.10] if args.quick else list(args.rates)
+    ranges = wide_ranges(n_rows, n_queries)
+
+    print(
+        f"{2 * n_queries} queries/cell over {n_rows} rows "
+        f"(wide windows: every query straddles shard bands)"
+    )
+    header = (
+        f"{'shards':>6} {'fault rate':>11} {'exact':>6} {'degr':>5} "
+        f"{'fail':>5} {'avail':>7} {'p50 ms':>9} {'p99 ms':>9}"
+    )
+    print(header)
+    entries: dict[str, float] = {}
+    for n_shards in args.shards:
+        for rate in rates:
+            cell = run_cell(
+                n_rows, n_shards, ranges,
+                FaultProfile(transient_rate=rate), args.seed,
+            )
+            print(
+                f"{n_shards:6d} {rate:11.2f} {cell['exact']:6d} "
+                f"{cell['degraded']:5d} {cell['failed']:5d} "
+                f"{cell['availability']:6.1%} {cell['p50'] * 1e3:9.3f} "
+                f"{cell['p99'] * 1e3:9.3f}"
+            )
+            if n_shards == max(args.shards):
+                if rate == 0.0:
+                    entries["chaos.avail.f0"] = cell["availability"]
+                if abs(rate - 0.10) < 1e-9:
+                    entries["chaos.avail.f10"] = cell["availability"]
+                    entries["chaos.tail.p99"] = cell["p99"]
+
+    # The acceptance scenario: one shard of the largest count permanently
+    # down for the whole workload — everything completes, nearly all of it
+    # as flagged degraded answers with sound count intervals.
+    n_shards = max(args.shards)
+    crash = run_cell(
+        n_rows, n_shards, ranges,
+        FaultProfile(crash_shards=frozenset({1})), args.seed,
+    )
+    print(
+        f"{n_shards:6d} {'crash s1':>11} {crash['exact']:6d} "
+        f"{crash['degraded']:5d} {crash['failed']:5d} "
+        f"{crash['availability']:6.1%} {crash['p50'] * 1e3:9.3f} "
+        f"{crash['p99'] * 1e3:9.3f}"
+    )
+    degraded_fraction = crash["degraded"] / crash["total"]
+    print(
+        f"crash scenario: {degraded_fraction:.1%} of queries returned "
+        f"degraded (flagged, sound bounds), {crash['failed']} failed"
+    )
+
+    if args.record is not None:
+        record_entries(args.record, args.label, entries)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

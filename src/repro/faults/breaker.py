@@ -1,0 +1,83 @@
+"""Per-shard circuit breakers: stop paying retries to a dead device.
+
+Classic three-state breaker over a *query-count* clock (the cooperative
+simulation has no background time): ``closed`` shards execute normally;
+``failure_threshold`` consecutive fragment failures **open** the breaker,
+after which fragments to that shard are skipped instantly (fast-fail to
+degraded answers, no retry budget burned) and the serving layer excludes
+the shard from its admission headroom; after ``cooldown_queries`` further
+queries the breaker goes **half-open** and lets exactly one probe fragment
+through — success closes it, failure re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Failure bookkeeping for one shard."""
+
+    def __init__(
+        self, *, failure_threshold: int = 3, cooldown_queries: int = 8
+    ) -> None:
+        if failure_threshold < 1:
+            raise PlanError("failure_threshold must be at least 1")
+        if cooldown_queries < 1:
+            raise PlanError("cooldown_queries must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_queries = cooldown_queries
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at: int | None = None
+        #: Lifetime counters (chaos-bench reporting).
+        self.opened_count = 0
+        self.probes = 0
+
+    # ------------------------------------------------------------------
+    def allow(self, clock: int) -> bool:
+        """May a fragment be dispatched to this shard at query ``clock``?
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open and admits one probe; otherwise open means skip.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if clock - self._opened_at >= self.cooldown_queries:
+                self.state = HALF_OPEN
+                self.probes += 1
+                return True
+            return False
+        # Half-open: the probe is in flight this query; further fragments
+        # wait for its verdict.
+        return False
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self, clock: int) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state != OPEN:
+                self.opened_count += 1
+            self.state = OPEN
+            self._opened_at = clock
+
+    @property
+    def quarantined(self) -> bool:
+        """True while the shard should not count toward admission headroom."""
+        return self.state == OPEN
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self.consecutive_failures}, opened={self.opened_count})"
+        )

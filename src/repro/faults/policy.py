@@ -1,0 +1,56 @@
+"""Retry, backoff, deadline and hedging knobs of the failure-aware executor.
+
+The policy speaks **modeled seconds** throughout: a retry's backoff is a
+billed span on the recovery ledger, the deadline is a budget of modeled
+recovery seconds per fragment, and the hedging trigger compares modeled
+fragment durations — failure handling has a cost in the same currency as
+the work itself, so availability/latency trade-offs show up in the same
+timelines the paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlanError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failure handling of one :class:`~repro.shard.executor.ShardExecutor`."""
+
+    #: Attempts per fragment (1 = no retries).
+    max_attempts: int = 4
+    #: Modeled seconds of the first backoff; doubles (``backoff_multiplier``)
+    #: per subsequent retry.  Billed on the recovery ledger.
+    backoff_base_seconds: float = 0.001
+    backoff_multiplier: float = 2.0
+    #: Modeled recovery budget per fragment: once failed attempts plus
+    #: backoffs exceed it, the fragment is declared dead even if attempts
+    #: remain — the per-query deadline that bounds time-to-degraded.
+    deadline_seconds: float = 0.25
+    #: Hedge the slowest fragment when its modeled seconds exceed
+    #: ``hedge_factor`` x the ``hedge_quantile`` quantile of its siblings.
+    hedge: bool = True
+    hedge_quantile: float = 0.5
+    hedge_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PlanError("max_attempts must be at least 1")
+        if self.backoff_base_seconds < 0:
+            raise PlanError("backoff_base_seconds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise PlanError("backoff_multiplier must be at least 1.0")
+        if self.deadline_seconds <= 0:
+            raise PlanError("deadline_seconds must be positive")
+        if not 0.0 <= self.hedge_quantile <= 1.0:
+            raise PlanError("hedge_quantile must be in [0, 1]")
+        if self.hedge_factor < 1.0:
+            raise PlanError("hedge_factor must be at least 1.0")
+
+    def backoff_seconds(self, retry_index: int) -> float:
+        """Modeled backoff before retry #``retry_index`` (0-based)."""
+        return self.backoff_base_seconds * (
+            self.backoff_multiplier ** retry_index
+        )

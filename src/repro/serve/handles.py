@@ -21,8 +21,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..plan.logical import Query
     from .scheduler import Scheduler
 
-#: Handle lifecycle states.
-QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+#: Handle lifecycle states.  DEGRADED is terminal-successful: the query
+#: produced a Result, but one covering only the surviving shards
+#: (``result().degraded`` is True and carries the coverage fraction and
+#: sound bounds).  CANCELLED is terminal: the consumer withdrew the query
+#: before it was admitted.
+QUEUED, RUNNING, DONE, DEGRADED, FAILED, CANCELLED = (
+    "queued", "running", "done", "degraded", "failed", "cancelled"
+)
 
 
 class QueryHandle:
@@ -61,11 +67,15 @@ class QueryHandle:
 
     def _fulfill(self, result: "Result") -> None:
         self._result = result
-        self._state = DONE
+        self._state = DEGRADED if result.degraded else DONE
 
     def _fail(self, error: Exception) -> None:
         self._error = error
         self._state = FAILED
+
+    def _cancelled(self, error: "CancelledError") -> None:
+        self._error = error
+        self._state = CANCELLED
 
     # ------------------------------------------------------------------
     # Consumer side
@@ -75,19 +85,31 @@ class QueryHandle:
         return self._state
 
     def done(self) -> bool:
-        """True once the query has executed (successfully or not)."""
-        return self._state in (DONE, FAILED)
+        """True once the query has reached a terminal state."""
+        return self._state in (DONE, DEGRADED, FAILED, CANCELLED)
+
+    def cancel(self) -> bool:
+        """Withdraw a still-queued query, releasing its admission slot.
+
+        Returns True when the query was cancelled; False when it already
+        ran (or is running) — execution is batched and synchronous, so
+        only queued (not-yet-admitted) queries can be withdrawn.
+        """
+        return self._scheduler._cancel(self)
 
     def result(self) -> "Result":
         """The query's exact :class:`Result`, executing its batch if needed.
 
         Cooperative blocking: drives the owning scheduler until this
         handle's batch has run, then returns the result (or re-raises the
-        query's execution error).
+        query's execution error).  A ``DEGRADED`` handle *returns* its
+        partial-coverage result — check ``result().degraded`` — rather
+        than raising: a sound approximate answer is the graceful floor,
+        not a failure.
         """
         if not self.done():
             self._scheduler._drain_until(self)
-        if self._state == FAILED:
+        if self._state in (FAILED, CANCELLED):
             raise self._error
         assert self._result is not None
         return self._result

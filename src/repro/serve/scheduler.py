@@ -55,7 +55,7 @@ from ..engine.cooperative import (
     fused_theta_pass_seconds,
     theta_runs_fusable,
 )
-from ..errors import PlanError, ReproError
+from ..errors import AdmissionError, PlanError, ReproError
 from ..plan.logical import Query
 from ..plan.physical import ApproxScanSelect, ApproxThetaJoin
 from ..plan.rewriter import estimated_selectivity, rewrite_to_ar_plan
@@ -80,6 +80,12 @@ class AdmissionPolicy:
     #: Fraction of the device pool's free bytes batches may claim as
     #: expected scratch (estimated candidate output) before splitting.
     device_headroom_fraction: float = 1.0
+    #: Bounded admission wait: a queued query that has watched this many
+    #: batches execute without being admitted fails with
+    #: :class:`~repro.errors.AdmissionError` instead of waiting forever
+    #: (the cooperative simulation has no background clock, so the wait
+    #: is measured in batch slots).  None = wait indefinitely.
+    admission_timeout_batches: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -88,6 +94,11 @@ class AdmissionPolicy:
             raise PlanError("max_batch must be at least 1")
         if not 0.0 < self.device_headroom_fraction <= 1.0:
             raise PlanError("device_headroom_fraction must be in (0, 1]")
+        if (
+            self.admission_timeout_batches is not None
+            and self.admission_timeout_batches < 1
+        ):
+            raise PlanError("admission_timeout_batches must be at least 1")
 
 
 @dataclass
@@ -97,6 +108,15 @@ class ServeStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    #: Completed with ``degraded=True`` (partial shard coverage).
+    degraded: int = 0
+    #: Withdrawn via :meth:`QueryHandle.cancel` while still queued.
+    cancelled: int = 0
+    #: Refused at submit: scratch estimate exceeds what the device pool
+    #: could ever offer (fail fast instead of queueing a doomed query).
+    rejected: int = 0
+    #: Timed out of the admission queue (``admission_timeout_batches``).
+    expired: int = 0
     batches: int = 0
     fused_batches: int = 0
     fused_queries: int = 0
@@ -141,10 +161,10 @@ class _Pending:
     """One queued query with its execution options and admission facts."""
 
     __slots__ = ("handle", "query", "mode", "pushdown", "predicate_order",
-                 "group", "scratch_bytes")
+                 "group", "scratch_bytes", "enqueued_batch")
 
     def __init__(self, handle, query, mode, pushdown, predicate_order,
-                 group, scratch_bytes) -> None:
+                 group, scratch_bytes, enqueued_batch=0) -> None:
         self.handle = handle
         self.query = query
         self.mode = mode
@@ -152,6 +172,8 @@ class _Pending:
         self.predicate_order = predicate_order
         self.group = group
         self.scratch_bytes = scratch_bytes
+        #: ``stats.batches`` at submission — the admission-timeout clock.
+        self.enqueued_batch = enqueued_batch
 
 
 class QueryQueue:
@@ -242,6 +264,16 @@ class Scheduler:
             raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
         if not isinstance(query, Query):
             query = query.build()
+        scratch = self._estimate_scratch_bytes(query, mode)
+        capacity = self._admission_capacity()
+        if capacity is not None and scratch > capacity:
+            # Fail fast: no amount of waiting makes this query fit.
+            self.stats.rejected += 1
+            raise AdmissionError(
+                f"query needs ~{scratch} bytes of device scratch but the "
+                f"pool can offer at most {capacity}; it would never be "
+                "admitted"
+            )
         if len(self._queue) >= self.policy.max_in_flight:
             self.stats.backpressure_stalls += 1
             self._run_one_batch()
@@ -253,7 +285,7 @@ class Scheduler:
         group = (query.batch_fingerprint(), mode, pushdown, predicate_order)
         pending = _Pending(
             handle, query, mode, pushdown, predicate_order,
-            group, self._estimate_scratch_bytes(query, mode),
+            group, scratch, self.stats.batches,
         )
         self._queue.push(pending)
         self.stats.submitted += 1
@@ -320,6 +352,48 @@ class Scheduler:
             self._abort()
 
     # ------------------------------------------------------------------
+    # Cancellation / admission bounds
+    # ------------------------------------------------------------------
+    def _cancel(self, handle: QueryHandle) -> bool:
+        """Withdraw ``handle`` if it is still queued; release its slot."""
+        for pending in self._queue._items:
+            if pending.handle is handle:
+                self._queue._items.remove(pending)
+                handle._cancelled(CancelledError(
+                    f"query #{handle.seq} was cancelled while queued"
+                ))
+                self.stats.cancelled += 1
+                return True
+        return False
+
+    def _admission_capacity(self) -> int | None:
+        """Most device scratch any query could ever be granted (None = ∞)."""
+        pool = self.session.machine.gpu.pool
+        if pool.capacity is None:
+            return None
+        return int(pool.capacity * self.policy.device_headroom_fraction)
+
+    def _expire_stale(self) -> None:
+        """Fail queries that have waited past the admission timeout."""
+        timeout = self.policy.admission_timeout_batches
+        if timeout is None or not self._queue:
+            return
+        survivors: deque[_Pending] = deque()
+        while self._queue._items:
+            pending = self._queue._items.popleft()
+            waited = self.stats.batches - pending.enqueued_batch
+            if waited >= timeout:
+                pending.handle._fail(AdmissionError(
+                    f"query #{pending.handle.seq} waited {waited} batches "
+                    f"without being admitted (timeout: {timeout})"
+                ))
+                self.stats.expired += 1
+                self.stats.failed += 1
+            else:
+                survivors.append(pending)
+        self._queue._items = survivors
+
+    # ------------------------------------------------------------------
     # Admission: expected device scratch of one query
     # ------------------------------------------------------------------
     def _estimate_scratch_bytes(self, query: Query, mode: str) -> int:
@@ -353,6 +427,7 @@ class Scheduler:
     # Batch execution
     # ------------------------------------------------------------------
     def _run_one_batch(self) -> None:
+        self._expire_stale()
         if not self._queue:
             return
         budget = self.session.machine.gpu.pool.headroom(
@@ -393,6 +468,8 @@ class Scheduler:
             return
         pending.handle._fulfill(result)
         self.stats.completed += 1
+        if result.degraded:
+            self.stats.degraded += 1
 
     def _run_with_plan(self, pending: _Pending, plan, scan_hits=None,
                        theta_runs=None):
@@ -414,6 +491,8 @@ class Scheduler:
             return None
         pending.handle._fulfill(result)
         self.stats.completed += 1
+        if result.degraded:
+            self.stats.degraded += 1
         return result
 
     def _run_fused_scan_batch(self, batch: list[_Pending]) -> None:

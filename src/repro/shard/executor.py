@@ -1,18 +1,47 @@
-"""Fragment execution and the billed merge — max-over-shards wall clock.
+"""Fragment execution and the billed merge — now failure-aware.
 
 Each fragment runs on its shard's own simulated machine with its own
 :class:`Timeline`; the modeled devices work **concurrently**, so the
-sharded wall clock is the *maximum* fragment total plus the coordinator's
-merge — not the sum.  The merge combines per-fragment partials with the
-associative int64 kernels of :mod:`repro.core.aggregates` (one float64
-division for ``avg``, after summation), which is bit-for-bit what the
-single-device engines compute — the merged Result is byte-identical to
-the one-machine run in every mode × strategy × emit shape.
+sharded wall clock is the *maximum* fragment completion plus the
+coordinator's merge — not the sum.  The merge combines per-fragment
+partials with the associative int64 kernels of
+:mod:`repro.core.aggregates` (one float64 division for ``avg``, after
+summation), which is bit-for-bit what the single-device engines compute —
+the merged Result is byte-identical to the one-machine run in every mode
+× strategy × emit shape.
 
 A fragment that raises one of the engines' empty-input errors ("min of an
 empty result", "avg over an empty group") simply contributes nothing; if
 *no* fragment contributes, the merge re-raises the same error the
 single-device run would have raised.
+
+**Failure handling (PR 7).**  Fragment dispatch goes through a
+per-fragment retry loop governed by a :class:`~repro.faults.RetryPolicy`:
+transient failures (:class:`~repro.errors.DeviceFailure`,
+:class:`~repro.errors.TransientAllocationError`) retry with exponential
+backoff, each backoff billed as a ``fault.retry.backoff`` span on the
+query's **recovery ledger** — a second Timeline kept next to the clean
+per-query ledger, so recovery has a modeled cost while the clean ledger
+stays byte-identical to the fault-free run whenever every fragment
+eventually succeeds.  A fragment whose recovery budget (the per-query
+deadline) or attempts run out is **dead**: its shard's
+:class:`~repro.faults.CircuitBreaker` records the failure (consecutive
+failures open the breaker; open shards are skipped instantly and excluded
+from serving admission headroom; a cooldown later, one half-open probe
+decides recovery), and the query **degrades gracefully** — the surviving
+fragments merge as usual and the Result comes back ``degraded=True`` with
+the shard-coverage fraction and a *sound* ungrouped-count interval (the
+true count provably lies within it: dead shards contribute between zero
+and their row count — or row count × |right| for theta pairs).  Only when
+no fragment at all contributed does the query fail, with
+:class:`~repro.errors.DeviceFailure`.
+
+The executor also **hedges** stragglers: when the slowest fragment's
+modeled seconds exceed ``hedge_factor`` × the ``hedge_quantile`` quantile
+of its siblings, the fragment is re-executed once and the faster attempt
+becomes the fragment's ledger (the loser's spans move to the recovery
+ledger) — tail latency *and* ledger fidelity are restored when the
+slowdown was transient.
 """
 
 from __future__ import annotations
@@ -27,7 +56,10 @@ from ..core.pair_agg import group_pair_rows
 from ..device.model import OpClass
 from ..device.timeline import Timeline
 from ..engine.result import ApproximateAnswer, Result
-from ..errors import ExecutionError
+from ..errors import DeviceFailure, ExecutionError, TransientAllocationError
+from ..faults.breaker import CircuitBreaker
+from ..faults.policy import RetryPolicy
+from ..faults.profile import AttemptFaults, FaultInjector
 from .catalog import ShardedCatalog
 from .planner import AVG_CNT_SUFFIX, AVG_SUM_SUFFIX, Fragment, ShardedPlan
 
@@ -41,12 +73,16 @@ _EMPTY_INPUT_ERRORS = (
     "avg over an empty group",
 )
 
+#: Failures the retry loop absorbs; anything else propagates unchanged.
+_RETRYABLE = (DeviceFailure, TransientAllocationError)
+
 
 @dataclass
 class ShardedResult(Result):
     """A merged :class:`Result` carrying the sharded wall-clock story."""
 
-    #: Modeled seconds of each executed fragment (its shard's timeline).
+    #: Modeled completion seconds of each executed fragment — its clean
+    #: ledger plus any recovery (failed attempts' backoffs) it needed.
     fragment_seconds: list[float] = field(default_factory=list)
     #: Modeled seconds of the coordinator's merge/ship step.
     merge_seconds: float = 0.0
@@ -55,13 +91,80 @@ class ShardedResult(Result):
     wall_clock_seconds: float = 0.0
     #: Shards the planner skipped (disjoint code band / impossible θ).
     pruned_shards: list[int] = field(default_factory=list)
+    #: Shards whose fragment died past the retry deadline (degraded runs).
+    dead_shards: list[int] = field(default_factory=list)
+    #: Shards whose straggling fragment was re-executed (faster attempt won).
+    hedged_shards: list[int] = field(default_factory=list)
+    #: Failed attempts that were retried across all fragments.
+    retries: int = 0
+    #: The recovery ledger: backoff charges and losing-attempt spans.  The
+    #: clean per-query ledger (``timeline``) stays byte-identical to the
+    #: fault-free run whenever every fragment eventually succeeded.
+    recovery_timeline: Timeline = field(default_factory=Timeline)
+
+    @property
+    def recovery_seconds(self) -> float:
+        return self.recovery_timeline.total_seconds()
+
+    def combined_timeline(self) -> Timeline:
+        """Clean ledger plus recovery — every modeled second, retries visible."""
+        combined = Timeline()
+        combined.extend(self.timeline)
+        combined.extend(self.recovery_timeline)
+        return combined
+
+
+@dataclass
+class _Outcome:
+    """One fragment's fate after the retry loop."""
+
+    fragment: Fragment
+    result: Result | None = None
+    empty_error: str | None = None
+    #: Clean ledger of the winning attempt (None when the fragment died).
+    timeline: Timeline | None = None
+    #: Completion time: winning attempt + this fragment's recovery spend.
+    completion_seconds: float = 0.0
+    dead: bool = False
+    retries: int = 0
+    hedged: bool = False
 
 
 class ShardExecutor:
     """Runs a :class:`ShardedPlan`'s fragments and merges their outputs."""
 
-    def __init__(self, catalog: ShardedCatalog) -> None:
+    def __init__(
+        self,
+        catalog: ShardedCatalog,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        breaker_factory=CircuitBreaker,
+    ) -> None:
         self.catalog = catalog
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.injector: FaultInjector | None = None
+        self._breaker_factory = breaker_factory
+        #: shard index -> breaker (created on first dispatch to the shard).
+        self.breakers: dict[int, CircuitBreaker] = {}
+        #: Query-count clock driving breaker cooldowns.
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def set_injector(self, injector: FaultInjector | None) -> None:
+        """Attach (or detach) a fault injector; installs its alloc hooks."""
+        self.injector = injector
+        hook = injector.alloc_hook if injector is not None else None
+        for shard in self.catalog.shards:
+            shard.machine.gpu.pool.fault_hook = hook
+
+    def _breaker(self, shard_index: int) -> CircuitBreaker:
+        if shard_index not in self.breakers:
+            self.breakers[shard_index] = self._breaker_factory()
+        return self.breakers[shard_index]
+
+    def quarantined_shards(self) -> set[int]:
+        """Shards whose breaker is open (excluded from admission headroom)."""
+        return {i for i, b in self.breakers.items() if b.quarantined}
 
     # ------------------------------------------------------------------
     def execute(
@@ -70,47 +173,61 @@ class ShardExecutor:
         *,
         scan_hits: dict[int, dict[int, np.ndarray]] | None = None,
     ) -> ShardedResult:
-        """Run every fragment, then merge on the coordinator.
+        """Run every fragment (with retries), then merge on the coordinator.
 
         ``scan_hits`` maps shard index -> {id(op): hit positions} for the
         placement-aware scheduler's fused batches; injection preserves
         each fragment's charges and output exactly (PR 5 invariant).
         """
-        fragments: list[tuple[Fragment, Result | None, str | None]] = []
-        timelines: list[Timeline] = []
-        for fragment in plan.fragments:
-            shard = self.catalog.shards[fragment.shard_index]
-            timeline = Timeline()
-            hits = (scan_hits or {}).get(fragment.shard_index)
-            try:
-                if plan.mode == "classic":
-                    result = shard.classic.run(fragment.query, timeline)
-                else:
-                    result = shard.ar.run(
-                        fragment.plan, timeline,
-                        approximate_only=(plan.mode == "approximate"),
-                        scan_hits=hits,
-                    )
-                fragments.append((fragment, result, None))
-            except ExecutionError as exc:
-                if str(exc) not in _EMPTY_INPUT_ERRORS:
-                    raise
-                fragments.append((fragment, None, str(exc)))
-            timelines.append(timeline)
+        self._clock += 1
+        recovery = Timeline()
+        outcomes = [
+            self._run_fragment(fragment, plan, scan_hits, recovery)
+            for fragment in plan.fragments
+        ]
+        if self.retry_policy.hedge:
+            self._maybe_hedge(outcomes, plan, scan_hits, recovery)
+
+        fragments = [
+            (o.fragment, o.result, o.empty_error) for o in outcomes
+        ]
+        dead_indices = [o.fragment.shard_index for o in outcomes if o.dead]
+        if dead_indices and not any(o.result is not None for o in outcomes):
+            raise DeviceFailure(
+                "every contributing shard failed "
+                f"(dead: {sorted(dead_indices)}); no surviving fragment "
+                "to degrade to",
+                transient=False,
+            )
 
         merge_timeline = Timeline()
-        if plan.mode == "approximate":
-            merged = self._merge_approximate(plan, fragments, merge_timeline)
-        elif plan.merge is not None and plan.merge.kind == "pairs":
-            merged = self._merge_pairs(plan, fragments, merge_timeline)
-        else:
-            merged = self._merge_aggregates(plan, fragments, merge_timeline)
+        try:
+            if plan.mode == "approximate":
+                merged = self._merge_approximate(plan, fragments, merge_timeline)
+            elif plan.merge is not None and plan.merge.kind == "pairs":
+                merged = self._merge_pairs(plan, fragments, merge_timeline)
+            else:
+                merged = self._merge_aggregates(plan, fragments, merge_timeline)
+        except ExecutionError as exc:
+            if not dead_indices:
+                raise
+            # Survivors were empty AND shards died: there is no sound
+            # survivor value to degrade to (the dead shards may hold it).
+            raise DeviceFailure(
+                f"cannot degrade: {exc} over the surviving shards "
+                f"(dead: {sorted(dead_indices)})",
+                transient=False,
+            ) from exc
 
-        fragment_seconds = [tl.total_seconds() for tl in timelines]
+        if dead_indices:
+            self._apply_degradation(plan, merged, dead_indices)
+
+        fragment_seconds = [o.completion_seconds for o in outcomes]
         merge_seconds = merge_timeline.total_seconds()
         combined = Timeline()
-        for tl in timelines:
-            combined.extend(tl)
+        for o in outcomes:
+            if o.timeline is not None:
+                combined.extend(o.timeline)
         combined.extend(merge_timeline)
         merged.timeline = combined
         return ShardedResult(
@@ -119,13 +236,236 @@ class ShardExecutor:
             timeline=combined,
             approximate=merged.approximate,
             decimal_scales=merged.decimal_scales,
+            degraded=merged.degraded,
+            shard_coverage=merged.shard_coverage,
             fragment_seconds=fragment_seconds,
             merge_seconds=merge_seconds,
             wall_clock_seconds=(
                 max(fragment_seconds, default=0.0) + merge_seconds
             ),
             pruned_shards=list(plan.pruned),
+            dead_shards=sorted(dead_indices),
+            hedged_shards=sorted(
+                o.fragment.shard_index for o in outcomes if o.hedged
+            ),
+            retries=sum(o.retries for o in outcomes),
+            recovery_timeline=recovery,
         )
+
+    # ------------------------------------------------------------------
+    # Fragment dispatch: retry loop, backoff billing, breaker bookkeeping
+    # ------------------------------------------------------------------
+    def _run_fragment(
+        self,
+        fragment: Fragment,
+        plan: ShardedPlan,
+        scan_hits,
+        recovery: Timeline,
+    ) -> _Outcome:
+        shard_index = fragment.shard_index
+        breaker = self._breaker(shard_index)
+        if not breaker.allow(self._clock):
+            # Quarantined: fast-fail to degradation, no retry budget spent.
+            return _Outcome(fragment, dead=True)
+        policy = self.retry_policy
+        recovery_spent = 0.0
+        retries = 0
+        for attempt in range(policy.max_attempts):
+            outcome = self._run_attempt(
+                fragment, plan, scan_hits, attempt
+            )
+            if not isinstance(outcome, Exception):
+                outcome.completion_seconds += recovery_spent
+                outcome.retries = retries
+                breaker.record_success()
+                return outcome
+            # Failed attempt: bill the backoff (if budget remains) and retry.
+            if attempt + 1 >= policy.max_attempts:
+                break
+            backoff = policy.backoff_seconds(attempt)
+            if recovery_spent + backoff > policy.deadline_seconds:
+                break  # down past the deadline: stop paying
+            recovery.record(
+                self.catalog.coordinator.cpu.spec.name, "cpu",
+                f"fault.retry.backoff[shard {shard_index}]",
+                0, backoff, phase="recover",
+            )
+            recovery_spent += backoff
+            retries += 1
+        breaker.record_failure(self._clock)
+        return _Outcome(
+            fragment, dead=True,
+            completion_seconds=recovery_spent, retries=retries,
+        )
+
+    def _run_attempt(
+        self,
+        fragment: Fragment,
+        plan: ShardedPlan,
+        scan_hits,
+        attempt: int,
+    ):
+        """One dispatch: returns an :class:`_Outcome` or the caught fault."""
+        shard_index = fragment.shard_index
+        shard = self.catalog.shards[shard_index]
+        faults = (
+            self.injector.begin_attempt(
+                shard_index, (self._clock, shard_index)
+            )
+            if self.injector is not None
+            else AttemptFaults()
+        )
+        timeline = Timeline(scale=faults.scale * shard.machine.slowdown)
+        hits = (scan_hits or {}).get(shard_index)
+        scratch_label = (
+            f"(fragment scratch q{self._clock} s{shard_index} a{attempt})"
+        )
+        scratch_bytes = self._scratch_bytes(fragment)
+        allocated = False
+        try:
+            if faults.dispatch_error is not None:
+                raise faults.dispatch_error
+            # The attempt's working set claims real (capacity-checked,
+            # fault-hooked) device memory for its duration — where the
+            # injector's under-pressure allocator hiccups fire.
+            shard.machine.gpu.pool.allocate(scratch_label, scratch_bytes)
+            allocated = True
+            if plan.mode == "classic":
+                result = shard.classic.run(fragment.query, timeline)
+            else:
+                result = shard.ar.run(
+                    fragment.plan, timeline,
+                    approximate_only=(plan.mode == "approximate"),
+                    scan_hits=hits,
+                )
+        except ExecutionError as exc:
+            if str(exc) not in _EMPTY_INPUT_ERRORS:
+                raise
+            return _Outcome(
+                fragment, empty_error=str(exc), timeline=timeline,
+                completion_seconds=timeline.total_seconds(),
+            )
+        except _RETRYABLE as exc:
+            return exc
+        finally:
+            if allocated:
+                shard.machine.gpu.pool.free(scratch_label)
+        return _Outcome(
+            fragment, result=result, timeline=timeline,
+            completion_seconds=timeline.total_seconds(),
+        )
+
+    def _scratch_bytes(self, fragment: Fragment) -> int:
+        """The attempt's modeled working set: one id per local row."""
+        try:
+            rows = len(
+                self.catalog.shards[fragment.shard_index]
+                .catalog.table(fragment.query.table)
+            )
+        except Exception:
+            rows = 0
+        return max(rows, 1) * _OID_BYTES
+
+    # ------------------------------------------------------------------
+    # Hedging: re-execute the straggling fragment, keep the faster attempt
+    # ------------------------------------------------------------------
+    def _maybe_hedge(
+        self, outcomes: list[_Outcome], plan, scan_hits, recovery: Timeline
+    ) -> None:
+        policy = self.retry_policy
+        live = [o for o in outcomes if o.timeline is not None and not o.dead]
+        if len(live) < 2:
+            return
+        slowest = max(live, key=lambda o: o.timeline.total_seconds())
+        siblings = [
+            o.timeline.total_seconds() for o in live if o is not slowest
+        ]
+        threshold = policy.hedge_factor * float(
+            np.quantile(np.asarray(siblings), policy.hedge_quantile)
+        )
+        slow_seconds = slowest.timeline.total_seconds()
+        if threshold <= 0.0 or slow_seconds <= threshold:
+            return
+        # The hedge launches at the detection threshold; its completion is
+        # threshold + its own duration.  The faster attempt wins the
+        # ledger; the loser's spans are recovery cost.
+        hedge = self._run_attempt(
+            slowest.fragment, plan, scan_hits, attempt=-1
+        )
+        if isinstance(hedge, Exception) or hedge.timeline is None:
+            return  # hedge itself failed: keep the slow original
+        hedge_completion = threshold + hedge.timeline.total_seconds()
+        winner, loser = (
+            (hedge, slowest)
+            if hedge_completion < slow_seconds
+            else (slowest, hedge)
+        )
+        recovery.extend(
+            loser.timeline if loser is hedge else slowest.timeline
+        )
+        if winner is hedge:
+            slowest.result = hedge.result
+            slowest.empty_error = hedge.empty_error
+            slowest.timeline = hedge.timeline
+            slowest.completion_seconds = (
+                hedge_completion
+                + (slowest.completion_seconds - slow_seconds)  # prior recovery
+            )
+        slowest.hedged = True
+
+    # ------------------------------------------------------------------
+    # Graceful degradation: survivors' merge + sound bounds
+    # ------------------------------------------------------------------
+    def _apply_degradation(
+        self, plan: ShardedPlan, merged: Result, dead_indices: list[int]
+    ) -> None:
+        query = plan.query
+        total, dead_rows = self._row_split(query.table, dead_indices)
+        merged.degraded = True
+        merged.shard_coverage = (
+            (total - dead_rows) / total if total > 0 else 0.0
+        )
+        if query.group_by:
+            return  # grouped bounds have no exact composition (scope)
+        missing_upper = dead_rows
+        if query.theta_joins:
+            right = query.theta_joins[0].right_table
+            missing_upper = dead_rows * len(self.catalog.table(right))
+        for agg in query.aggregates:
+            if agg.func != "count":
+                continue
+            if plan.mode == "approximate":
+                existing = (
+                    merged.approximate.aggregates.get(agg.alias)
+                    if merged.approximate is not None else None
+                )
+                if isinstance(existing, Interval):
+                    # Survivors' sound interval + dead ∈ [0, missing_upper].
+                    merged.approximate.aggregates[agg.alias] = Interval(
+                        existing.lo, existing.hi + missing_upper
+                    )
+                continue
+            # Exact modes: the survivors' merged count is exact over the
+            # covered rows, so the true global count lies in
+            # [survivors, survivors + what the dead shards could hold].
+            survivors = int(merged.columns[agg.alias][0])
+            if merged.approximate is None:
+                merged.approximate = ApproximateAnswer()
+            merged.approximate.aggregates[agg.alias] = Interval(
+                survivors, survivors + missing_upper
+            )
+
+    def _row_split(
+        self, table: str, dead_indices: list[int]
+    ) -> tuple[int, int]:
+        """(total rows, rows on dead shards) of the queried table."""
+        catalog = self.catalog
+        if table in catalog.row_maps:
+            rows = [len(r) for r in catalog.row_maps[table]]
+            return sum(rows), sum(rows[i] for i in dead_indices)
+        total = len(catalog.global_catalog.table(table))
+        # Replicated tables run one fragment, on shard 0.
+        return total, total if 0 in dead_indices else 0
 
     # ------------------------------------------------------------------
     # Merge: grouped / ungrouped aggregates

@@ -47,15 +47,36 @@ class ShardScheduler(Scheduler):
     # Admission: budget and scratch become placement-aware
     # ------------------------------------------------------------------
     def _min_shard_headroom(self) -> int | None:
-        """The scarcest device's scaled free bytes (None = unbounded)."""
+        """The scarcest *healthy* device's scaled free bytes.
+
+        Shards whose circuit breaker is open are quarantined: their
+        fragments fast-fail to degraded answers without touching device
+        memory, so a dead device must not throttle admission for the
+        survivors (None = unbounded).
+        """
+        quarantined = self.session.executor.quarantined_shards()
         headrooms = [
             shard.machine.gpu.pool.headroom(
                 self.policy.device_headroom_fraction
             )
             for shard in self.session.sharded_catalog.shards
+            if shard.index not in quarantined
         ]
         bounded = [h for h in headrooms if h is not None]
         return min(bounded) if bounded else None
+
+    def _admission_capacity(self) -> int | None:
+        """Fail-fast bound: the smallest healthy shard pool's capacity."""
+        quarantined = self.session.executor.quarantined_shards()
+        capacities = [
+            shard.machine.gpu.pool.capacity
+            for shard in self.session.sharded_catalog.shards
+            if shard.index not in quarantined
+        ]
+        bounded = [c for c in capacities if c is not None]
+        if not bounded:
+            return None
+        return int(min(bounded) * self.policy.device_headroom_fraction)
 
     def _estimate_scratch_bytes(self, query, mode: str) -> int:
         """Expected per-device scratch: the largest shard's share.
@@ -81,6 +102,7 @@ class ShardScheduler(Scheduler):
     # Batch execution
     # ------------------------------------------------------------------
     def _run_one_batch(self) -> None:
+        self._expire_stale()
         if not self._queue:
             return
         batch, split = self._queue.pop_batch(
@@ -121,6 +143,8 @@ class ShardScheduler(Scheduler):
             return None
         pending.handle._fulfill(result)
         self.stats.completed += 1
+        if result.degraded:
+            self.stats.degraded += 1
         return result
 
     def _run_fused_scan_batch(self, batch: list[_Pending]) -> None:

@@ -15,6 +15,8 @@ from typing import Iterable, Mapping
 
 from ..device.timeline import Timeline
 from ..errors import PlanError
+from ..faults.policy import RetryPolicy
+from ..faults.profile import FaultInjector, FaultProfile
 from ..plan.logical import Query
 from ..storage.column import ColumnType
 from ..storage.decompose import set_view_budget
@@ -29,10 +31,46 @@ MODES = ("ar", "classic", "approximate")
 class ShardedSession:
     """One logical session whose data lives on ``n_shards`` machines."""
 
-    def __init__(self, n_shards: int, **catalog_kwargs) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        **catalog_kwargs,
+    ) -> None:
         self.sharded_catalog = ShardedCatalog(n_shards, **catalog_kwargs)
         self.planner = ShardPlanner(self.sharded_catalog)
-        self.executor = ShardExecutor(self.sharded_catalog)
+        self.executor = ShardExecutor(
+            self.sharded_catalog, retry_policy=retry_policy
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection (chaos testing)
+    # ------------------------------------------------------------------
+    def inject_faults(
+        self,
+        profile_or_injector: FaultProfile | FaultInjector,
+        *,
+        seed: int = 0,
+    ) -> FaultInjector:
+        """Wire a fault profile (or prebuilt injector) into execution.
+
+        Installs the injector's allocator hook on every shard's device
+        pool and routes every fragment attempt through its seeded fault
+        decisions.  Returns the injector for imperative control
+        (``crash`` / ``restore`` / ``slow_next``).
+        """
+        injector = (
+            profile_or_injector
+            if isinstance(profile_or_injector, FaultInjector)
+            else FaultInjector(profile_or_injector, seed=seed)
+        )
+        self.executor.set_injector(injector)
+        return injector
+
+    def clear_faults(self) -> None:
+        """Detach the fault injector; execution is healthy again."""
+        self.executor.set_injector(None)
 
     @property
     def n_shards(self) -> int:
@@ -131,6 +169,7 @@ class ShardedSession:
         max_batch: int = 16,
         max_in_flight: int = 64,
         device_headroom_fraction: float = 1.0,
+        admission_timeout_batches: int | None = None,
     ):
         """Open a placement-aware multi-query scheduler over the shards."""
         from ..serve.scheduler import AdmissionPolicy
@@ -139,6 +178,7 @@ class ShardedSession:
         return ShardScheduler(self, AdmissionPolicy(
             max_in_flight=max_in_flight, max_batch=max_batch,
             device_headroom_fraction=device_headroom_fraction,
+            admission_timeout_batches=admission_timeout_batches,
         ))
 
     # ------------------------------------------------------------------

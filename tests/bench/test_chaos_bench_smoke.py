@@ -1,0 +1,55 @@
+"""Tier-1 smoke for ``python -m repro chaos-bench`` (PR 7).
+
+Runs the fault-injection sweep in ``--quick`` shape so the chaos path
+(serving under seeded transient faults, the permanent-crash degradation
+scenario, the recording plumbing) cannot rot between PRs, and pins the
+CLI dispatch through ``repro.__main__``.
+"""
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.faults.bench import record_entries, run_cell, wide_ranges
+from repro.faults.profile import FaultProfile
+
+
+def test_chaos_bench_quick_cli(capsys):
+    assert repro_main(["chaos-bench", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "fault rate" in out
+    assert "crash s1" in out
+    assert "degraded" in out
+
+
+def test_run_cell_is_deterministic():
+    ranges = wide_ranges(10_000, 3)
+    profile = FaultProfile(transient_rate=0.2)
+    a = run_cell(10_000, 2, ranges, profile, seed=4)
+    b = run_cell(10_000, 2, ranges, profile, seed=4)
+    assert a == b
+    assert a["total"] == 6
+    assert a["exact"] + a["degraded"] + a["failed"] == a["total"]
+
+
+def test_crash_cell_degrades_not_fails():
+    ranges = wide_ranges(10_000, 3)
+    cell = run_cell(
+        10_000, 4, ranges, FaultProfile(crash_shards=frozenset({1})), seed=0
+    )
+    assert cell["failed"] == 0
+    assert cell["degraded"] >= 0.95 * cell["total"]
+    assert cell["availability"] == 1.0
+
+
+def test_record_entries_merges_and_recomputes_speedup(tmp_path):
+    out = tmp_path / "BENCH_TEST.json"
+    record_entries(out, "before", {"chaos.avail.f0": 1.0, "chaos.tail.p99": 0.004})
+    record_entries(out, "after", {"chaos.avail.f0": 1.0, "chaos.tail.p99": 0.002})
+    data = json.loads(out.read_text())
+    assert data["before"]["chaos.avail.f0"] == 1.0
+    assert data["speedup"]["chaos.tail.p99"] == 2.0
+    # Merging more entries under a label keeps the existing ones.
+    record_entries(out, "after", {"chaos.avail.f10": 0.98})
+    data = json.loads(out.read_text())
+    assert data["after"]["chaos.tail.p99"] == 0.002
+    assert data["after"]["chaos.avail.f10"] == 0.98

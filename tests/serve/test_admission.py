@@ -1,0 +1,130 @@
+"""Bounded admission: fail-fast rejection, queue timeout, cancellation."""
+
+import numpy as np
+import pytest
+
+from repro import IntType, Session
+from repro.device.machine import Machine
+from repro.device.model import DeviceSpec
+from repro.errors import AdmissionError, PlanError
+from repro.serve import AdmissionPolicy
+from repro.serve.handles import CancelledError
+
+
+def tiny_gpu_session(n=20_000, capacity=100_000, seed=0) -> Session:
+    spec = DeviceSpec(
+        name="tiny-gpu", kind="gpu",
+        memory_capacity=capacity,
+        seq_bandwidth=150e9, random_bandwidth=20e9, launch_overhead=5e-6,
+    )
+    s = Session(Machine(gpu_spec=spec))
+    rng = np.random.default_rng(seed)
+    s.create_table(
+        "f", {"a": IntType()}, {"a": rng.integers(0, n, n)}
+    )
+    s.create_table(
+        "r", {"v": IntType()}, {"v": rng.integers(0, n, n // 4)}
+    )
+    s.bwdecompose("f", "a", 24)
+    s.bwdecompose("r", "v", 24)
+    return s
+
+
+class TestFailFastRejection:
+    def test_oversized_query_rejected_at_submit(self):
+        # The theta estimate is (|left| + |right|) * 8 = 200k bytes — more
+        # than the whole 100k pool could ever offer.
+        s = tiny_gpu_session()
+        server = s.serve()
+        with pytest.raises(AdmissionError):
+            server.submit(
+                s.table("f").band_join("r", on=("a", "v"), delta=5).count("n")
+            )
+        assert server.stats.rejected == 1
+        assert server.stats.submitted == 0  # never entered the queue
+
+    def test_fitting_query_still_admitted(self):
+        s = tiny_gpu_session()
+        server = s.serve()
+        h = server.submit(s.table("f").where("a", between=(0, 50)).count("n"))
+        assert h.result().scalar("n") >= 0
+        assert server.stats.rejected == 0
+
+    def test_unbounded_pool_never_rejects(self):
+        rng = np.random.default_rng(1)
+        s = Session()  # default machine: classic mode targets the host
+        s.create_table("f", {"a": IntType()}, {"a": rng.integers(0, 100, 100)})
+        s.bwdecompose("f", "a", 8)
+        server = s.serve()
+        h = server.submit(s.table("f").count("n"), mode="classic")
+        assert h.result().scalar("n") == 100
+
+
+class TestAdmissionTimeout:
+    def test_stale_queries_expire_with_admission_error(self):
+        s = tiny_gpu_session()
+        server = s.serve(max_batch=1, admission_timeout_batches=2)
+        a = server.submit(s.table("f").where("a", between=(0, 9)).count("n"))
+        b = server.submit(s.table("f").where("a", between=(10, 19)).count("n"))
+        c = server.submit(s.table("f").where("a", between=(20, 29)).count("n"))
+        # Batch width 1: each drained batch runs one query.  b is admitted
+        # after waiting one batch (within the 2-batch bound); c would have
+        # to wait two and expires instead.
+        server.drain()
+        assert a.state == "done"
+        assert b.state == "done"
+        assert c.state == "failed"
+        with pytest.raises(AdmissionError):
+            c.result()
+        assert server.stats.expired == 1
+
+    def test_no_timeout_waits_indefinitely(self):
+        s = tiny_gpu_session()
+        server = s.serve(max_batch=1)
+        hs = [
+            server.submit(
+                s.table("f").where("a", between=(i * 10, i * 10 + 9)).count("n")
+            )
+            for i in range(5)
+        ]
+        server.drain()
+        assert all(h.state == "done" for h in hs)
+        assert server.stats.expired == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(PlanError):
+            AdmissionPolicy(admission_timeout_batches=0)
+
+
+class TestCancellation:
+    def test_queued_query_cancels_and_releases_slot(self):
+        s = tiny_gpu_session()
+        server = s.serve()
+        keep = server.submit(s.table("f").where("a", between=(0, 9)).count("n"))
+        drop = server.submit(s.table("f").where("a", between=(0, 9)).count("n"))
+        assert server.queued == 2
+        assert drop.cancel() is True
+        assert server.queued == 1
+        assert drop.state == "cancelled"
+        assert drop.done()
+        with pytest.raises(CancelledError):
+            drop.result()
+        assert server.stats.cancelled == 1
+        server.drain()
+        assert keep.state == "done"
+
+    def test_completed_query_cannot_cancel(self):
+        s = tiny_gpu_session()
+        server = s.serve()
+        h = server.submit(s.table("f").where("a", between=(0, 9)).count("n"))
+        h.result()
+        assert h.cancel() is False
+        assert h.state == "done"
+
+    def test_cancel_is_idempotent_on_the_queue(self):
+        s = tiny_gpu_session()
+        server = s.serve()
+        h = server.submit(s.table("f").where("a", between=(0, 9)).count("n"))
+        assert h.cancel() is True
+        assert h.cancel() is False  # no longer queued
+        assert server.stats.cancelled == 1
