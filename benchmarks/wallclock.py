@@ -123,9 +123,14 @@ QUICK_THETA_SIZES = (2_000, 600)
 QUICK_THETA_LARGE_SIZES = (5_000, 1_200)
 QUICK_THETA_XLARGE_SIZES = (8_000, 2_000)
 
-#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR5) are kept as
+#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR7) are kept as
 #: recorded history and compared against via ``--compare``.
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+
+#: The opt.pick.theta fixture's small right side: under the heuristic's
+#: sort cutoff, so "before" (the heuristic) brute-forces while "after"
+#: (the cost-based optimizer) picks the sorted sweep.
+OPT_THETA_RIGHT = 16
 
 #: ``--compare`` flags a shared benchmark whose after/before speedup drops
 #: below this factor.
@@ -219,6 +224,35 @@ class _Fixtures:
         self._quick = quick
         self._serve: tuple | None = None
         self._shard: dict[int, tuple] = {}
+        self._opt: Session | None = None
+
+    def opt_workload(self) -> Session:
+        """Session for the opt.pick.* entries (PR 8), built lazily.
+
+        A two-column fact table (both decomposed — the scan-order decision
+        needs ≥ 2 drivable predicates) plus a small dimension side below
+        the heuristic's sort cutoff (the optimizer's known win region).
+        """
+        if self._opt is None:
+            rng = np.random.default_rng(29)
+            n = max(self.n_rows // 5, 4_000)
+            session = Session()
+            session.create_table(
+                "optL", {"v": IntType(), "w": IntType()},
+                {
+                    "v": rng.integers(0, 1 << 20, size=n),
+                    "w": rng.integers(0, 1 << 20, size=n),
+                },
+            )
+            session.create_table(
+                "optR", {"v": IntType()},
+                {"v": rng.integers(0, 1 << 20, size=OPT_THETA_RIGHT)},
+            )
+            session.bwdecompose("optL", "v", 24)
+            session.bwdecompose("optL", "w", 24)
+            session.bwdecompose("optR", "v", 24)
+            self._opt = session
+        return self._opt
 
     def serve_workload(self) -> tuple:
         """The serving session + query set, built lazily on first use.
@@ -380,6 +414,35 @@ def _run_tpch_q6(fx: _Fixtures) -> None:
     fx.tpch.execute(fx.q6, mode="ar")
 
 
+def _run_opt_scan(fx: _Fixtures, optimizer: str) -> None:
+    """Two-predicate selection through the (optionally cost-based) planner."""
+    session = fx.opt_workload()
+    (
+        session.table("optL")
+        .where("v", between=(100_000, 600_000))
+        .where("w", between=(0, 200_000))
+        .count("n")
+        .run(mode="ar", optimizer=optimizer)
+    )
+
+
+def _run_opt_theta(fx: _Fixtures, optimizer: str) -> None:
+    """Small-right theta join: the heuristic brute-forces it, the
+    cost-based optimizer picks the sorted sweep off the estimates."""
+    session = fx.opt_workload()
+    (
+        session.table("optL")
+        .theta_join("optR", on="v", op="<")
+        .count("n")
+        .run(mode="ar", optimizer=optimizer)
+    )
+
+
+def _run_opt_batch(fx: _Fixtures, optimizer: str) -> None:
+    """The serve workload with the cost gate deciding batch membership."""
+    run_once(*fx.serve_workload(), max_batch=16, optimizer=optimizer)
+
+
 def _run_shard_scan(fx: _Fixtures, n_shards: int) -> None:
     from repro.shard.bench import run_scan_once
 
@@ -392,9 +455,17 @@ def _run_shard_theta(fx: _Fixtures, n_shards: int) -> None:
     run_theta_once(*fx.shard_workload(n_shards))
 
 
-def build_suite(quick: bool = False) -> dict:
+def build_suite(quick: bool = False, opt_baseline: bool = False) -> dict:
+    """The named benchmark suite.
+
+    ``opt_baseline=True`` swaps the ``opt.pick.*`` entries onto the
+    pre-PR-8 heuristic path — the ``before`` variant of the interleaved
+    recording (every other entry is identical under either flag: the
+    optimizer is opt-in and the default paths are untouched).
+    """
     fx = _Fixtures.get(quick)
     n = fx.n_rows
+    opt = "heuristic" if opt_baseline else "cost"
     return {
         "micro.pack.w8": lambda: pack_codes(fx.codes8, 8),
         "micro.pack.w12": lambda: pack_codes(fx.codes12, 12),
@@ -430,6 +501,12 @@ def build_suite(quick: bool = False) -> dict:
         "shard.scan.s4": lambda: _run_shard_scan(fx, 4),
         "shard.theta.s1": lambda: _run_shard_theta(fx, 1),
         "shard.theta.s4": lambda: _run_shard_theta(fx, 4),
+        # Cost-based optimizer picks (PR 8): before = heuristic path,
+        # after = optimizer="cost", so the recorded speedup IS the
+        # optimizer's end-to-end win (or its planning overhead).
+        "opt.pick.scan": lambda: _run_opt_scan(fx, opt),
+        "opt.pick.theta": lambda: _run_opt_theta(fx, opt),
+        "opt.pick.batch": lambda: _run_opt_batch(fx, opt),
     }
 
 
@@ -448,6 +525,59 @@ def test_wallclock(benchmark, bench_name):
 # ----------------------------------------------------------------------
 # Trajectory recorder
 # ----------------------------------------------------------------------
+def record_interleaved(
+    reps: int, out: Path = _RESULT_FILE, only: list[str] | None = None
+) -> None:
+    """Record ``before`` and ``after`` points pairwise-interleaved.
+
+    For every benchmark, the ``before`` variant (heuristic ``opt.pick.*``;
+    identical code for everything else) and the ``after`` variant run
+    back to back, alternating per rep — both points of each benchmark are
+    taken seconds apart on an identically-warmed process, the recording
+    convention the trajectory files promise.
+    """
+    before_suite = build_suite(opt_baseline=True)
+    after_suite = build_suite(opt_baseline=False)
+    names = sorted(before_suite)
+    if only:
+        unknown = sorted(set(only) - set(names))
+        if unknown:
+            raise SystemExit(f"--only: unknown benchmark(s) {', '.join(unknown)}")
+        names = [n for n in names if n in only]
+    before: dict[str, float] = {}
+    after: dict[str, float] = {}
+    for name in names:
+        b_fn, a_fn = before_suite[name], after_suite[name]
+        b_fn(); a_fn()  # warm both variants (lazy fixtures, memoized views)
+        b_best = a_best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            b_fn()
+            b_best = min(b_best, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            a_fn()
+            a_best = min(a_best, time.perf_counter() - t0)
+        before[name], after[name] = b_best, a_best
+        print(
+            f"{name:34s} before {b_best * 1e3:9.2f} ms   "
+            f"after {a_best * 1e3:9.2f} ms"
+        )
+    data = {}
+    if out.exists():
+        data = json.loads(out.read_text())
+    data.setdefault("meta", {})
+    data["meta"].update({"n_rows": N_ROWS, "tpch_sf": TPCH_SF, "reps": reps})
+    data.setdefault("before", {}).update(before)
+    data.setdefault("after", {}).update(after)
+    data["speedup"] = {
+        k: round(data["before"][k] / data["after"][k], 2)
+        for k in data["after"]
+        if k in data["before"] and data["after"][k] > 0
+    }
+    out.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    print(f"recorded interleaved before/after into {out}")
+
+
 def measure(
     reps: int, quick: bool = False, only: list[str] | None = None
 ) -> dict[str, float]:
@@ -600,6 +730,11 @@ if __name__ == "__main__":
         help="record/measure only this benchmark (repeatable); recordings "
         "merge into the label instead of replacing it",
     )
+    parser.add_argument(
+        "--interleaved", action="store_true",
+        help="record before and after points pairwise-interleaved in one "
+        "process (before = heuristic opt.pick.* variants)",
+    )
     args = parser.parse_args()
     if args.compare:
         if len(args.compare) > 2:
@@ -611,6 +746,8 @@ if __name__ == "__main__":
                 args.threshold,
             )
         )
+    elif args.interleaved:
+        record_interleaved(args.reps, args.out, only=args.only)
     elif args.quick:
         measure(reps=1, quick=True, only=args.only)
     else:

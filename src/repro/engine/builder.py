@@ -234,17 +234,28 @@ class RelationBuilder:
         mode: str = "ar",
         pushdown: bool = True,
         predicate_order: str = "query",
+        optimizer: str = "heuristic",
         timeline: "Timeline | None" = None,
     ) -> "Result":
-        """Execute the block in one of the three modes (the eager step)."""
+        """Execute the block in one of the three modes (the eager step).
+
+        ``optimizer="cost"`` routes physical choices (theta strategy/emit,
+        materialization shape) through the cost-based planner
+        (:mod:`repro.opt`); the Result is byte-identical either way.
+        """
         return self._session.query(
             self.build(), mode=mode, pushdown=pushdown,
-            predicate_order=predicate_order, timeline=timeline,
+            predicate_order=predicate_order, optimizer=optimizer,
+            timeline=timeline,
         )
 
-    def explain(self, *, pushdown: bool = True) -> str:
+    def explain(
+        self, *, pushdown: bool = True, optimizer: str = "heuristic"
+    ) -> str:
         """Render the physical A&R plan this block rewrites into."""
-        return self._session.explain(self.build(), pushdown=pushdown)
+        return self._session.explain(
+            self.build(), pushdown=pushdown, optimizer=optimizer,
+        )
 
     # ------------------------------------------------------------------
     # Serving (deferred execution through a scheduler)

@@ -107,6 +107,7 @@ class Session:
         max_in_flight: int = 64,
         device_headroom_fraction: float = 1.0,
         admission_timeout_batches: int | None = None,
+        optimizer: str = "heuristic",
     ):
         """Open a multi-query scheduler over this session (PR 5).
 
@@ -134,6 +135,7 @@ class Session:
             max_in_flight=max_in_flight, max_batch=max_batch,
             device_headroom_fraction=device_headroom_fraction,
             admission_timeout_batches=admission_timeout_batches,
+            optimizer=optimizer,
         ))
 
     # ------------------------------------------------------------------
@@ -146,12 +148,16 @@ class Session:
         mode: str = "ar",
         pushdown: bool = True,
         predicate_order: str = "query",
+        optimizer: str = "heuristic",
         timeline: Timeline | None = None,
     ) -> Result:
         """Run a logical query in one of the three execution modes.
 
         ``predicate_order="selectivity"`` enables the histogram-driven
         cost-based ordering of approximate selections (§III-A extension).
+        ``optimizer="cost"`` picks physical strategies from estimated
+        cardinalities through :mod:`repro.opt` (PR 8) — same Result and
+        modeled Timeline, cheapest host execution.
         """
         if mode not in MODES:
             raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
@@ -159,7 +165,7 @@ class Session:
             return self._classic.run(query, timeline)
         plan = rewrite_to_ar_plan(
             query, self.catalog, pushdown=pushdown,
-            predicate_order=predicate_order,
+            predicate_order=predicate_order, optimizer=optimizer,
         )
         return self._ar.run(
             plan, timeline, approximate_only=(mode == "approximate")
@@ -234,9 +240,19 @@ class Session:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def explain(self, query: Query, *, pushdown: bool = True) -> str:
-        """Render the physical A&R plan (the paper's Fig 7 view)."""
-        return explain_plan(rewrite_to_ar_plan(query, self.catalog, pushdown=pushdown))
+    def explain(
+        self, query: Query, *, pushdown: bool = True,
+        optimizer: str = "heuristic",
+    ) -> str:
+        """Render the physical A&R plan (the paper's Fig 7 view).
+
+        With ``optimizer="cost"`` the rendering includes per-operator
+        estimated spans and every optimizer decision with its rejected
+        alternatives.
+        """
+        return explain_plan(rewrite_to_ar_plan(
+            query, self.catalog, pushdown=pushdown, optimizer=optimizer,
+        ))
 
     def streaming_baseline_seconds(self, query: Query) -> float:
         """'Stream (Hypothetical)': PCI time to move the query's inputs."""

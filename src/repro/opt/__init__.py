@@ -1,0 +1,63 @@
+"""Cost-based optimization: the device model promoted from ledger to planner.
+
+``repro.opt`` estimates candidate cardinalities from the approximation
+histograms (:mod:`.estimates`), costs enumerated physical alternatives —
+theta strategy/emit, pair materialization vs aggregate-only consumption,
+cooperative-batch membership, per-shard fragment shape — through the
+device charge machinery (:mod:`.cost`), and records every pick with its
+rejected competitors (:mod:`.planner`).  Opt in with ``optimizer="cost"``
+on ``run()``/``query()``/``serve()``/``ShardPlanner.plan()``; the default
+stays the historical heuristics until the sweep grid validates a host.
+"""
+
+from .cost import (
+    SIM_HOST,
+    EstimatedSpan,
+    cost_fused_scan,
+    cost_solo_scans,
+    cost_theta_alternative,
+    estimated_plan_spans,
+    theta_alternatives,
+)
+from .estimates import (
+    ThetaCardinality,
+    estimate_conjunction_rows,
+    estimate_scan_candidates,
+    estimate_selectivity,
+    estimate_theta_cardinality,
+)
+from .planner import (
+    OPTIMIZERS,
+    Alternative,
+    Decision,
+    batch_membership_decision,
+    check_optimizer,
+    choose_theta,
+    optimized_theta_query,
+    scan_order_decision,
+)
+from .report import estimated_vs_actual
+
+__all__ = [
+    "SIM_HOST",
+    "EstimatedSpan",
+    "ThetaCardinality",
+    "OPTIMIZERS",
+    "Alternative",
+    "Decision",
+    "batch_membership_decision",
+    "check_optimizer",
+    "choose_theta",
+    "cost_fused_scan",
+    "cost_solo_scans",
+    "cost_theta_alternative",
+    "estimate_conjunction_rows",
+    "estimate_scan_candidates",
+    "estimate_selectivity",
+    "estimate_theta_cardinality",
+    "estimated_plan_spans",
+    "estimated_vs_actual",
+    "optimized_theta_query",
+    "scan_order_decision",
+    "theta_alternatives",
+]

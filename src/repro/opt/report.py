@@ -1,0 +1,52 @@
+"""Estimated-vs-actual span reporting: make mispredictions visible.
+
+``explain()`` shows a cost-optimized plan's *predicted* modeled spans;
+after a run, :func:`estimated_vs_actual` lines those predictions up
+against the Timeline the executor actually billed, one row per operator,
+with the ratio — the optimizer's scorecard.
+"""
+
+from __future__ import annotations
+
+from ..device.timeline import Timeline
+from ..errors import PlanError
+from ..plan.physical import PhysicalPlan
+from ..util import format_seconds
+
+
+def estimated_vs_actual(plan: PhysicalPlan, timeline: Timeline) -> str:
+    """Tabulate predicted vs billed seconds per operator.
+
+    Estimated spans map onto billed spans in operator order; operators that
+    billed several spans (or none) aggregate/blank accordingly — the table
+    is diagnostic, not a ledger.  Requires a plan produced with
+    ``optimizer="cost"`` (one carrying ``estimated_spans``).
+    """
+    if not plan.estimated_spans:
+        raise PlanError(
+            "plan carries no estimates; rewrite it with optimizer='cost'"
+        )
+    actual = [s for s in timeline.spans if s.phase != "load"]
+    header = f"{'op':<48} {'est':>10} {'actual':>10} {'ratio':>6}"
+    lines = [header, "-" * len(header)]
+    n = len(plan.estimated_spans)
+    for i, est in enumerate(plan.estimated_spans):
+        # Greedy positional alignment: spill any surplus billed spans onto
+        # the final operator so nothing billed goes unreported.
+        if i < n - 1:
+            billed = actual[i:i + 1]
+        else:
+            billed = actual[i:]
+        actual_seconds = sum(s.seconds for s in billed) if billed else None
+        est_text = format_seconds(est.est_seconds)
+        if actual_seconds is None:
+            lines.append(f"{est.op[:48]:<48} {est_text:>10} {'—':>10} {'—':>6}")
+            continue
+        ratio = (
+            est.est_seconds / actual_seconds if actual_seconds > 0 else float("inf")
+        )
+        lines.append(
+            f"{est.op[:48]:<48} {est_text:>10} "
+            f"{format_seconds(actual_seconds):>10} {ratio:>5.2f}x"
+        )
+    return "\n".join(lines)

@@ -19,14 +19,25 @@ def explain(plan: PhysicalPlan) -> str:
         f"A&R plan for {plan.query.table}"
         f" (pushdown={'on' if plan.pushdown else 'off'})"
     ]
-    for op in plan.ops:
+    estimated = {s.op_index: s for s in plan.estimated_spans}
+    for i, op in enumerate(plan.ops):
         if not isinstance(op, PhysicalOp):
             raise PlanError(
                 f"explain cannot render plan node {type(op).__name__!r}"
             )
+        est = estimated.get(i)
+        suffix = (
+            f"   ~{est.est_items:,} items, est {est.est_seconds * 1e3:.3f} ms"
+            if est is not None else ""
+        )
         if isinstance(op, (ShipCandidates, ShipPairs)):
-            lines.append("  ──── PCI-E ────  " + op.describe())
+            lines.append("  ──── PCI-E ────  " + op.describe() + suffix)
             continue
         tag = "approx" if op.phase == "approximate" else "refine"
-        lines.append(f"  [{tag}] {op.describe()}")
+        lines.append(f"  [{tag}] {op.describe()}{suffix}")
+    if plan.decisions:
+        lines.append("  optimizer decisions (est host wall-clock):")
+        for decision in plan.decisions:
+            for text in decision.describe():
+                lines.append("    " + text)
     return "\n".join(lines)

@@ -358,11 +358,23 @@ class ShardMerge(PhysicalOp):
 # ----------------------------------------------------------------------
 @dataclass
 class PhysicalPlan:
-    """An ordered A&R operator list for one logical query."""
+    """An ordered A&R operator list for one logical query.
+
+    Plans produced with ``optimizer="cost"`` additionally carry the
+    optimizer's audit trail: ``decisions`` (each chosen physical
+    alternative with its rejected competitors and estimated costs — see
+    :class:`repro.opt.planner.Decision`) and ``estimated_spans`` (the
+    predicted modeled charge per operator —
+    :class:`repro.opt.cost.EstimatedSpan`); ``explain()`` renders both,
+    and :func:`repro.opt.report.estimated_vs_actual` lines the estimates
+    up against a run's billed Timeline.
+    """
 
     query: Query
     ops: list[PhysicalOp] = field(default_factory=list)
     pushdown: bool = True
+    decisions: list = field(default_factory=list)
+    estimated_spans: list = field(default_factory=list)
 
     def validate(self) -> "PhysicalPlan":
         """Check the A&R structural invariant under pushdown.

@@ -129,6 +129,7 @@ def rewrite_to_ar_plan(
     *,
     pushdown: bool = True,
     predicate_order: str = "query",
+    optimizer: str = "heuristic",
 ) -> PhysicalPlan:
     """Rewrite one logical block into a validated physical A&R plan.
 
@@ -137,11 +138,25 @@ def rewrite_to_ar_plan(
     rule-based baseline), ``"selectivity"`` orders them most-selective
     first using the code histograms — the cost-based extension §III-A
     leaves for future work.
+
+    ``optimizer="cost"`` (PR 8, opt-in) replaces the rule-of-thumb physical
+    choices with :mod:`repro.opt`: theta strategy/emit are picked by
+    estimated host cost instead of the tiny-right-side cutoff, every
+    decision is recorded on the plan with its rejected competitors, and
+    the plan carries predicted modeled spans per operator.  The chosen
+    plan's Result and modeled Timeline stay byte-identical to every
+    unchosen alternative — the optimizer changes which kernels run, never
+    what they answer or charge.
     """
     if predicate_order not in ("query", "selectivity"):
         raise PlanError(f"unknown predicate order {predicate_order!r}")
+    from ..opt.planner import check_optimizer
+
+    check_optimizer(optimizer)
     if query.theta_joins:
-        return _rewrite_theta_plan(query, catalog, pushdown=pushdown)
+        return _rewrite_theta_plan(
+            query, catalog, pushdown=pushdown, optimizer=optimizer
+        )
     info = _ColumnInfo(query, catalog)
 
     drivable: list[Predicate] = []
@@ -313,11 +328,21 @@ def rewrite_to_ar_plan(
         emit_refine_stage()
         drivable.extend(saved)
 
-    return PhysicalPlan(query=query, ops=ops, pushdown=pushdown).validate()
+    plan = PhysicalPlan(query=query, ops=ops, pushdown=pushdown).validate()
+    if optimizer == "cost":
+        from ..opt.cost import estimated_plan_spans
+        from ..opt.planner import scan_order_decision
+
+        order = scan_order_decision(query, catalog, drivable, predicate_order)
+        if order is not None:
+            plan.decisions.append(order)
+        plan.estimated_spans = estimated_plan_spans(plan, catalog)
+    return plan
 
 
 def _rewrite_theta_plan(
-    query: Query, catalog: Catalog, *, pushdown: bool
+    query: Query, catalog: Catalog, *, pushdown: bool,
+    optimizer: str = "heuristic",
 ) -> PhysicalPlan:
     """Lower a theta-join block into the Approx → Ship → Refine pair plan.
 
@@ -326,6 +351,11 @@ def _rewrite_theta_plan(
     everything uncertain — residual bits of drivable predicates, host-only
     predicates, the join condition itself — re-checks exactly on the host,
     over the shipped candidate pairs, without ever exploding a run.
+
+    Under ``optimizer="cost"`` the join's ``strategy``/``emit`` knobs are
+    resolved here from estimated cardinalities (replacing the executor's
+    tiny-right-side ``auto`` heuristic) and the pick is recorded on the
+    plan; ``"auto"`` knobs the caller pinned explicitly are respected.
     """
     if not pushdown:
         raise PlanError(
@@ -339,6 +369,13 @@ def _rewrite_theta_plan(
     ):
         if not catalog.is_decomposed(table, column):
             raise PlanError(f"column '{table}.{column}' is not decomposed")
+    decisions = []
+    if optimizer == "cost":
+        from ..opt.planner import optimized_theta_query
+
+        query, decision = optimized_theta_query(query, catalog)
+        decisions.append(decision)
+        theta = query.theta_joins[0]
 
     drivable: list[Predicate] = []
     host_preds: list[Predicate] = []
@@ -373,4 +410,11 @@ def _rewrite_theta_plan(
         ops.append(RefinePairGroup(tuple(query.group_by)))
     for agg in query.aggregates:
         ops.append(RefinePairAggregate(agg))
-    return PhysicalPlan(query=query, ops=ops, pushdown=pushdown).validate()
+    plan = PhysicalPlan(
+        query=query, ops=ops, pushdown=pushdown, decisions=decisions
+    ).validate()
+    if optimizer == "cost":
+        from ..opt.cost import estimated_plan_spans
+
+        plan.estimated_spans = estimated_plan_spans(plan, catalog)
+    return plan

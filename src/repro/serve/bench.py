@@ -49,10 +49,16 @@ def query_ranges(n_rows: int, n_queries: int, seed: int = 23) -> list[tuple[int,
 
 
 def run_once(
-    session: Session, ranges: list[tuple[int, int]], max_batch: int
+    session: Session,
+    ranges: list[tuple[int, int]],
+    max_batch: int,
+    optimizer: str = "heuristic",
 ) -> float:
     """Wall seconds to serve every query at the given batch width."""
-    server = session.serve(max_batch=max_batch, max_in_flight=len(ranges) + 1)
+    server = session.serve(
+        max_batch=max_batch, max_in_flight=len(ranges) + 1,
+        optimizer=optimizer,
+    )
     t0 = time.perf_counter()
     handles = [
         session.table("events").where("value", between=r).count("n")

@@ -86,6 +86,13 @@ class AdmissionPolicy:
     #: (the cooperative simulation has no background clock, so the wait
     #: is measured in batch slots).  None = wait indefinitely.
     admission_timeout_batches: int | None = None
+    #: ``"cost"`` routes physical choices through :mod:`repro.opt`
+    #: (PR 8): member plans are rewritten with the cost-based planner and
+    #: fused scan batches are *cost-gated* — a batch whose estimated
+    #: cooperative pass is dearer than per-member solo scans (high
+    #: selectivity: sorting the hit positions dominates) splits to solo
+    #: runs instead of fusing on fingerprint equality alone.
+    optimizer: str = "heuristic"
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -99,6 +106,9 @@ class AdmissionPolicy:
             and self.admission_timeout_batches < 1
         ):
             raise PlanError("admission_timeout_batches must be at least 1")
+        from ..opt.planner import check_optimizer
+
+        check_optimizer(self.optimizer)
 
 
 @dataclass
@@ -141,6 +151,22 @@ class ServeStats:
     fused_theta_queries: int = 0
     modeled_fused_theta_seconds: float = 0.0
     modeled_solo_theta_seconds: float = 0.0
+    #: Cost-gate outcomes under ``optimizer="cost"`` (PR 8): batches the
+    #: gate examined, and those it split to solo runs because the
+    #: estimated cooperative pass was dearer than per-member scans.
+    cost_gated_batches: int = 0
+    cost_gated_solo: int = 0
+    #: Fault-layer visibility (PR 7 follow-on): retry/hedge totals summed
+    #: off completed results, and the sharded executor's circuit-breaker
+    #: state refreshed after every batch.  All zeros/empty on a
+    #: single-device scheduler.
+    retries: int = 0
+    hedged_fragments: int = 0
+    breaker_open_events: int = 0
+    breaker_probes: int = 0
+    #: shard index -> "closed" | "open" | "half_open" (last refresh).
+    breaker_states: dict[int, str] = field(default_factory=dict)
+    quarantined_shards: tuple[int, ...] = ()
 
     @property
     def modeled_scan_sharing_gain(self) -> float:
@@ -238,6 +264,8 @@ class Scheduler:
         self._queue = QueryQueue()
         self._seq = 0
         self._closed = False
+        #: Most recent optimizer decisions (cost gate picks), newest last.
+        self.recent_decisions = deque(maxlen=32)
 
     # ------------------------------------------------------------------
     # Submission
@@ -446,7 +474,12 @@ class Scheduler:
             pending.handle._begin()
         kind = batch[0].group[0][0]
         if kind == "scan" and len(batch) > 1 and batch[0].mode in ("ar", "approximate"):
-            self._run_fused_scan_batch(batch)
+            if self.policy.optimizer == "cost" and not self._gate_allows_fuse(batch):
+                self.stats.cost_gated_solo += 1
+                for pending in batch:
+                    self._run_solo(pending)
+            else:
+                self._run_fused_scan_batch(batch)
         elif kind == "theta" and len(batch) > 1 and batch[0].mode in ("ar", "approximate"):
             self.stats.shared_right_batches += 1
             self._run_fused_theta_batch(batch)
@@ -456,20 +489,84 @@ class Scheduler:
             for pending in batch:
                 self._run_solo(pending)
 
+    def _gate_allows_fuse(self, batch: list[_Pending]) -> bool:
+        """Cost-gate one scan batch: fuse only when the estimated
+        cooperative pass beats per-member solo scans.
+
+        The fused pass pays a gather-and-sort of every member's hit
+        positions on the shared sorted-code view (``O(h log h)``); a solo
+        member pays one full stream compare (``O(n)``).  At high
+        selectivity the sorts dominate and solo wins — fingerprint
+        equality alone cannot see that.  The decision (with both costed
+        alternatives) lands in :attr:`recent_decisions`.
+        """
+        from ..opt.planner import batch_membership_decision
+
+        _, table, column_name = batch[0].group[0]
+        catalog = self.session.catalog
+        try:
+            n_rows = len(catalog.table(table))
+            est_hits = []
+            for pending in batch:
+                pred = next(
+                    p for p in pending.query.where
+                    if p.is_simple_column and p.target.name == column_name
+                )
+                sel = estimated_selectivity(pred, catalog, table)
+                est_hits.append(int(sel * n_rows))
+        except (StopIteration, PlanError, ReproError):
+            return True  # no estimate — keep the historical fusing behavior
+        decision = batch_membership_decision(
+            table, column_name, n_rows, est_hits
+        )
+        self.stats.cost_gated_batches += 1
+        self.recent_decisions.append(decision)
+        return decision.chosen == "fused"
+
+    def _note_result(self, pending: _Pending, result) -> None:
+        """Shared completion accounting (fault counters included)."""
+        pending.handle._fulfill(result)
+        self.stats.completed += 1
+        if result.degraded:
+            self.stats.degraded += 1
+        self.stats.retries += getattr(result, "retries", 0)
+        self.stats.hedged_fragments += len(
+            getattr(result, "hedged_shards", ()) or ()
+        )
+        self._refresh_breaker_stats()
+
+    def _refresh_breaker_stats(self) -> None:
+        """Mirror the sharded executor's circuit breakers into the stats.
+
+        No-op on a single-device scheduler (the session has no executor).
+        """
+        executor = getattr(self.session, "executor", None)
+        breakers = getattr(executor, "breakers", None)
+        if not breakers:
+            return
+        self.stats.breaker_states = {
+            i: b.state for i, b in sorted(breakers.items())
+        }
+        self.stats.breaker_open_events = sum(
+            b.opened_count for b in breakers.values()
+        )
+        self.stats.breaker_probes = sum(b.probes for b in breakers.values())
+        self.stats.quarantined_shards = tuple(
+            sorted(executor.quarantined_shards())
+        )
+
     def _run_solo(self, pending: _Pending) -> None:
         try:
             result = self.session.query(
                 pending.query, mode=pending.mode, pushdown=pending.pushdown,
                 predicate_order=pending.predicate_order,
+                optimizer=self.policy.optimizer,
             )
         except ReproError as exc:
             pending.handle._fail(exc)
             self.stats.failed += 1
             return
-        pending.handle._fulfill(result)
-        self.stats.completed += 1
-        if result.degraded:
-            self.stats.degraded += 1
+        self._note_result(pending, result)
 
     def _run_with_plan(self, pending: _Pending, plan, scan_hits=None,
                        theta_runs=None):
@@ -489,10 +586,7 @@ class Scheduler:
             pending.handle._fail(exc)
             self.stats.failed += 1
             return None
-        pending.handle._fulfill(result)
-        self.stats.completed += 1
-        if result.degraded:
-            self.stats.degraded += 1
+        self._note_result(pending, result)
         return result
 
     def _run_fused_scan_batch(self, batch: list[_Pending]) -> None:
@@ -516,6 +610,7 @@ class Scheduler:
                     pending.query, self.session.catalog,
                     pushdown=pending.pushdown,
                     predicate_order=pending.predicate_order,
+                    optimizer=self.policy.optimizer,
                 )
             except ReproError as exc:
                 pending.handle._fail(exc)
@@ -579,6 +674,7 @@ class Scheduler:
                     pending.query, self.session.catalog,
                     pushdown=pending.pushdown,
                     predicate_order=pending.predicate_order,
+                    optimizer=self.policy.optimizer,
                 )
             except ReproError as exc:
                 pending.handle._fail(exc)
@@ -593,6 +689,7 @@ class Scheduler:
             if (
                 right is not None
                 and isinstance(first, ApproxThetaJoin)
+                and first.theta.strategy in ("auto", "sorted")
                 and theta_runs_fusable(right, theta)
             ):
                 fused.append((pending, plan))

@@ -65,6 +65,11 @@ class ShardedPlan:
     #: aliases the fragments compute that the merge consumes but the
     #: merged result drops (the avg partials).
     partial_aliases: tuple[str, ...] = ()
+    #: Optimizer audit trail under ``optimizer="cost"`` (PR 8): the
+    #: fragment-shape decision (per-shard run-vs-prune with estimated
+    #: fragment seconds, plus the estimated merge charge) and each
+    #: fragment plan's own decisions as ``(shard_index, Decision)``.
+    decisions: list = field(default_factory=list)
 
     def describe(self) -> str:
         lines = [
@@ -78,6 +83,15 @@ class ShardedPlan:
                 lines.append(f"    {op.describe()}")
         if self.merge is not None:
             lines.append(f"  {self.merge.describe()}")
+        if self.decisions:
+            lines.append("  optimizer decisions:")
+            for shard_index, decision in self.decisions:
+                where = (
+                    "coordinator" if shard_index is None
+                    else f"shard {shard_index}"
+                )
+                for text in decision.describe():
+                    lines.append(f"    [{where}] {text}")
         return "\n".join(lines)
 
 
@@ -95,6 +109,7 @@ class ShardPlanner:
         mode: str = "ar",
         pushdown: bool = True,
         predicate_order: str = "query",
+        optimizer: str = "heuristic",
     ) -> ShardedPlan:
         self._check_scope(query)
         fragment_aggs, partial_aliases = _lower_aggregates(query.aggregates)
@@ -125,12 +140,75 @@ class ShardPlanner:
                     self.catalog.shards[shard_index].catalog,
                     pushdown=pushdown,
                     predicate_order=predicate_order,
+                    optimizer=optimizer,
                 )
             plan.fragments.append(
                 Fragment(shard_index, fragment_query, fragment_plan)
             )
         plan.merge = ShardMerge(n_shards=len(plan.fragments), kind=kind)
+        if optimizer == "cost" and mode != "classic":
+            self._attach_decisions(plan, kind)
         return plan
+
+    def _attach_decisions(self, plan: ShardedPlan, merge_kind: str) -> None:
+        """Record the costed fragment-shape decisions (PR 8).
+
+        One coordinator-level decision per shard: routed shards show the
+        estimated modeled seconds of running their fragment (the sum of
+        its estimated spans) against the inadmissible zero-cost prune;
+        pruned shards show the scan cost pruning avoided.  Both sides are
+        ``forced`` — run-vs-prune is a *soundness* call (zero candidates
+        proven from the code bands), the costs only make the trade
+        visible.  Each fragment plan's own optimizer decisions are
+        re-tagged with their shard index.
+        """
+        from ..opt.cost import SIM_HOST, OpClass
+        from ..opt.planner import Alternative, Decision
+
+        table = plan.query.table
+        row_maps = self.catalog.row_maps.get(table)
+        per_tuple = SIM_HOST.per_tuple[OpClass.SCAN]
+        for fragment in plan.fragments:
+            est = sum(s.est_seconds for s in fragment.plan.estimated_spans)
+            n_rows = (
+                len(row_maps[fragment.shard_index]) if row_maps is not None
+                else len(self.catalog.global_catalog.table(table))
+            )
+            plan.decisions.append((None, Decision(
+                kind="fragment-shape",
+                target=f"{table} shard {fragment.shard_index}",
+                chosen="run",
+                alternatives=(
+                    Alternative("run", est, f"{n_rows:,} rows → {merge_kind} merge"),
+                    Alternative(
+                        "prune", 0.0,
+                        "inadmissible: code band may contribute candidates",
+                    ),
+                ),
+                estimates={"rows": n_rows},
+                forced=True,
+            )))
+            for decision in fragment.plan.decisions:
+                plan.decisions.append((fragment.shard_index, decision))
+        for shard_index in plan.pruned:
+            n_rows = len(row_maps[shard_index]) if row_maps is not None else 0
+            plan.decisions.append((None, Decision(
+                kind="fragment-shape",
+                target=f"{table} shard {shard_index}",
+                chosen="prune",
+                alternatives=(
+                    Alternative(
+                        "prune", 0.0,
+                        "zero candidates under the approximation",
+                    ),
+                    Alternative(
+                        "run", n_rows * per_tuple,
+                        f"{n_rows:,} rows scanned for nothing",
+                    ),
+                ),
+                estimates={"rows": n_rows},
+                forced=True,
+            )))
 
     # ------------------------------------------------------------------
     def _check_scope(self, query: Query) -> None:

@@ -124,7 +124,15 @@ class ShardScheduler(Scheduler):
             and len(batch) > 1
             and batch[0].mode in ("ar", "approximate")
         ):
-            self._run_fused_scan_batch(batch)
+            if (
+                self.policy.optimizer == "cost"
+                and not self._gate_allows_fuse(batch)
+            ):
+                self.stats.cost_gated_solo += 1
+                for pending in batch:
+                    self._run_solo(pending)
+            else:
+                self._run_fused_scan_batch(batch)
         else:
             if kind == "theta" and len(batch) > 1:
                 # Members still share the replicated right side's memoized
@@ -141,10 +149,7 @@ class ShardScheduler(Scheduler):
             pending.handle._fail(exc)
             self.stats.failed += 1
             return None
-        pending.handle._fulfill(result)
-        self.stats.completed += 1
-        if result.degraded:
-            self.stats.degraded += 1
+        self._note_result(pending, result)
         return result
 
     def _run_fused_scan_batch(self, batch: list[_Pending]) -> None:
@@ -168,6 +173,7 @@ class ShardScheduler(Scheduler):
                     pending.query, mode=pending.mode,
                     pushdown=pending.pushdown,
                     predicate_order=pending.predicate_order,
+                    optimizer=self.policy.optimizer,
                 )
             except ReproError as exc:
                 pending.handle._fail(exc)

@@ -148,14 +148,20 @@ class ShardedSession:
         mode: str = "ar",
         pushdown: bool = True,
         predicate_order: str = "query",
+        optimizer: str = "heuristic",
         timeline: Timeline | None = None,
     ) -> ShardedResult:
-        """Plan per-shard fragments, run them, merge on the coordinator."""
+        """Plan per-shard fragments, run them, merge on the coordinator.
+
+        ``optimizer="cost"`` costs each fragment's physical shape against
+        its own shard's histograms (:mod:`repro.opt`, PR 8); merged
+        Results stay byte-identical.
+        """
         if mode not in MODES:
             raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
         plan = self.planner.plan(
             query, mode=mode, pushdown=pushdown,
-            predicate_order=predicate_order,
+            predicate_order=predicate_order, optimizer=optimizer,
         )
         result = self.executor.execute(plan)
         if timeline is not None:
@@ -170,6 +176,7 @@ class ShardedSession:
         max_in_flight: int = 64,
         device_headroom_fraction: float = 1.0,
         admission_timeout_batches: int | None = None,
+        optimizer: str = "heuristic",
     ):
         """Open a placement-aware multi-query scheduler over the shards."""
         from ..serve.scheduler import AdmissionPolicy
@@ -179,14 +186,20 @@ class ShardedSession:
             max_in_flight=max_in_flight, max_batch=max_batch,
             device_headroom_fraction=device_headroom_fraction,
             admission_timeout_batches=admission_timeout_batches,
+            optimizer=optimizer,
         ))
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def explain(self, query: Query, *, pushdown: bool = True) -> str:
+    def explain(
+        self, query: Query, *, pushdown: bool = True,
+        optimizer: str = "heuristic",
+    ) -> str:
         """Render the sharded plan: fragments, pruned shards, the merge."""
-        return self.planner.plan(query, pushdown=pushdown).describe()
+        return self.planner.plan(
+            query, pushdown=pushdown, optimizer=optimizer
+        ).describe()
 
     def shard_rows(self, table: str) -> list[int]:
         return self.sharded_catalog.shard_rows(table)

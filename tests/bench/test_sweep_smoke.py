@@ -1,0 +1,66 @@
+"""Tier-1 smoke coverage for the PR-8 optimizer sweep harness.
+
+Runs ``benchmarks/sweep.py`` in its ``--quick`` shape (4 cells) and checks
+the acceptance criteria the full sweep is graded on: the cost-based pick
+matches the empirically fastest forced strategy in ≥ 80 % of cells, its
+chosen plan is never more than 1.5× slower than the fastest alternative
+in any cell, and at least one cell beats the old heuristic by ≥ 1.2× —
+with every variant in every cell returning the identical count (the sweep
+itself asserts that and raises otherwise).
+"""
+
+import importlib.util
+from pathlib import Path
+
+_SWEEP_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "sweep.py"
+
+
+def _load_sweep():
+    spec = importlib.util.spec_from_file_location("repro_sweep_smoke", _SWEEP_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_sweep = _load_sweep()
+_DATA = _sweep.sweep(quick=True)
+
+
+def test_quick_sweep_shape():
+    assert _DATA["meta"]["quick"] is True
+    assert len(_DATA["cells"]) == (
+        len(_sweep.QUICK_SELECTIVITIES)
+        * len(_sweep.SKEWS)
+        * len(_sweep.QUICK_RIGHT_RATIOS)
+    )
+    for cell in _DATA["cells"]:
+        assert set(cell["timings_ms"]) == {
+            "bruteforce+pairs", "sorted+pairs", "sorted+runs",
+            "heuristic", "optimizer",
+        }
+
+
+def test_pick_matches_fastest_in_most_cells():
+    assert _DATA["summary"]["match_rate"] >= 0.80
+
+
+def test_pick_never_far_from_fastest():
+    assert _DATA["summary"]["worst_ratio"] <= 1.5
+
+
+def test_optimizer_beats_heuristic_somewhere():
+    """≥ 1 cell where the cost-based pick wins ≥ 1.2× end to end.
+
+    The win region is the small right side: the heuristic's cardinality
+    cutoff picks brute force there, while the estimator sees few enough
+    candidate pairs to know the sorted sweep wins.
+    """
+    assert _DATA["summary"]["best_gain_over_heuristic"] >= 1.2
+
+
+def test_markdown_reporter_renders():
+    text = _sweep.render_markdown(_DATA)
+    assert "match rate" in text
+    assert "| sel |" in text
+    for cell in _DATA["cells"]:
+        assert cell["chosen"] in text

@@ -1,0 +1,100 @@
+"""Estimator sanity: histogram-seeded cardinalities track exact counts."""
+
+import numpy as np
+import pytest
+
+from repro.core.relax import ValueRange
+from repro.core.theta import Theta, ThetaOp
+from repro.engine.session import Session
+from repro.opt.estimates import (
+    estimate_conjunction_rows,
+    estimate_scan_candidates,
+    estimate_selectivity,
+    estimate_theta_cardinality,
+)
+from repro.plan.expr import ColRef, Predicate
+from repro.storage.column import IntType
+
+N = 30_000
+DOMAIN = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def session():
+    rng = np.random.default_rng(11)
+    s = Session()
+    s.create_table(
+        "L", {"v": IntType(), "w": IntType()},
+        {"v": rng.integers(0, DOMAIN, N), "w": rng.integers(0, 1000, N)},
+    )
+    s.create_table(
+        "R", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, N // 100)}
+    )
+    s.bwdecompose("L", "v", 24)
+    # Fine resolution on the narrow column (max_error 15) so relaxation
+    # does not dominate its selectivity estimate.
+    s.bwdecompose("L", "w", residual_bits=4)
+    s.bwdecompose("R", "v", 24)
+    return s
+
+
+def _pred(column, lo, hi):
+    return Predicate(ColRef(column), ValueRange.between(lo, hi))
+
+
+def test_scan_estimate_tracks_exact_candidates(session):
+    pred = _pred("v", 100_000, 400_000)
+    est = estimate_scan_candidates(session.catalog, "L", pred)
+    exact = int(
+        np.count_nonzero(
+            (session.catalog.table("L").column("v").tail >= 100_000)
+            & (session.catalog.table("L").column("v").tail <= 400_000)
+        )
+    )
+    # The relaxed range rounds out by at most one residual step per side;
+    # the histogram interpolates inside merged buckets.
+    assert exact * 0.8 <= est <= exact * 1.25 + 600
+
+
+def test_selectivity_is_a_fraction(session):
+    sel = estimate_selectivity(session.catalog, "L", _pred("v", 0, DOMAIN // 4))
+    assert 0.0 <= sel <= 1.0
+    assert sel == pytest.approx(0.25, rel=0.2)
+
+
+def test_conjunction_multiplies_independent_selectivities(session):
+    preds = [_pred("v", 0, DOMAIN // 2), _pred("w", 0, 99)]
+    rows = estimate_conjunction_rows(session.catalog, "L", preds, N)
+    assert rows == pytest.approx(N * 0.5 * 0.1, rel=0.3)
+
+
+def test_theta_estimate_brackets_exact_pairs(session):
+    catalog = session.catalog
+    left = catalog.decomposition_of("L", "v")
+    right = catalog.decomposition_of("R", "v")
+    theta = Theta(ThetaOp.LT)
+    card = estimate_theta_cardinality(
+        left, right, theta,
+        left_hist=catalog.histogram_of("L", "v"),
+        right_hist=catalog.histogram_of("R", "v"),
+    )
+    lv = catalog.table("L").column("v").tail
+    rv = catalog.table("R").column("v").tail
+    exact = int(np.sum(np.searchsorted(np.sort(rv), lv, side="right")))
+    exact_pairs = card.n_left * card.n_right - exact  # l < r pairs
+    assert card.certain_pairs <= card.candidate_pairs
+    assert card.candidate_pairs <= card.n_left * card.n_right
+    assert card.candidate_pairs == pytest.approx(exact_pairs, rel=0.05)
+
+
+def test_theta_estimate_scaled_by_selection(session):
+    catalog = session.catalog
+    left = catalog.decomposition_of("L", "v")
+    right = catalog.decomposition_of("R", "v")
+    card = estimate_theta_cardinality(left, right, Theta(ThetaOp.LT))
+    half = card.scaled(0.5)
+    assert half.n_left == card.n_left // 2
+    assert half.candidate_pairs == pytest.approx(
+        card.candidate_pairs * 0.5, rel=0.01
+    )
+    assert half.certain_pairs <= half.candidate_pairs

@@ -1,0 +1,110 @@
+"""Decision making: theta strategy choice, pinned knobs, the serve gate."""
+
+import numpy as np
+import pytest
+
+from repro.engine.session import Session
+from repro.errors import PlanError
+from repro.opt.planner import (
+    OPTIMIZERS,
+    batch_membership_decision,
+    check_optimizer,
+    choose_theta,
+)
+from repro.storage.column import IntType
+
+DOMAIN = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def session():
+    rng = np.random.default_rng(5)
+    s = Session()
+    s.create_table(
+        "L", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, 40_000)}
+    )
+    s.create_table(
+        "Rsmall", {"v": IntType()},
+        {"v": np.sort(rng.integers(0, DOMAIN, 16))},
+    )
+    s.bwdecompose("L", "v", 24)
+    s.bwdecompose("Rsmall", "v", 24)
+    return s
+
+
+def test_check_optimizer_rejects_unknown():
+    assert check_optimizer("cost") == "cost"
+    with pytest.raises(PlanError, match="unknown optimizer"):
+        check_optimizer("greedy")
+    assert set(OPTIMIZERS) == {"heuristic", "cost"}
+
+
+def test_session_rejects_unknown_optimizer(session):
+    q = session.table("L").where("v", "<=", 100).count("n").build()
+    with pytest.raises(PlanError, match="unknown optimizer"):
+        session.query(q, optimizer="greedy")
+
+
+def test_small_right_side_prefers_sorted_over_brute(session):
+    """The PR-8 win region: the heuristic's |R| cutoff picks brute force
+    below _SORT_MIN_RIGHT, but candidate-pair counts say sorted wins."""
+    q = session.table("L").theta_join("Rsmall", on="v", op="<").count("n").build()
+    tj, decision = choose_theta(q, session.catalog)
+    assert tj.strategy == "sorted"
+    assert not decision.forced
+    assert decision.chosen.startswith("sorted")
+    labels = {alt.label for alt in decision.alternatives}
+    assert {"bruteforce+pairs", "sorted+pairs", "sorted+runs"} <= labels
+    assert decision.estimates["candidate_pairs"] >= decision.estimates[
+        "certain_pairs"
+    ]
+
+
+def test_pinned_strategy_is_respected_but_recorded(session):
+    q = (
+        session.table("L")
+        .theta_join("Rsmall", on="v", op="<", strategy="bruteforce")
+        .count("n")
+        .build()
+    )
+    tj, decision = choose_theta(q, session.catalog)
+    assert tj.strategy == "bruteforce"
+    assert decision.forced
+    assert decision.chosen == "bruteforce+pairs"
+    # The cheaper rejected alternative is still on the record.
+    cheaper = [
+        alt for alt in decision.alternatives
+        if alt.label.startswith("sorted")
+        and alt.est_seconds < decision.chosen_alternative().est_seconds
+    ]
+    assert cheaper
+
+
+def test_decision_describe_marks_winner_and_rejects(session):
+    q = session.table("L").theta_join("Rsmall", on="v", op="<").count("n").build()
+    _, decision = choose_theta(q, session.catalog)
+    text = "\n".join(decision.describe())
+    assert "* chosen" in text
+    assert "rej" in text
+    assert "est" in text
+
+
+def test_batch_membership_flips_with_selectivity():
+    n = 1_000_000
+    narrow = batch_membership_decision("t", "c", n, [1000] * 8)
+    wide = batch_membership_decision("t", "c", n, [600_000] * 8)
+    assert narrow.chosen == "fused"
+    assert wide.chosen == "solo"
+    assert {a.label for a in narrow.alternatives} == {"fused", "solo"}
+
+
+def test_unknown_pinned_combo_raises(session):
+    """A pin the enumerator cannot produce is a loud PlanError."""
+    q = (
+        session.table("L")
+        .theta_join("Rsmall", on="v", op="<", strategy="bruteforce", emit="runs")
+        .count("n")
+        .build()
+    )
+    with pytest.raises(PlanError, match="no enumerable alternative"):
+        choose_theta(q, session.catalog)

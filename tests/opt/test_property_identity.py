@@ -1,0 +1,112 @@
+"""Property tests: the optimizer never changes an answer or a charge.
+
+The cost-based pick must be Result- and modeled-Timeline byte-identical to
+every forced-strategy run — across theta strategy × emit, all A&R modes,
+and under an aggressively evicting decoded-view budget.  The optimizer
+only ever moves simulation-host wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.session import Session
+from repro.storage.column import IntType
+from repro.storage.decompose import set_view_budget
+
+DOMAIN = 1 << 20
+
+FORCED = (
+    ("bruteforce", "pairs"),
+    ("sorted", "pairs"),
+    ("sorted", "runs"),
+)
+
+
+def _session(n_left=12_000, n_right=300, seed=3):
+    rng = np.random.default_rng(seed)
+    s = Session()
+    s.create_table(
+        "L", {"v": IntType(), "g": IntType()},
+        {
+            "v": rng.integers(0, DOMAIN, n_left),
+            "g": rng.integers(0, 4, n_left),
+        },
+    )
+    s.create_table(
+        "R", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, n_right)}
+    )
+    s.bwdecompose("L", "v", 24)
+    s.bwdecompose("R", "v", 24)
+    return s
+
+
+def _theta_builder(s, strategy="auto", emit="auto"):
+    return (
+        s.table("L")
+        .where("v", between=(50_000, 900_000))
+        .theta_join("R", on="v", op="<", strategy=strategy, emit=emit)
+        .count("n")
+    )
+
+
+def assert_identical(a, b):
+    assert a.row_count == b.row_count
+    assert set(a.columns) == set(b.columns)
+    for name in a.columns:
+        np.testing.assert_array_equal(a.columns[name], b.columns[name])
+    assert a.timeline.span_tuples() == b.timeline.span_tuples()
+    if a.approximate is None:
+        assert b.approximate is None
+    else:
+        assert a.approximate.aggregates == b.approximate.aggregates
+        assert a.approximate.candidate_rows == b.approximate.candidate_rows
+
+
+@pytest.fixture(scope="module")
+def session():
+    return _session()
+
+
+@pytest.mark.parametrize("mode", ["ar", "approximate"])
+@pytest.mark.parametrize("strategy,emit", FORCED)
+def test_optimized_equals_every_forced_run(session, mode, strategy, emit):
+    forced = _theta_builder(session, strategy, emit).run(mode=mode)
+    optimized = _theta_builder(session).run(mode=mode, optimizer="cost")
+    assert_identical(forced, optimized)
+
+
+@pytest.mark.parametrize("strategy,emit", FORCED)
+def test_identity_holds_under_evicting_view_budget(session, strategy, emit):
+    set_view_budget(64 * 1024, segment_rows=2048)
+    try:
+        forced = _theta_builder(session, strategy, emit).run(mode="ar")
+        optimized = _theta_builder(session).run(mode="ar", optimizer="cost")
+    finally:
+        set_view_budget(None)
+    assert_identical(forced, optimized)
+
+
+def test_scan_only_query_identical_under_optimizer(session):
+    q = lambda **kw: (
+        session.table("L")
+        .where("v", between=(100_000, 300_000))
+        .group_by("g")
+        .count("n")
+        .run(**kw)
+    )
+    assert_identical(q(mode="ar"), q(mode="ar", optimizer="cost"))
+
+
+def test_optimizer_pick_beats_or_ties_heuristic_in_win_region():
+    """Small right side: the heuristic bruteforces, the optimizer sorts —
+    answers stay identical while the chosen plan does less work."""
+    rng = np.random.default_rng(9)
+    s = Session()
+    s.create_table("L", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, 20_000)})
+    s.create_table("R", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, 16)})
+    s.bwdecompose("L", "v", 24)
+    s.bwdecompose("R", "v", 24)
+    builder = s.table("L").theta_join("R", on="v", op="<").count("n")
+    assert_identical(
+        builder.run(mode="ar"), builder.run(mode="ar", optimizer="cost")
+    )

@@ -1,0 +1,102 @@
+"""The serve-side cost gate (PR 8): fuse a scan batch only when the
+estimated cooperative pass beats per-member solo scans — with results
+byte-identical either way, and the decision on the audit trail."""
+
+import numpy as np
+import pytest
+
+from repro.engine.session import Session
+from repro.errors import PlanError
+from repro.storage.column import IntType
+
+DOMAIN = 1 << 20
+N = 60_000
+
+
+@pytest.fixture()
+def session():
+    rng = np.random.default_rng(13)
+    s = Session()
+    s.create_table("t", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, N)})
+    s.bwdecompose("t", "v", 24)
+    return s
+
+
+def _windows(fraction, count=6, seed=2):
+    rng = np.random.default_rng(seed)
+    width = int(fraction * DOMAIN)
+    los = rng.integers(0, DOMAIN - width, count)
+    return [(int(lo), int(lo + width)) for lo in los]
+
+
+def _serve_counts(session, windows, **serve_kwargs):
+    with session.serve(max_batch=16, **serve_kwargs) as server:
+        handles = [
+            session.table("t").where("v", between=w).count("n").submit(server)
+            for w in windows
+        ]
+        results = [h.result() for h in handles]
+    return [r.scalar("n") for r in results], server.stats, results
+
+
+def test_narrow_windows_stay_fused(session):
+    counts, stats, _ = _serve_counts(
+        session, _windows(0.002), optimizer="cost"
+    )
+    baseline = [
+        session.table("t").where("v", between=w).count("n").run(mode="ar")
+        .scalar("n")
+        for w in _windows(0.002)
+    ]
+    assert counts == baseline
+    assert stats.cost_gated_batches >= 1
+    assert stats.cost_gated_solo == 0
+    assert stats.fused_batches >= 1
+
+
+def test_wide_windows_are_gated_to_solo(session):
+    counts, stats, _ = _serve_counts(
+        session, _windows(0.65), optimizer="cost"
+    )
+    baseline = [
+        session.table("t").where("v", between=w).count("n").run(mode="ar")
+        .scalar("n")
+        for w in _windows(0.65)
+    ]
+    assert counts == baseline
+    assert stats.cost_gated_solo >= 1
+    assert stats.fused_batches == 0
+
+
+def test_heuristic_policy_never_gates(session):
+    _, stats, _ = _serve_counts(session, _windows(0.65))
+    assert stats.cost_gated_batches == 0
+    assert stats.cost_gated_solo == 0
+    assert stats.fused_batches >= 1  # historical behavior: always fuse
+
+
+def test_gated_results_identical_to_solo_run(session):
+    windows = _windows(0.65)
+    counts, _, results = _serve_counts(session, windows, optimizer="cost")
+    for w, served in zip(windows, results):
+        solo = (
+            session.table("t").where("v", between=w).count("n").run(mode="ar")
+        )
+        np.testing.assert_array_equal(served.columns["n"], solo.columns["n"])
+        assert served.timeline.span_tuples() == solo.timeline.span_tuples()
+
+
+def test_gate_decision_lands_on_audit_trail(session):
+    with session.serve(max_batch=16, optimizer="cost") as server:
+        for w in _windows(0.65):
+            session.table("t").where("v", between=w).count("n").submit(server)
+    decisions = list(server.recent_decisions)
+    assert decisions
+    assert decisions[-1].kind == "batch-membership"
+    assert decisions[-1].chosen == "solo"
+    assert {a.label for a in decisions[-1].alternatives} == {"fused", "solo"}
+
+
+def test_serve_rejects_unknown_optimizer(session):
+    with pytest.raises(PlanError, match="unknown optimizer"):
+        session.serve(optimizer="greedy")
