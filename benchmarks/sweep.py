@@ -233,6 +233,162 @@ def sweep(quick: bool = False, reps: int | None = None) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Host-spec calibration (PR 9): fit SIM_HOST to a recorded grid
+# ----------------------------------------------------------------------
+#: Fit parameters, in design-matrix column order: fixed per-charge launch,
+#: sequential byte cost, then one per-tuple cost per OpClass.
+_FIT_CLASSES = ("SCAN", "ARITH", "GATHER", "HASH", "AGG")
+
+
+def _basis_specs():
+    """One DeviceSpec per fit parameter: that constant 1, the rest ~0.
+
+    Costing an alternative under a basis spec makes ``est_seconds`` read
+    out the alternative's feature count for that parameter (number of
+    charges, total bytes, or total tuples of one OpClass).
+    """
+    from types import MappingProxyType
+
+    from repro.device.model import DeviceSpec, OpClass
+
+    def spec(launch=0.0, bandwidth=1e30, per_tuple=None):
+        return DeviceSpec(
+            name="calibration-basis", kind="cpu", memory_capacity=None,
+            seq_bandwidth=bandwidth, random_bandwidth=bandwidth,
+            launch_overhead=launch,
+            per_tuple=MappingProxyType(per_tuple or {}),
+        )
+
+    yield "launch_overhead", spec(launch=1.0)
+    yield "byte_cost", spec(bandwidth=1.0)
+    for name in _FIT_CLASSES:
+        yield f"per_tuple.{name}", spec(per_tuple={OpClass[name]: 1.0})
+
+
+def _fitted_spec(theta: np.ndarray):
+    from types import MappingProxyType
+
+    from repro.device.model import DeviceSpec, OpClass
+
+    byte_cost = float(theta[1])
+    return DeviceSpec(
+        name="sim-host-calibrated", kind="cpu", memory_capacity=None,
+        seq_bandwidth=(1.0 / byte_cost) if byte_cost > 1e-30 else 1e30,
+        random_bandwidth=(1.0 / byte_cost) if byte_cost > 1e-30 else 1e30,
+        launch_overhead=float(theta[0]),
+        per_tuple=MappingProxyType({
+            OpClass[name]: float(t)
+            for name, t in zip(_FIT_CLASSES, theta[2:])
+        }),
+    )
+
+
+def calibrate(data: dict) -> dict:
+    """Fit the SIM_HOST DeviceSpec to a recorded sweep's wall-clock grid.
+
+    Every host-cost charge is ``launch + nbytes·byte_cost +
+    tuples·per_tuple[class]`` — linear in the spec constants — so the
+    recorded per-cell forced-strategy timings admit a least-squares fit.
+    Feature counts come from re-costing each cell's alternatives under
+    basis specs (:func:`repro.opt.sim_host_override`); negative solution
+    components are clipped to zero (a DeviceSpec constraint).  The fitted
+    spec is then validated by re-running ``choose_theta`` on every cell:
+    ``picks_changed`` lists cells whose chosen strategy moved off the
+    recorded pick — the calibration acceptance gate requires none.
+    """
+    from repro.opt.cost import sim_host_override
+
+    sessions: dict[tuple, object] = {}
+
+    def cell_query(cell):
+        key = (cell["n_left"], cell["n_right"], cell["skew"])
+        if key not in sessions:
+            sessions[key] = build_cell_session(*key)
+        return (
+            sessions[key],
+            _cell_builder(sessions[key], cell["selectivity"]).build(),
+        )
+
+    names = [name for name, _ in _basis_specs()]
+    rows, targets, labels = [], [], []
+    for cell in data["cells"]:
+        session, query = cell_query(cell)
+        feats: dict[str, list[float]] = {}
+        for _, spec in _basis_specs():
+            with sim_host_override(spec):
+                _, decision = choose_theta(query, session.catalog)
+            for alt in decision.alternatives:
+                feats.setdefault(alt.label, []).append(alt.est_seconds)
+        for label, row in feats.items():
+            if label not in cell["timings_ms"]:
+                continue
+            rows.append(row)
+            targets.append(cell["timings_ms"][label] / 1e3)
+            labels.append((cell, label))
+    design = np.array(rows, dtype=np.float64)
+    y = np.array(targets, dtype=np.float64)
+    # Relative least squares: weight each observation by 1/y so a 2×
+    # miss on a 100 µs cell costs the same as one on a 10 ms cell —
+    # forced-strategy timings span orders of magnitude across the grid.
+    w = 1.0 / np.maximum(y, 1e-30)
+    try:
+        from scipy.optimize import nnls
+
+        theta, _ = nnls(design * w[:, None], y * w)
+    except ImportError:
+        theta, _, _, _ = np.linalg.lstsq(
+            design * w[:, None], y * w, rcond=None
+        )
+        theta = np.clip(theta, 0.0, None)
+    spec = _fitted_spec(theta)
+
+    predicted = design @ theta
+    residual = float(np.sqrt(np.mean(((predicted - y) * w) ** 2)))
+    changed = []
+    with sim_host_override(spec):
+        for cell in data["cells"]:
+            session, query = cell_query(cell)
+            _, decision = choose_theta(query, session.catalog)
+            if decision.chosen != cell["chosen"]:
+                changed.append({
+                    "selectivity": cell["selectivity"],
+                    "skew": cell["skew"],
+                    "n_right": cell["n_right"],
+                    "recorded": cell["chosen"],
+                    "calibrated": decision.chosen,
+                })
+    return {
+        "constants": dict(zip(names, (float(t) for t in theta))),
+        "relative_rms_error": round(residual, 4),
+        "cells": len(data["cells"]),
+        "observations": len(rows),
+        "picks_changed": changed,
+        "spec": spec,
+    }
+
+
+def report_calibration(result: dict) -> str:
+    lines = ["calibrated sim-host constants (fit over recorded grid):"]
+    for name, value in result["constants"].items():
+        lines.append(f"  {name:<18} {value:.3e}")
+    lines.append(
+        f"relative rms error {result['relative_rms_error']} over "
+        f"{result['observations']} observations in {result['cells']} cells"
+    )
+    if result["picks_changed"]:
+        lines.append(
+            f"PICKS CHANGED under the calibrated spec: "
+            f"{result['picks_changed']}"
+        )
+    else:
+        lines.append(
+            "all recorded optimizer picks unchanged under the calibrated "
+            "spec"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Markdown reporter
 # ----------------------------------------------------------------------
 def render_markdown(data: dict) -> str:
@@ -279,8 +435,17 @@ if __name__ == "__main__":
         "--markdown", type=Path, metavar="JSON",
         help="render a recorded sweep JSON as markdown and exit",
     )
+    parser.add_argument(
+        "--calibrate", type=Path, metavar="JSON", nargs="?",
+        const=_RESULT_FILE, default=None,
+        help="fit SIM_HOST constants to a recorded sweep JSON and exit",
+    )
     args = parser.parse_args()
-    if args.markdown:
+    if args.calibrate:
+        print(report_calibration(
+            calibrate(json.loads(args.calibrate.read_text()))
+        ))
+    elif args.markdown:
         print(render_markdown(json.loads(args.markdown.read_text())))
     else:
         data = sweep(quick=args.quick, reps=args.reps)

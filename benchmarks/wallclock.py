@@ -123,9 +123,17 @@ QUICK_THETA_SIZES = (2_000, 600)
 QUICK_THETA_LARGE_SIZES = (5_000, 1_200)
 QUICK_THETA_XLARGE_SIZES = (8_000, 2_000)
 
-#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR7) are kept as
+#: Queries per ingest.mixed.* entry: a 95/5 read/write mix (one write per
+#: 20 submits, see repro.ingest.bench.WRITE_EVERY) served at batch 16 with
+#: execution interleaved into submission, so watermark compactions land
+#: mid-run where a real server would pay them.
+INGEST_QUERIES = 100
+QUICK_INGEST_QUERIES = 20
+INGEST_WRITE_ROWS = 256
+
+#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR8) are kept as
 #: recorded history and compared against via ``--compare``.
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
 
 #: The opt.pick.theta fixture's small right side: under the heuristic's
 #: sort cutoff, so "before" (the heuristic) brute-forces while "after"
@@ -225,6 +233,7 @@ class _Fixtures:
         self._serve: tuple | None = None
         self._shard: dict[int, tuple] = {}
         self._opt: Session | None = None
+        self._ingest: tuple | None = None
 
     def opt_workload(self) -> Session:
         """Session for the opt.pick.* entries (PR 8), built lazily.
@@ -273,6 +282,35 @@ class _Fixtures:
             run_once(session, ranges, max_batch=16)
             self._serve = (session, ranges)
         return self._serve
+
+    def ingest_workload(self) -> tuple:
+        """The streaming-ingestion session + cycled read panel (PR 9).
+
+        Its own session, not :meth:`serve_workload`'s: the mixed runs
+        append and compact, which would perturb the serve entries' state.
+        Warmed through one delta round trip (append → served read →
+        compact) so the delta-union machinery's one-time imports and the
+        decoded-view caches are steady state before the first timed run.
+        """
+        if self._ingest is None:
+            from repro.ingest.bench import (
+                WRITE_EVERY, cycled_ranges, run_mixed,
+            )
+
+            n_queries = (
+                QUICK_INGEST_QUERIES if self._quick else INGEST_QUERIES
+            )
+            session = build_serve_session(self.n_rows)
+            ranges = cycled_ranges(self.n_rows, n_queries)
+            session.append("events", {"value": np.array([0])})
+            run_mixed(
+                session, ranges[:WRITE_EVERY - 1], [],
+                max_batch=16, delta_watermark=1 << 30,
+            )
+            session.compact("events")
+            run_once(session, ranges, max_batch=16)
+            self._ingest = (session, ranges)
+        return self._ingest
 
     def shard_workload(self, n_shards: int) -> tuple:
         """A sharded session at ``n_shards`` + the narrow query set.
@@ -443,6 +481,32 @@ def _run_opt_batch(fx: _Fixtures, optimizer: str) -> None:
     run_once(*fx.serve_workload(), max_batch=16, optimizer=optimizer)
 
 
+def _run_ingest_mixed(
+    fx: _Fixtures, watermark: int, strawman: bool
+) -> None:
+    """One 95/5 mixed round at batch 16, compactions landing mid-run.
+
+    ``strawman`` is the ``before`` variant: a watermark of 1 row compacts
+    after every batch that saw a write — the write-through design a delta
+    store exists to avoid (every append pays a full re-decompose).  The
+    ``after`` variant holds rows in the delta until ``watermark``.  Each
+    round ends with an explicit compact so the next starts settled; that
+    restore (and the view re-warm it forces) is part of the measured
+    steady-state cost of both variants alike.
+    """
+    from repro.ingest.bench import WRITE_EVERY, run_mixed, write_batches
+
+    session, ranges = fx.ingest_workload()
+    batches = write_batches(
+        fx.n_rows, len(ranges) // WRITE_EVERY, batch_rows=INGEST_WRITE_ROWS
+    )
+    run_mixed(
+        session, ranges, batches, max_batch=16, max_in_flight=16,
+        delta_watermark=1 if strawman else watermark,
+    )
+    session.compact("events")
+
+
 def _run_shard_scan(fx: _Fixtures, n_shards: int) -> None:
     from repro.shard.bench import run_scan_once
 
@@ -507,6 +571,14 @@ def build_suite(quick: bool = False, opt_baseline: bool = False) -> dict:
         "opt.pick.scan": lambda: _run_opt_scan(fx, opt),
         "opt.pick.theta": lambda: _run_opt_theta(fx, opt),
         "opt.pick.batch": lambda: _run_opt_batch(fx, opt),
+        # Streaming ingestion (PR 9): before = write-through strawman
+        # (compact on every write), after = delta held to the watermark.
+        "ingest.mixed.wm1k": lambda: _run_ingest_mixed(
+            fx, 1_000, strawman=opt_baseline
+        ),
+        "ingest.mixed.wm10k": lambda: _run_ingest_mixed(
+            fx, 10_000, strawman=opt_baseline
+        ),
     }
 
 

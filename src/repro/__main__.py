@@ -16,12 +16,15 @@ Subcommands::
     python -m repro serve-bench [--rows N] [--queries N] [--batches 1 4 16]
     python -m repro shard-bench [--rows N] [--queries N] [--shards 1 2 4]
     python -m repro chaos-bench [--rows N] [--queries N] [--rates 0 0.05 0.1]
+    python -m repro ingest-bench [--rows N] [--queries N] [--watermarks 1000 10000]
 
 drive the multi-query scheduler (queries/sec per batch width, see
 :mod:`repro.serve.bench`), the sharded scale-out layer (wall seconds per
-shard count, see :mod:`repro.shard.bench`), and the fault-injection sweep
+shard count, see :mod:`repro.shard.bench`), the fault-injection sweep
 (availability / tail latency per fault rate, see
-:mod:`repro.faults.bench`).
+:mod:`repro.faults.bench`), and the mixed read/write ingestion driver
+(mixed vs read-only queries/sec per delta watermark, see
+:mod:`repro.ingest.bench`).
 """
 
 from __future__ import annotations
@@ -85,6 +88,10 @@ def main(argv: list[str] | None = None) -> int:
         from .faults.bench import main as chaos_bench_main
 
         return chaos_bench_main(argv[1:])
+    if argv and argv[0] == "ingest-bench":
+        from .ingest.bench import main as ingest_bench_main
+
+        return ingest_bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="A&R co-processing demo shell"
     )

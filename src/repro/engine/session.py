@@ -87,6 +87,35 @@ class Session:
         return bwd
 
     # ------------------------------------------------------------------
+    # Streaming ingestion (PR 9)
+    # ------------------------------------------------------------------
+    def append(self, table: str, rows: Mapping[str, Iterable]) -> int:
+        """Land new rows in ``table``'s uncompressed delta segment.
+
+        The packed base segments and every registered decomposition are
+        untouched — an append is O(rows).  Queries union base + delta
+        (delta rows evaluated exactly, billed on ``ingest.delta.*`` spans)
+        until :meth:`compact` folds the delta in.  Returns rows appended.
+        """
+        return self.catalog.append(table, rows)
+
+    def compact(self, table: str | None = None) -> int:
+        """Re-decompose pending delta into packed base segments.
+
+        Replays each table's recorded ``bwdecompose`` DDL over base+delta,
+        making the result byte-identical to a bulk load of the same rows,
+        and bumps the catalog epoch.  ``table=None`` compacts every table
+        with pending delta.  Returns total rows compacted.
+        """
+        from ..ingest.compact import compact_table
+
+        tables = (
+            [table] if table is not None
+            else self.catalog.tables_with_delta()
+        )
+        return sum(compact_table(self, t) for t in tables)
+
+    # ------------------------------------------------------------------
     # Query building
     # ------------------------------------------------------------------
     def table(self, name: str) -> RelationBuilder:
@@ -107,17 +136,24 @@ class Session:
         max_in_flight: int = 64,
         device_headroom_fraction: float = 1.0,
         admission_timeout_batches: int | None = None,
-        optimizer: str = "heuristic",
+        optimizer: str = "cost",
+        delta_watermark: int = 10_000,
     ):
         """Open a multi-query scheduler over this session (PR 5).
 
         Returns a :class:`~repro.serve.scheduler.Scheduler`: submit
         queries concurrently (``submit`` / ``submit_many``, or
-        ``builder.submit(server)``), get
-        :class:`~repro.serve.handles.QueryHandle`\\ s back, and read
+        ``builder.submit(server)``), land writes with ``submit_write``
+        (compaction fires between batches past ``delta_watermark`` pending
+        delta rows; reads never block on it), and get
+        :class:`~repro.serve.handles.QueryHandle`\\ s back; read
         ``handle.result()`` when needed — compatible queries execute in
         shared batches, each query's Result and modeled Timeline staying
-        byte-identical to a solo ``run()``.  Usable as a context manager
+        byte-identical to a solo ``run()``.  Since PR 9 the serve path
+        defaults to the cost-based optimizer: the epoch-keyed plan cache
+        amortizes its planning overhead across repeated queries
+        (``optimizer="heuristic"`` stays selectable and byte-identical).
+        Usable as a context manager
         (``with session.serve() as server: ...``); exiting drains the
         queue::
 
@@ -135,7 +171,7 @@ class Session:
             max_in_flight=max_in_flight, max_batch=max_batch,
             device_headroom_fraction=device_headroom_fraction,
             admission_timeout_batches=admission_timeout_batches,
-            optimizer=optimizer,
+            optimizer=optimizer, delta_watermark=delta_watermark,
         ))
 
     # ------------------------------------------------------------------
@@ -161,6 +197,15 @@ class Session:
         """
         if mode not in MODES:
             raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
+        if self.catalog.tables_with_delta():
+            from ..ingest.union import delta_tables, run_with_delta
+
+            if delta_tables(query, self.catalog):
+                return run_with_delta(
+                    self, query, mode=mode, pushdown=pushdown,
+                    predicate_order=predicate_order, optimizer=optimizer,
+                    timeline=timeline,
+                )
         if mode == "classic":
             return self._classic.run(query, timeline)
         plan = rewrite_to_ar_plan(

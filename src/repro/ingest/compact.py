@@ -1,0 +1,81 @@
+"""Compaction: fold a table's delta into freshly packed base segments.
+
+Compaction replays the table's recorded ``bwdecompose`` calls (argument-
+for-argument, in call order) over base+delta, so the rebuilt relation and
+decompositions are *exactly* what a bulk load of the same rows would have
+produced — the append-then-compact byte-identity property.  Everything is
+built off to the side first (copy-then-swap); the commit — swap relation,
+register decompositions, clear delta, bump the catalog epoch — happens only
+after every rebuild succeeded.  A crash before the commit (exercised via
+:data:`fail_hook`) leaves the old epoch, the old base and a still-queryable
+delta behind.
+
+Like the bulk load it replays, compaction bills nothing on the query
+timeline — billing it would break the byte-identity of post-compaction
+reads.  View caches of the rebuilt column are re-seeded through the same
+segment-granular view budget (:mod:`repro.storage.decompose`); columns of
+*other* tables and other columns' resident segments are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..storage.decompose import BwdColumn, plan_decomposition
+from ..storage.relation import Relation
+
+#: Test seam: called with the table name after the rebuild completes but
+#: before anything is committed.  Fault tests raise here to model a crash
+#: mid-compaction; the catalog must come through unchanged.
+fail_hook: Callable[[str], None] | None = None
+
+
+def compact_table(session, table: str) -> int:
+    """Fold ``table``'s delta into its base; returns rows compacted.
+
+    No-op (returns 0, epoch unchanged) when the table has no pending
+    delta rows.
+    """
+    catalog = session.catalog
+    store = catalog.delta_store(table)
+    if store is None or store.row_count == 0:
+        return 0
+    base = catalog.table(table)
+    delta = store.arrays()
+    data = {
+        col: np.concatenate([base.values(col), delta[col]])
+        for col in base.schema.names
+    }
+    new_rel = Relation.create(table, base.schema, data)
+
+    # Replay the recorded DDL over the union — the bulk-load twin's path.
+    rebuilt: list[tuple[str, BwdColumn]] = []
+    for column, args in catalog.decompose_args_for(table):
+        values = new_rel.values(column)
+        plan = plan_decomposition(
+            values,
+            device_bits=args["device_bits"],
+            residual_bits=args["residual_bits"],
+            storage_bits=new_rel.type_of(column).storage_bits,
+            prefix_compression=args["prefix_compression"],
+        )
+        rebuilt.append((column, BwdColumn.from_values(values, plan)))
+
+    if fail_hook is not None:
+        fail_hook(table)  # crash seam: nothing has been committed yet
+
+    # Commit: swap relation, re-place decompositions, drop delta, bump.
+    n = store.row_count
+    catalog.replace_table(new_rel)
+    gpu = session.machine.gpu
+    for column, bwd in rebuilt:
+        old = catalog.decomposition_of(table, column)
+        if old is not None and gpu.is_resident(old):
+            gpu.evict_column(old)
+        catalog.register_decomposition(table, column, bwd)
+        gpu.load_column(f"{table}.{column}", bwd, None)
+    store.clear()
+    catalog.bump_epoch()
+    return n

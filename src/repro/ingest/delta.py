@@ -1,0 +1,170 @@
+"""The per-table delta segment: uncompressed, append-only, bounded.
+
+A :class:`DeltaStore` holds rows that arrived after the table was loaded
+(and after its columns were decomposed).  Values are encoded through the
+table's schema column types exactly like :meth:`Relation.create`, so the
+engine sees the same int64 storage values it would have seen had the rows
+been part of the bulk load — the precondition for the append-then-compact
+byte-identity property.
+
+The store is deliberately dumb: plain int64 arrays, no bitpacking, no
+approximation codes.  Delta is bounded by the compaction watermark, so
+brute-force exact evaluation over it (see :mod:`repro.ingest.union`) stays
+cheap relative to the packed base.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import StorageError
+from ..storage.relation import Relation, Schema
+
+
+def encode_rows(
+    schema: Schema, rows: Mapping[str, Iterable]
+) -> dict[str, np.ndarray]:
+    """Encode one column-oriented row batch through the schema types.
+
+    Mirrors :meth:`Relation.create`: integer ndarrays pass through as
+    int64, everything else goes through the column type's ``encode``.
+    """
+    missing = [c for c in schema.names if c not in rows]
+    if missing:
+        raise StorageError(f"append missing columns: {missing}")
+    extra = [c for c in rows if c not in schema]
+    if extra:
+        raise StorageError(f"append got unknown columns: {extra}")
+    encoded: dict[str, np.ndarray] = {}
+    lengths = set()
+    for col, typ in schema.columns:
+        raw = rows[col]
+        if isinstance(raw, np.ndarray) and raw.dtype.kind in "iu":
+            arr = raw.astype(np.int64, copy=False)
+        else:
+            arr = typ.encode(list(raw) if not isinstance(raw, np.ndarray) else raw)
+        encoded[col] = np.ascontiguousarray(arr, dtype=np.int64)
+        lengths.add(len(encoded[col]))
+    if len(lengths) > 1:
+        raise StorageError(f"misaligned append columns: {sorted(lengths)}")
+    return encoded
+
+
+class DeltaStore:
+    """Append-only uncompressed column chunks for one table."""
+
+    __slots__ = (
+        "schema", "_chunks", "_row_count", "_version",
+        "_arrays_cache", "_relation_cache", "_combined_cache", "_seqs",
+    )
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._chunks: dict[str, list[np.ndarray]] = {
+            name: [] for name in schema.names
+        }
+        self._row_count = 0
+        #: Bumped on every append/clear; memo invalidation key.
+        self._version = 0
+        self._arrays_cache: dict[str, np.ndarray] | None = None
+        self._relation_cache: tuple[int, str, Relation] | None = None
+        self._combined_cache: dict[str, tuple[int, int, Relation]] = {}
+        #: Arrival sequence number of each row (global per owning catalog);
+        #: the sharded layer uses these to reassemble arrival order.
+        self._seqs: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def append(
+        self, rows: Mapping[str, Iterable], *, start_seq: int | None = None
+    ) -> int:
+        """Append one encoded row batch; returns the number of rows added."""
+        encoded = encode_rows(self.schema, rows)
+        n = len(next(iter(encoded.values()))) if encoded else 0
+        if n == 0:
+            return 0
+        for col, arr in encoded.items():
+            self._chunks[col].append(arr)
+        if start_seq is not None:
+            self._seqs.append(np.arange(start_seq, start_seq + n, dtype=np.int64))
+        self._row_count += n
+        self._version += 1
+        self._arrays_cache = None
+        self._relation_cache = None
+        self._combined_cache.clear()
+        return n
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def nbytes(self) -> int:
+        """Uncompressed footprint of the delta segment."""
+        return sum(
+            arr.nbytes for chunks in self._chunks.values() for arr in chunks
+        )
+
+    def clear(self) -> None:
+        """Drop every delta row (called after a successful compaction)."""
+        for chunks in self._chunks.values():
+            chunks.clear()
+        self._seqs.clear()
+        self._row_count = 0
+        self._version += 1
+        self._arrays_cache = None
+        self._relation_cache = None
+        self._combined_cache.clear()
+
+    # ------------------------------------------------------------------
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Concatenated delta values per column (memoized until append)."""
+        if self._arrays_cache is None:
+            self._arrays_cache = {
+                col: (
+                    np.concatenate(chunks)
+                    if chunks else np.empty(0, dtype=np.int64)
+                )
+                for col, chunks in self._chunks.items()
+            }
+        return self._arrays_cache
+
+    def seqs(self) -> np.ndarray:
+        """Arrival sequence numbers, aligned with :meth:`arrays` rows."""
+        if not self._seqs:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self._seqs)
+
+    def as_relation(self, name: str) -> Relation:
+        """The delta rows alone as a throwaway relation (memoized)."""
+        cached = self._relation_cache
+        if cached is not None and cached[0] == self._version and cached[1] == name:
+            return cached[2]
+        rel = Relation.create(name, self.schema, self.arrays())
+        self._relation_cache = (self._version, name, rel)
+        return rel
+
+    def combined_with(self, base: Relation, name: str | None = None) -> Relation:
+        """Base + delta rows as one relation (memoized per base identity).
+
+        Used for the sides of a join that must see every row — e.g. the
+        full dimension table a delta fact row's FK may point into, or the
+        right side of a theta join probed by delta left rows.
+        """
+        name = name if name is not None else base.name
+        cached = self._combined_cache.get(name)
+        if cached is not None and cached[0] == self._version and cached[1] == id(base):
+            return cached[2]
+        delta = self.arrays()
+        data = {
+            col: np.concatenate([base.values(col), delta[col]])
+            for col in self.schema.names
+        }
+        rel = Relation.create(name, self.schema, data)
+        self._combined_cache[name] = (self._version, id(base), rel)
+        return rel

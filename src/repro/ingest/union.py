@@ -1,0 +1,751 @@
+"""Base+delta union evaluation: exact reads while rows are in flight.
+
+The approximate phase of a query runs over the packed base segments exactly
+as it does with no delta — same plan, same spans.  Rows sitting in a table's
+:class:`~repro.ingest.delta.DeltaStore` then join the answer through small
+*contribution* runs: brute-force exact evaluation (the classic bulk engine)
+over scratch catalogs holding just the delta slice, billed on their own
+``ingest.delta.*`` spans in the :data:`DELTA_PHASE` phase.  A query over
+settled data (empty delta) never enters this module, so its Result and
+modeled Timeline stay byte-identical to a bulk-loaded run.
+
+Two contributions cover every union shape:
+
+* **A — delta fact rows** against the *combined* (base+delta) far sides:
+  FK dimensions and/or the theta right side.
+* **B — base fact rows** against the *delta* right side (theta joins only;
+  FK joins need no B because base FK values resolve within the base
+  dimension — a dimension with pending delta is rejected, see
+  :func:`delta_tables`).
+
+Base(b×b) + A(d×all) + B(b×d) partitions the union's row/pair set, so
+merging finals reproduces a bulk run over base+delta bit-for-bit: grouped
+merges ride the same ``np.unique``-ordered group ids the single-machine
+engine uses (the PR-6 shard-merge idiom), pair sets concatenate under
+position offsets and re-sort canonically, and ``avg`` merges from lowered
+sum/count partials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from ..core.aggregates import grouped_max, grouped_min, grouped_sum
+from ..core.intervals import Interval
+from ..core.pair_agg import group_pair_rows
+from ..device.model import OpClass
+from ..device.timeline import Timeline
+from ..engine.result import ApproximateAnswer, Result
+from ..errors import ExecutionError
+from ..plan.expr import ColRef
+from ..plan.logical import Aggregate, Query
+from ..storage.catalog import Catalog
+from ..storage.relation import Relation
+
+_OID_BYTES = 8
+
+#: Span phase every delta charge lands on; settled-data Timelines never
+#: contain it, which is what keeps them byte-identical to a bulk load.
+DELTA_PHASE = "ingest.delta"
+
+#: Hidden aggregate counting the rows/pairs a contribution matched
+#: (candidate-set bookkeeping); stripped before results merge.
+_ROWS_ALIAS = "__delta_rows__"
+
+#: Name the theta right side takes in contribution scratch catalogs —
+#: distinct from the fact name so self theta joins stay expressible when
+#: fact and right union different row sets.
+_RIGHT_ALIAS = "__ingest_right__"
+
+#: Engine messages meaning "this input slice was empty".  A part (base or
+#: contribution) raising one simply contributes nothing; if every part is
+#: empty the merge re-raises, matching a bulk run over the same rows.
+_EMPTY_INPUT_ERRORS = (
+    "min of an empty result",
+    "max of an empty result",
+    "avg over an empty group",
+)
+
+
+def _is_empty_error(exc: ExecutionError) -> bool:
+    text = str(exc)
+    return any(msg in text for msg in _EMPTY_INPUT_ERRORS)
+
+
+# ----------------------------------------------------------------------
+# Dispatch predicates
+# ----------------------------------------------------------------------
+def delta_tables(query: Query, catalog: Catalog) -> dict:
+    """The query's tables with pending delta rows, by table name.
+
+    Covers the fact table and theta right sides.  A *dimension* table with
+    pending delta is rejected: base fact FK values may reference the new
+    rows, which the base run (resolving against the base dimension alone)
+    cannot see — compact the dimension first.  Dimensions are small and
+    compaction is cheap, so this is the honest trade.
+    """
+    out: dict = {}
+    if catalog.delta_rows(query.table):
+        out[query.table] = catalog.delta_store(query.table)
+    for tj in query.theta_joins:
+        if catalog.delta_rows(tj.right_table):
+            out[tj.right_table] = catalog.delta_store(tj.right_table)
+    for join in query.joins:
+        if catalog.delta_rows(join.dim_table):
+            raise ExecutionError(
+                f"table {join.dim_table!r} has pending delta rows and is "
+                "the target of an FK join; compact it before querying "
+                "through the join"
+            )
+    return out
+
+
+def needs_solo_delta(query: Query, catalog: Catalog, mode: str = "ar") -> bool:
+    """True when a fused/post-hoc merge cannot absorb this query's delta.
+
+    ``avg`` finals don't merge (the partials are gone), and ``min``/``max``
+    can raise an empty-input error on the base slice even though delta rows
+    exist — only a solo :func:`run_with_delta` absorbs that into the merged
+    answer.  In the exact modes such queries must take the solo path, which
+    lowers avg into sum/count partials and catches the empty base.
+    """
+    if mode == "approximate":
+        return False  # interval-only adjustment needs no partials
+    if not any(a.func in ("avg", "min", "max") for a in query.aggregates):
+        return False
+    try:
+        return bool(delta_tables(query, catalog))
+    except ExecutionError:
+        return True  # dim-delta rejection: surface it on the solo path
+
+
+# ----------------------------------------------------------------------
+# Contribution memoization (serve layer)
+# ----------------------------------------------------------------------
+class ContributionCache:
+    """Memoizes contribution parts per (query, epoch, delta versions).
+
+    Contribution runs are pure functions of the logical query, the base
+    segments (which only change when compaction bumps the catalog epoch)
+    and each delta store's append version — and their billed spans are
+    *modeled*, hence deterministic.  A hit replays the recorded
+    ``ingest.delta.*`` spans onto the caller's timeline, so cached and
+    uncached runs stay byte-identical; only wall-clock work is saved.
+    Serving keeps one of these per scheduler: a dashboard-style workload
+    re-running a fixed query panel between writes pays the classic
+    evaluation once per (query, delta state) instead of once per read.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self.maxsize = maxsize
+        self._entries: dict = {}
+
+    def parts(
+        self, catalog: Catalog, cpu, query: Query, deltas: dict,
+        timeline: Timeline,
+    ) -> list["_Part"]:
+        try:
+            key = (
+                query, catalog.epoch,
+                tuple(sorted(
+                    (name, store.version) for name, store in deltas.items()
+                )),
+            )
+            entry = self._entries.get(key)
+        except TypeError:  # unhashable query shape: evaluate uncached
+            return _contribution_parts(catalog, cpu, query, deltas, timeline)
+        if entry is None:
+            scratch = Timeline()
+            parts = _contribution_parts(catalog, cpu, query, deltas, scratch)
+            entry = (parts, tuple(scratch.spans))
+            if len(self._entries) >= self.maxsize:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = entry
+        parts, spans = entry
+        for s in spans:
+            timeline.record(
+                s.device, s.kind, s.op, s.nbytes, s.seconds, s.phase
+            )
+        return parts
+
+
+def _parts_for(
+    catalog, cpu, query, deltas, timeline, cache: ContributionCache | None
+) -> list["_Part"]:
+    if cache is None:
+        return _contribution_parts(catalog, cpu, query, deltas, timeline)
+    return cache.parts(catalog, cpu, query, deltas, timeline)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def run_with_delta(
+    session,
+    query: Query,
+    *,
+    mode: str = "ar",
+    pushdown: bool = True,
+    predicate_order: str = "query",
+    optimizer: str = "heuristic",
+    timeline: Timeline | None = None,
+    plan_factory: Callable[[Query], object] | None = None,
+    contribution_cache: ContributionCache | None = None,
+) -> Result:
+    """Run ``query`` over base+delta: base exactly as today, delta exact.
+
+    ``plan_factory`` (serve layer) maps a logical query to a physical plan
+    — the plan-cache hook; when ``None`` the rewriter is called directly.
+    ``contribution_cache`` (also the serve layer) memoizes the delta
+    contribution runs per (query, epoch, delta version).
+    """
+    from ..plan.rewriter import rewrite_to_ar_plan
+
+    timeline = timeline if timeline is not None else Timeline()
+    catalog = session.catalog
+    cpu = session.machine.cpu
+    deltas = delta_tables(query, catalog)
+    if not deltas:
+        return session.query(
+            query, mode=mode, pushdown=pushdown,
+            predicate_order=predicate_order, optimizer=optimizer,
+            timeline=timeline,
+        )
+    lowered = mode != "approximate" and any(
+        a.func == "avg" for a in query.aggregates
+    )
+    base_query = _lowered_query(query) if lowered else query
+    base: Result | None = None
+    base_error: str | None = None
+    try:
+        if mode == "classic":
+            base = session._classic.run(base_query, timeline)
+        else:
+            if plan_factory is not None:
+                plan = plan_factory(base_query)
+            else:
+                plan = rewrite_to_ar_plan(
+                    base_query, catalog, pushdown=pushdown,
+                    predicate_order=predicate_order, optimizer=optimizer,
+                )
+            base = session._ar.run(
+                plan, timeline, approximate_only=(mode == "approximate")
+            )
+    except ExecutionError as exc:
+        if not _is_empty_error(exc):
+            raise
+        base_error = str(exc)
+    contribs = _parts_for(
+        catalog, cpu, query, deltas, timeline, contribution_cache
+    )
+    return _merge(
+        query, mode, base, base_error, contribs, timeline, catalog, cpu,
+        lowered=lowered,
+    )
+
+
+def apply_delta(
+    catalog: Catalog,
+    cpu,
+    query: Query,
+    base_result: Result,
+    *,
+    mode: str = "ar",
+    deltas: dict | None = None,
+    contribution_cache: ContributionCache | None = None,
+) -> Result:
+    """Fold pending delta into a base result computed without it.
+
+    The post-hoc path for the serve layer's fused batches: the base ran the
+    *original* query (finals), so exact-mode ``avg`` is not mergeable here
+    — callers gate on :func:`needs_solo_delta` and send those solo.
+    Contribution spans bill onto ``base_result``'s own timeline.
+    """
+    deltas = delta_tables(query, catalog) if deltas is None else deltas
+    if not deltas:
+        return base_result
+    if mode != "approximate" and any(
+        a.func == "avg" for a in query.aggregates
+    ):
+        raise ExecutionError(
+            "avg with pending delta rows needs a solo delta-union run"
+        )
+    timeline = base_result.timeline
+    contribs = _parts_for(
+        catalog, cpu, query, deltas, timeline, contribution_cache
+    )
+    return _merge(
+        query, mode, base_result, None, contribs, timeline, catalog, cpu,
+        lowered=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Contribution runs: classic exact evaluation over scratch catalogs
+# ----------------------------------------------------------------------
+@dataclass
+class _Part:
+    """One contribution result plus its position offsets into the union."""
+
+    result: Result | None
+    error: str | None
+    left_off: int
+    right_off: int
+
+
+def _contribution_parts(
+    catalog: Catalog,
+    cpu,
+    query: Query,
+    deltas: dict,
+    timeline: Timeline,
+) -> list[_Part]:
+    tj = query.theta_joins[0] if query.theta_joins else None
+    cquery = _contribution_query(query)
+    parts: list[_Part] = []
+
+    fact_delta = deltas.get(query.table)
+    base_fact = catalog.table(query.table)
+    if fact_delta is not None:
+        # A: delta fact rows against the combined far sides.
+        scratch = Catalog()
+        scratch.register(fact_delta.as_relation(query.table))
+        for join in query.joins:
+            scratch.register(catalog.table(join.dim_table))
+        if tj is not None:
+            base_right = catalog.table(tj.right_table)
+            right_delta = deltas.get(tj.right_table)
+            right = (
+                right_delta.combined_with(base_right, _RIGHT_ALIAS)
+                if right_delta is not None
+                else _renamed(base_right, _RIGHT_ALIAS)
+            )
+            scratch.register(right)
+        parts.append(_run_part(
+            scratch, cquery, cpu, timeline,
+            left_off=len(base_fact), right_off=0,
+        ))
+
+    if tj is not None and deltas.get(tj.right_table) is not None:
+        # B: base fact rows against the delta right rows alone.
+        scratch = Catalog()
+        scratch.register(base_fact)
+        scratch.register(deltas[tj.right_table].as_relation(_RIGHT_ALIAS))
+        parts.append(_run_part(
+            scratch, cquery, cpu, timeline,
+            left_off=0, right_off=len(catalog.table(tj.right_table)),
+        ))
+    return parts
+
+
+def _run_part(
+    scratch: Catalog,
+    cquery: Query,
+    cpu,
+    timeline: Timeline,
+    *,
+    left_off: int,
+    right_off: int,
+) -> _Part:
+    from ..engine.bulk import ClassicExecutor
+
+    scratch_tl = Timeline()
+    try:
+        result = ClassicExecutor(scratch, cpu).run(cquery, scratch_tl)
+    except ExecutionError as exc:
+        if not _is_empty_error(exc):
+            raise
+        _rebill(timeline, scratch_tl)
+        return _Part(None, str(exc), left_off, right_off)
+    _rebill(timeline, scratch_tl)
+    return _Part(result, None, left_off, right_off)
+
+
+def _rebill(timeline: Timeline, scratch: Timeline) -> None:
+    """Re-record scratch spans under the delta ledger."""
+    for span in scratch.spans:
+        timeline.record(
+            span.device, span.kind, f"ingest.delta.{span.op}",
+            span.nbytes, span.seconds, DELTA_PHASE,
+        )
+
+
+def _contribution_query(query: Query) -> Query:
+    """The query a contribution runs: lowered avg + hidden row counter,
+    theta right side re-pointed at the scratch alias."""
+    from ..shard.planner import _lower_aggregates
+
+    aggregates = query.aggregates
+    if aggregates:
+        lowered, _ = _lower_aggregates(aggregates)
+        aggregates = lowered + (Aggregate("count", None, _ROWS_ALIAS),)
+    if not query.theta_joins:
+        return replace(query, aggregates=aggregates)
+    tj = query.theta_joins[0]
+    right_qualified = f"{tj.right_table}.{tj.right_column}"
+    alias_qualified = f"{_RIGHT_ALIAS}.{tj.right_column}"
+    aggregates = tuple(
+        replace(agg, expr=ColRef(alias_qualified))
+        if isinstance(agg.expr, ColRef) and agg.expr.name == right_qualified
+        else agg
+        for agg in aggregates
+    )
+    return replace(
+        query,
+        aggregates=aggregates,
+        theta_joins=(replace(tj, right_table=_RIGHT_ALIAS),),
+    )
+
+
+def _lowered_query(query: Query) -> Query:
+    from ..shard.planner import _lower_aggregates
+
+    lowered, _ = _lower_aggregates(query.aggregates)
+    return replace(query, aggregates=lowered)
+
+
+def _renamed(rel: Relation, name: str) -> Relation:
+    """The same rows under another name (arrays are shared, not copied)."""
+    return Relation.create(
+        name, rel.schema, {c: rel.values(c) for c in rel.schema.names}
+    )
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+def _merge(
+    query: Query,
+    mode: str,
+    base: Result | None,
+    base_error: str | None,
+    contribs: list[_Part],
+    timeline: Timeline,
+    catalog: Catalog,
+    cpu,
+    *,
+    lowered: bool,
+) -> Result:
+    matched = _matched_rows(query, contribs)
+    _bill_merge(cpu, timeline, query, contribs)
+    answer = _merged_answer(
+        query, mode, base.approximate if base is not None else None,
+        contribs, matched,
+    )
+    scales = dict(base.decimal_scales) if base is not None else {}
+    if mode == "approximate":
+        return Result(
+            columns={}, row_count=0, timeline=timeline,
+            approximate=answer, decimal_scales=scales,
+        )
+    if query.theta_joins and not query.is_aggregation():
+        return _merge_pairs(base, contribs, timeline, answer, scales)
+    if not query.is_aggregation():
+        return _merge_select(query, base, contribs, timeline, answer, scales)
+    if query.group_by:
+        return _merge_grouped(
+            query, base, contribs, timeline, answer, scales, lowered=lowered
+        )
+    return _merge_ungrouped(
+        query, base, base_error, contribs, timeline, answer, scales,
+        lowered=lowered,
+    )
+
+
+def _present(base: Result | None, contribs: list[_Part]) -> list[Result]:
+    parts = [base] if base is not None else []
+    parts += [p.result for p in contribs if p.result is not None]
+    return parts
+
+
+def _merge_ungrouped(
+    query, base, base_error, contribs, timeline, answer, scales, *, lowered
+) -> Result:
+    from ..shard.planner import AVG_CNT_SUFFIX, AVG_SUM_SUFFIX
+
+    parts = _present(base, contribs)
+    errors = [e for e in [base_error] + [p.error for p in contribs] if e]
+    columns: dict[str, np.ndarray] = {}
+    for agg in query.aggregates:
+        if agg.func in ("count", "sum"):
+            vals = _scalars(agg.alias, parts)
+            # int64 accumulation: wraps exactly like the one-machine sum.
+            columns[agg.alias] = np.array(
+                [np.array(vals, dtype=np.int64).sum()], dtype=np.int64
+            )
+        elif agg.func in ("min", "max"):
+            vals = _scalars(agg.alias, parts)
+            if not vals:
+                raise ExecutionError(_empty_message(agg, errors))
+            combine = min if agg.func == "min" else max
+            columns[agg.alias] = np.array([combine(vals)], dtype=np.int64)
+        elif agg.func == "avg":
+            sums = _scalars(agg.alias + AVG_SUM_SUFFIX, parts)
+            counts = _scalars(agg.alias + AVG_CNT_SUFFIX, parts)
+            total = int(np.array(counts, dtype=np.int64).sum())
+            if total == 0:
+                raise ExecutionError("avg over an empty group")
+            columns[agg.alias] = (
+                np.array(
+                    [np.array(sums, dtype=np.int64).sum()], dtype=np.int64
+                ).astype(np.float64)
+                / np.array([total], dtype=np.int64)
+            )
+        else:
+            raise ExecutionError(f"unknown aggregate {agg.func!r}")
+    return Result(
+        columns=columns, row_count=1, timeline=timeline,
+        approximate=answer, decimal_scales=scales,
+    )
+
+
+def _scalars(alias: str, parts: list[Result]) -> list[int]:
+    return [
+        int(r.columns[alias][0]) for r in parts if alias in r.columns
+    ]
+
+
+def _empty_message(agg, errors: list[str]) -> str:
+    """Re-raise what a bulk run over the union would have said."""
+    for error in errors:
+        if agg.func in error:
+            return error
+    return f"{agg.func} of an empty result"
+
+
+def _merge_grouped(
+    query, base, contribs, timeline, answer, scales, *, lowered
+) -> Result:
+    from ..shard.planner import AVG_CNT_SUFFIX, AVG_SUM_SUFFIX
+
+    parts = _present(base, contribs)
+    keys = {
+        name: np.concatenate(
+            [r.columns[name] for r in parts]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        for name in query.group_by
+    }
+    n_rows = len(next(iter(keys.values())))
+    if n_rows == 0:
+        gids, n_groups = np.empty(0, dtype=np.int64), 0
+    else:
+        # np.unique-ordered group ids — a pure function of the key values,
+        # identical to what one bulk run over base+delta produces.
+        gids, n_groups = group_pair_rows(
+            [keys[name] for name in query.group_by]
+        )
+    columns: dict[str, np.ndarray] = {}
+    for name in query.group_by:
+        out = np.zeros(n_groups, dtype=np.int64)
+        out[gids] = keys[name]
+        columns[name] = out
+
+    def concat(alias: str) -> np.ndarray:
+        arrs = [r.columns[alias] for r in parts if alias in r.columns]
+        return (
+            np.concatenate(arrs) if arrs else np.empty(0, dtype=np.int64)
+        )
+
+    for agg in query.aggregates:
+        if n_groups == 0:
+            columns[agg.alias] = np.array([], dtype=np.int64)
+        elif agg.func in ("count", "sum"):
+            columns[agg.alias] = grouped_sum(
+                concat(agg.alias).astype(np.int64), gids, n_groups
+            )
+        elif agg.func == "min":
+            columns[agg.alias] = grouped_min(
+                concat(agg.alias).astype(np.int64), gids, n_groups
+            )
+        elif agg.func == "max":
+            columns[agg.alias] = grouped_max(
+                concat(agg.alias).astype(np.int64), gids, n_groups
+            )
+        elif agg.func == "avg":
+            sums = grouped_sum(
+                concat(agg.alias + AVG_SUM_SUFFIX).astype(np.int64),
+                gids, n_groups,
+            ).astype(np.float64)
+            counts = grouped_sum(
+                concat(agg.alias + AVG_CNT_SUFFIX).astype(np.int64),
+                gids, n_groups,
+            )
+            if bool((counts == 0).any()):
+                raise ExecutionError("avg over an empty group")
+            columns[agg.alias] = sums / counts
+        else:
+            raise ExecutionError(f"unknown aggregate {agg.func!r}")
+    return Result(
+        columns=columns, row_count=n_groups, timeline=timeline,
+        approximate=answer, decimal_scales=scales,
+    )
+
+
+def _merge_pairs(base, contribs, timeline, answer, scales) -> Result:
+    lefts, rights = [], []
+    if base is not None:
+        lefts.append(np.asarray(base.columns["left_pos"], dtype=np.int64))
+        rights.append(np.asarray(base.columns["right_pos"], dtype=np.int64))
+    for p in contribs:
+        if p.result is None:
+            continue
+        lefts.append(
+            np.asarray(p.result.columns["left_pos"], dtype=np.int64)
+            + p.left_off
+        )
+        rights.append(
+            np.asarray(p.result.columns["right_pos"], dtype=np.int64)
+            + p.right_off
+        )
+    left = np.concatenate(lefts) if lefts else np.empty(0, dtype=np.int64)
+    right = np.concatenate(rights) if rights else np.empty(0, dtype=np.int64)
+    order = np.lexsort((right, left))  # canonical (left, right) order
+    return Result(
+        columns={"left_pos": left[order], "right_pos": right[order]},
+        row_count=len(left), timeline=timeline,
+        approximate=answer, decimal_scales=scales,
+    )
+
+
+def _merge_select(query, base, contribs, timeline, answer, scales) -> Result:
+    # Base rows sit before delta rows in the union, so concatenating in
+    # part order reproduces the bulk run's position order.
+    parts = _present(base, contribs)
+    columns = {
+        name: np.concatenate(
+            [r.columns[name] for r in parts]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        for name in query.select
+    }
+    return Result(
+        columns=columns,
+        row_count=sum(r.row_count for r in parts),
+        timeline=timeline, approximate=answer, decimal_scales=scales,
+    )
+
+
+# ----------------------------------------------------------------------
+# Approximate-answer adjustment (sound bounds with delta in flight)
+# ----------------------------------------------------------------------
+def _matched_rows(query: Query, contribs: list[_Part]) -> int:
+    total = 0
+    for p in contribs:
+        if p.result is None:
+            continue
+        if query.aggregates:
+            col = p.result.columns[_ROWS_ALIAS]
+            total += int(np.asarray(col, dtype=np.int64).sum())
+        else:
+            total += p.result.row_count
+    return total
+
+
+def _merged_answer(
+    query: Query,
+    mode: str,
+    base_answer: ApproximateAnswer | None,
+    contribs: list[_Part],
+    matched: int,
+) -> ApproximateAnswer | None:
+    if mode == "classic" or base_answer is None:
+        return base_answer
+    if matched == 0:
+        # No delta row qualified: every base bound is already the union's.
+        return base_answer
+    aggregates: dict = {}
+    if query.group_by:
+        # Delta rows may add or move groups; per-group intervals have no
+        # sound composition (the shard-merge precedent) — report None.
+        for agg in query.aggregates:
+            aggregates[agg.alias] = None
+        return ApproximateAnswer(
+            aggregates=aggregates,
+            candidate_rows=base_answer.candidate_rows + matched,
+            n_groups=None,
+        )
+    scalars = _delta_scalars(query, contribs)
+    for agg in query.aggregates:
+        raw = base_answer.aggregates.get(agg.alias)
+        if not isinstance(raw, Interval):
+            aggregates[agg.alias] = None if raw is not None else raw
+            continue
+        aggregates[agg.alias] = _shifted(agg, raw, scalars)
+    return ApproximateAnswer(
+        aggregates=aggregates,
+        candidate_rows=base_answer.candidate_rows + matched,
+        n_groups=base_answer.n_groups,
+    )
+
+
+def _delta_scalars(query: Query, contribs: list[_Part]) -> dict:
+    """Exact ungrouped delta totals per alias (merged across contributions)."""
+    from ..shard.planner import AVG_CNT_SUFFIX, AVG_SUM_SUFFIX
+
+    parts = [p.result for p in contribs if p.result is not None]
+    out: dict = {}
+    for agg in query.aggregates:
+        if agg.func in ("count", "sum"):
+            out[agg.alias] = int(
+                np.array(_scalars(agg.alias, parts), dtype=np.int64).sum()
+            )
+        elif agg.func in ("min", "max"):
+            vals = _scalars(agg.alias, parts)
+            if vals:
+                out[agg.alias] = (min if agg.func == "min" else max)(vals)
+        elif agg.func == "avg":
+            counts = _scalars(agg.alias + AVG_CNT_SUFFIX, parts)
+            total = int(np.array(counts, dtype=np.int64).sum())
+            if total:
+                dsum = int(
+                    np.array(
+                        _scalars(agg.alias + AVG_SUM_SUFFIX, parts),
+                        dtype=np.int64,
+                    ).sum()
+                )
+                out[agg.alias] = dsum / total
+    return out
+
+
+def _shifted(agg, raw: Interval, scalars: dict) -> Interval | None:
+    """A sound bound over base+delta from the base bound + exact delta.
+
+    count/sum translate by the exact delta value; min/max clamp both ends
+    (the true extreme is ``min(base extreme, delta extreme)`` and the base
+    extreme lies in ``raw``); avg takes the hull with the exact delta mean
+    — the union's mean is a convex combination of the two sides' means.
+    """
+    if agg.alias not in scalars:
+        return raw  # no delta rows reached this aggregate
+    d = scalars[agg.alias]
+    if agg.func in ("count", "sum"):
+        return Interval(raw.lo + d, raw.hi + d)
+    if agg.func == "min":
+        return Interval(min(raw.lo, d), min(raw.hi, d))
+    if agg.func == "max":
+        return Interval(max(raw.lo, d), max(raw.hi, d))
+    if agg.func == "avg":
+        return Interval(min(raw.lo, d), max(raw.hi, d))
+    return None
+
+
+# ----------------------------------------------------------------------
+def _bill_merge(cpu, timeline: Timeline, query: Query, contribs) -> None:
+    """One combine pass over the contribution outputs (delta ledger)."""
+    items = sum(
+        p.result.row_count for p in contribs if p.result is not None
+    )
+    width = max(
+        1,
+        len(query.group_by) + len(query.aggregates) + len(query.select)
+        + 2 * len(query.theta_joins),
+    )
+    cpu.charge(
+        timeline, "ingest.delta.merge",
+        max(1, items) * width * _OID_BYTES,
+        tuples=max(1, items), op_class=OpClass.AGG, phase=DELTA_PHASE,
+    )

@@ -13,10 +13,12 @@ stays the historical heuristics until the sweep grid validates a host.
 from .cost import (
     SIM_HOST,
     EstimatedSpan,
+    active_sim_host,
     cost_fused_scan,
     cost_solo_scans,
     cost_theta_alternative,
     estimated_plan_spans,
+    sim_host_override,
     theta_alternatives,
 )
 from .estimates import (
@@ -26,6 +28,7 @@ from .estimates import (
     estimate_selectivity,
     estimate_theta_cardinality,
 )
+from .plan_cache import PlanCache
 from .planner import (
     OPTIMIZERS,
     Alternative,
@@ -44,6 +47,9 @@ __all__ = [
     "ThetaCardinality",
     "OPTIMIZERS",
     "Alternative",
+    "active_sim_host",
+    "sim_host_override",
+    "PlanCache",
     "Decision",
     "batch_membership_decision",
     "check_optimizer",

@@ -23,6 +23,7 @@ accumulated on scratch :class:`Timeline`\\ s:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from types import MappingProxyType
 
@@ -94,6 +95,34 @@ SIM_HOST = DeviceSpec(
 #: (``np.sort`` of int64 — the cooperative scan's per-request tail).
 SORT_SECONDS_PER_ELEMENT = 45e-9
 
+#: The host spec host-cost charges resolve against; swapped temporarily by
+#: :func:`sim_host_override` (basis probing and calibrated-spec validation
+#: in ``benchmarks/sweep.py --calibrate``).
+_active_sim_host: DeviceSpec = SIM_HOST
+
+
+def active_sim_host() -> DeviceSpec:
+    """The DeviceSpec host-cost estimates currently charge against."""
+    return _active_sim_host
+
+
+@contextmanager
+def sim_host_override(spec: DeviceSpec):
+    """Temporarily cost host alternatives against ``spec``.
+
+    Used by the calibration fit: probing with basis specs (one constant
+    set to 1, the rest 0) reads each alternative's feature counts straight
+    off ``est_seconds``, and validating a fitted spec re-runs the chooser
+    under it.  Restores :data:`SIM_HOST` on exit.
+    """
+    global _active_sim_host
+    previous = _active_sim_host
+    _active_sim_host = spec
+    try:
+        yield spec
+    finally:
+        _active_sim_host = previous
+
 
 def _charge(
     timeline: Timeline,
@@ -102,10 +131,11 @@ def _charge(
     nbytes: int = 0,
     tuples: int = 0,
     op_class: OpClass = OpClass.SCAN,
-    spec: DeviceSpec = SIM_HOST,
+    spec: DeviceSpec | None = None,
     pattern: AccessPattern = AccessPattern.SEQUENTIAL,
     phase: str = "approximate",
 ) -> None:
+    spec = spec if spec is not None else _active_sim_host
     seconds = spec.transfer_seconds(nbytes, pattern) + spec.tuple_seconds(
         op_class, tuples
     )
@@ -210,11 +240,12 @@ def cost_fused_scan(n_rows: int, est_hits: list[int]) -> Timeline:
     counts approach ``n_rows``.
     """
     tl = Timeline()
+    host = active_sim_host()
     for hits in est_hits:
         _charge(tl, "sim.fused.bounds", tuples=2, op_class=OpClass.HASH)
         _charge(tl, "sim.fused.gather", tuples=hits, op_class=OpClass.GATHER)
-        seconds = SORT_SECONDS_PER_ELEMENT * hits + SIM_HOST.launch_overhead
-        tl.record(SIM_HOST.name, "cpu", "sim.fused.sort", hits * 8, seconds)
+        seconds = SORT_SECONDS_PER_ELEMENT * hits + host.launch_overhead
+        tl.record(host.name, "cpu", "sim.fused.sort", hits * 8, seconds)
     return tl
 
 
@@ -269,11 +300,21 @@ def _bus(nbytes):
     return "bus", PCIE_GEN2.transfer_seconds(nbytes)
 
 
+def _approx_nbytes(bwd) -> int:
+    """Device bytes of a decomposition's approximation stream.
+
+    ``approx_bits`` can legitimately be 0 (prefix compression absorbed the
+    whole device slice); the stream is then empty, not an error.
+    """
+    bits = bwd.decomposition.approx_bits
+    return packed_nbytes(bwd.length, bits) if bits else 0
+
+
 def _scan_nbytes(state: _EstimateState, column: str, hits: int) -> int:
     bwd = state.catalog.decomposition_of(state.plan.query.table, column)
     if bwd is None:
         return state.n_rows * 8 + hits * 8
-    return packed_nbytes(bwd.length, bwd.decomposition.approx_bits) + hits * 8
+    return _approx_nbytes(bwd) + hits * 8
 
 
 def _est_scan(state: _EstimateState, op: ApproxScanSelect):
@@ -337,8 +378,8 @@ def _est_theta(state: _EstimateState, op: ApproxThetaJoin):
     state.n_right = right.length
     state.pairs = card.candidate_pairs
     nbytes = (
-        packed_nbytes(left.length, left.decomposition.approx_bits)
-        + packed_nbytes(right.length, right.decomposition.approx_bits)
+        _approx_nbytes(left)
+        + _approx_nbytes(right)
         + card.candidate_pairs * 16
     )
     kind, sec = _gpu(state, op, nbytes=nbytes,

@@ -93,8 +93,15 @@ class AdmissionPolicy:
     #: selectivity: sorting the hit positions dominates) splits to solo
     #: runs instead of fusing on fingerprint equality alone.
     optimizer: str = "heuristic"
+    #: Pending delta rows per table past which the scheduler compacts
+    #: between batches (PR 9).  Writes landing *during* a compaction are
+    #: deferred behind the table's write intent and flushed right after;
+    #: reads never consult intents, so reads never block.
+    delta_watermark: int = 10_000
 
     def __post_init__(self) -> None:
+        if self.delta_watermark < 1:
+            raise PlanError("delta_watermark must be at least 1")
         if self.max_in_flight < 1:
             raise PlanError("max_in_flight must be at least 1")
         if self.max_batch < 1:
@@ -160,6 +167,20 @@ class ServeStats:
     #: off completed results, and the sharded executor's circuit-breaker
     #: state refreshed after every batch.  All zeros/empty on a
     #: single-device scheduler.
+    #: Streaming-ingestion counters (PR 9).
+    writes: int = 0
+    write_rows: int = 0
+    #: Writes that arrived while their table's compaction held the write
+    #: intent; they landed right after the intent cleared.
+    deferred_writes: int = 0
+    compactions: int = 0
+    #: Reads that waited on a write or compaction.  Structurally zero —
+    #: reads never consult write intents — kept as an observable pin.
+    reads_blocked: int = 0
+    #: Epoch-keyed plan-cache outcomes (PR 9): mirrors of the scheduler's
+    #: :class:`~repro.opt.plan_cache.PlanCache` counters.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     retries: int = 0
     hedged_fragments: int = 0
     breaker_open_events: int = 0
@@ -181,6 +202,11 @@ class ServeStats:
         if self.modeled_fused_theta_seconds <= 0.0:
             return 1.0
         return self.modeled_solo_theta_seconds / self.modeled_fused_theta_seconds
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
 
 
 class _Pending:
@@ -266,6 +292,21 @@ class Scheduler:
         self._closed = False
         #: Most recent optimizer decisions (cost gate picks), newest last.
         self.recent_decisions = deque(maxlen=32)
+        from ..opt.plan_cache import PlanCache
+
+        #: Physical plans keyed on (query, options, catalog epoch); a
+        #: compaction bumps the epoch and naturally invalidates entries.
+        self._plan_cache = PlanCache()
+        from ..ingest.union import ContributionCache
+
+        #: Delta contribution runs keyed on (query, epoch, delta version):
+        #: a fixed query panel re-served between writes evaluates its
+        #: delta slice once, then replays the recorded modeled spans.
+        self._delta_cache = ContributionCache()
+        #: Tables whose compaction is in progress: writes arriving under
+        #: an intent defer until it clears.  Reads never look here.
+        self._write_intents: set[str] = set()
+        self._deferred_writes: list[tuple[str, dict]] = []
 
     # ------------------------------------------------------------------
     # Submission
@@ -334,6 +375,88 @@ class Scheduler:
             )
             for q in queries
         ]
+
+    # ------------------------------------------------------------------
+    # Write admission (PR 9)
+    # ------------------------------------------------------------------
+    def submit_write(self, table: str, rows) -> int:
+        """Land a row batch in ``table``'s delta segment.
+
+        Writes serialize against compaction on a per-relation write
+        intent: a write arriving while its table is being compacted is
+        deferred and flushed the moment the intent clears.  Reads never
+        consult intents — a read admitted after a write can never wait on
+        compaction.  Returns rows landed now (0 when deferred).
+        """
+        if self._closed:
+            raise PlanError("scheduler is closed")
+        if table in self._write_intents:
+            self._deferred_writes.append((table, rows))
+            self.stats.deferred_writes += 1
+            return 0
+        n = self.session.append(table, rows)
+        self.stats.writes += 1
+        self.stats.write_rows += n
+        return n
+
+    def _maybe_compact(self) -> None:
+        """Compact tables past the delta watermark (between batches)."""
+        catalog = self.session.catalog
+        for table in list(catalog.tables_with_delta()):
+            if catalog.delta_rows(table) < self.policy.delta_watermark:
+                continue
+            self._write_intents.add(table)
+            try:
+                self.session.compact(table)
+                self.stats.compactions += 1
+            finally:
+                self._write_intents.discard(table)
+                self._flush_deferred(table)
+
+    def _flush_deferred(self, table: str) -> None:
+        still: list[tuple[str, dict]] = []
+        for t, rows in self._deferred_writes:
+            if t != table:
+                still.append((t, rows))
+                continue
+            n = self.session.append(t, rows)
+            self.stats.writes += 1
+            self.stats.write_rows += n
+        self._deferred_writes = still
+
+    # ------------------------------------------------------------------
+    # Plan cache (PR 9)
+    # ------------------------------------------------------------------
+    def _plan_for(self, query: Query, pushdown: bool, predicate_order: str):
+        """The member's physical plan, cached on (query, options, epoch).
+
+        Under ``optimizer="cost"`` a :class:`PlanError` (the cost model
+        needs histogram facts some queries lack) falls back to the
+        heuristic plan instead of failing the query — the flip-safety
+        half of making cost the serve default.
+        """
+        catalog = self.session.catalog
+        optimizer = self.policy.optimizer
+        key = (query, pushdown, predicate_order, optimizer, catalog.epoch)
+
+        def build():
+            if optimizer == "cost":
+                try:
+                    return rewrite_to_ar_plan(
+                        query, catalog, pushdown=pushdown,
+                        predicate_order=predicate_order, optimizer="cost",
+                    )
+                except PlanError:
+                    pass
+            return rewrite_to_ar_plan(
+                query, catalog, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer="heuristic",
+            )
+
+        plan = self._plan_cache.get(key, build)
+        self.stats.plan_cache_hits = self._plan_cache.hits
+        self.stats.plan_cache_misses = self._plan_cache.misses
+        return plan
 
     # ------------------------------------------------------------------
     # Draining (cooperative execution)
@@ -472,6 +595,23 @@ class Scheduler:
             self.stats.memory_splits += 1
         for pending in batch:
             pending.handle._begin()
+        if self.session.catalog.tables_with_delta():
+            # Members whose delta cannot be folded post-hoc (exact-mode
+            # avg/min/max) need the solo delta-union run; peel them out.
+            from ..ingest.union import needs_solo_delta
+
+            keep: list[_Pending] = []
+            for pending in batch:
+                if needs_solo_delta(
+                    pending.query, self.session.catalog, pending.mode
+                ):
+                    self._run_solo(pending)
+                else:
+                    keep.append(pending)
+            batch = keep
+            if not batch:
+                self._maybe_compact()
+                return
         kind = batch[0].group[0][0]
         if kind == "scan" and len(batch) > 1 and batch[0].mode in ("ar", "approximate"):
             if self.policy.optimizer == "cost" and not self._gate_allows_fuse(batch):
@@ -488,6 +628,7 @@ class Scheduler:
                 self.stats.shared_right_batches += 1
             for pending in batch:
                 self._run_solo(pending)
+        self._maybe_compact()
 
     def _gate_allows_fuse(self, batch: list[_Pending]) -> bool:
         """Cost-gate one scan batch: fuse only when the estimated
@@ -557,16 +698,65 @@ class Scheduler:
 
     def _run_solo(self, pending: _Pending) -> None:
         try:
-            result = self.session.query(
-                pending.query, mode=pending.mode, pushdown=pending.pushdown,
-                predicate_order=pending.predicate_order,
-                optimizer=self.policy.optimizer,
-            )
+            result = self._execute_solo(pending)
         except ReproError as exc:
             pending.handle._fail(exc)
             self.stats.failed += 1
             return
         self._note_result(pending, result)
+
+    def _execute_solo(self, pending: _Pending):
+        """One member, no fusing — through the plan cache where possible.
+
+        Classic mode and sessions without an A&R executor (the sharded
+        session) go through ``session.query`` unchanged; those paths have
+        no rewritten plan to cache.
+        """
+        session = self.session
+        if pending.mode == "classic" or not hasattr(session, "_ar"):
+            return session.query(
+                pending.query, mode=pending.mode, pushdown=pending.pushdown,
+                predicate_order=pending.predicate_order,
+                optimizer=self.policy.optimizer,
+            )
+        if session.catalog.tables_with_delta():
+            from ..ingest.union import delta_tables, run_with_delta
+
+            if delta_tables(pending.query, session.catalog):
+                return run_with_delta(
+                    session, pending.query, mode=pending.mode,
+                    pushdown=pending.pushdown,
+                    predicate_order=pending.predicate_order,
+                    optimizer=self.policy.optimizer,
+                    plan_factory=lambda q: self._plan_for(
+                        q, pending.pushdown, pending.predicate_order
+                    ),
+                    contribution_cache=self._delta_cache,
+                )
+        plan = self._plan_for(
+            pending.query, pending.pushdown, pending.predicate_order
+        )
+        return session._ar.run(
+            plan, approximate_only=(pending.mode == "approximate")
+        )
+
+    def _fold_delta(self, pending: _Pending, result):
+        """Fold pending delta rows into a base result computed without
+        them (the fused-batch path; solo-only shapes were peeled before
+        the batch ran)."""
+        catalog = self.session.catalog
+        if not catalog.tables_with_delta():
+            return result
+        from ..ingest.union import apply_delta, delta_tables
+
+        deltas = delta_tables(pending.query, catalog)
+        if not deltas:
+            return result
+        return apply_delta(
+            catalog, self.session.machine.cpu, pending.query, result,
+            mode=pending.mode, deltas=deltas,
+            contribution_cache=self._delta_cache,
+        )
 
     def _run_with_plan(self, pending: _Pending, plan, scan_hits=None,
                        theta_runs=None):
@@ -582,6 +772,7 @@ class Scheduler:
                 scan_hits=scan_hits,
                 theta_runs=theta_runs,
             )
+            result = self._fold_delta(pending, result)
         except ReproError as exc:
             pending.handle._fail(exc)
             self.stats.failed += 1
@@ -606,11 +797,8 @@ class Scheduler:
         fused: list[tuple[_Pending, object]] = []  # (pending, plan)
         for pending in batch:
             try:
-                plan = rewrite_to_ar_plan(
-                    pending.query, self.session.catalog,
-                    pushdown=pending.pushdown,
-                    predicate_order=pending.predicate_order,
-                    optimizer=self.policy.optimizer,
+                plan = self._plan_for(
+                    pending.query, pending.pushdown, pending.predicate_order
                 )
             except ReproError as exc:
                 pending.handle._fail(exc)
@@ -670,11 +858,8 @@ class Scheduler:
         fused: list[tuple[_Pending, object]] = []  # (pending, plan)
         for pending in batch:
             try:
-                plan = rewrite_to_ar_plan(
-                    pending.query, self.session.catalog,
-                    pushdown=pending.pushdown,
-                    predicate_order=pending.predicate_order,
-                    optimizer=self.policy.optimizer,
+                plan = self._plan_for(
+                    pending.query, pending.pushdown, pending.predicate_order
                 )
             except ReproError as exc:
                 pending.handle._fail(exc)

@@ -31,7 +31,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from ..device.machine import Machine
-from ..errors import PlanError, StorageError
+from ..errors import PlanError, ReproError, StorageError
 from ..storage.catalog import Catalog
 from ..storage.column import ColumnType
 from ..storage.decompose import BwdColumn
@@ -93,6 +93,17 @@ class ShardedCatalog:
         #: table -> column the range partition follows (set on first
         #: decomposition of a partitioned table).
         self.partition_columns: dict[str, str] = {}
+        #: table -> the code-band cut points behind ``row_maps`` (absent
+        #: when the table kept its round-robin layout).  Appends route by
+        #: these bands (PR 9).
+        self.band_cuts: dict[str, list[int]] = {}
+        #: table -> per-shard routed delta segments (observability: the
+        #: union view every query evaluates lives on ``global_catalog``).
+        self.shard_deltas: dict[str, list] = {}
+        #: table -> the coordinator's catch-all delta (rows that cannot be
+        #: banded: un-encodable under the recorded global plan, or the
+        #: table has no band layout).  Rebalanced away at compaction.
+        self.spill_deltas: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # DDL
@@ -239,7 +250,9 @@ class ShardedCatalog:
             for s in range(1, self.n_shards)
         ]
         if any(b <= a for a, b in zip(cuts, cuts[1:])):
+            self.band_cuts.pop(table, None)
             return  # degenerate quantiles: keep round-robin
+        self.band_cuts[table] = cuts
         # shard(c) = number of cut points strictly below c — rows whose
         # code equals a cut stay in the lower shard, keeping bands
         # contiguous: shard s holds codes in (cuts[s-1], cuts[s]].
@@ -250,6 +263,94 @@ class ShardedCatalog:
         ]
         self.row_maps[table] = maps
         self._build_shard_relations(self.global_catalog.table(table), maps)
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion (PR 9)
+    # ------------------------------------------------------------------
+    def append(self, table: str, rows: Mapping[str, Iterable]) -> int:
+        """Land rows in the global delta and route them to owning shards.
+
+        The global catalog's delta store is the union view every query
+        evaluates (arrival order — what compaction rebuilds from).  On top
+        of that, each row is routed to the shard whose code band owns it:
+        the partition column's values are encoded under the *recorded*
+        global decomposition plan and banded through the same cut points
+        the repartition used.  Rows that cannot be banded — no band layout,
+        or values un-encodable under the recorded plan — spill to the
+        coordinator's catch-all segment, which compaction rebalances away.
+        Returns the number of rows appended.
+        """
+        n = self.global_catalog.append(table, rows)
+        if n == 0:
+            return 0
+        store = self.global_catalog.delta_store(table)
+        arrays = store.arrays()
+        batch = {col: arr[-n:] for col, arr in arrays.items()}
+        codes = self._band_codes(table, batch)
+        if codes is None:
+            self._spill_store(table).append(batch)
+            return n
+        cuts = np.asarray(self.band_cuts[table])
+        assignment = np.searchsorted(cuts, codes, side="left")
+        stores = self._shard_stores(table)
+        for s, shard_store in enumerate(stores):
+            idx = np.flatnonzero(assignment == s)
+            if idx.size:
+                shard_store.append({c: batch[c][idx] for c in batch})
+        return n
+
+    def _band_codes(self, table: str, batch: Mapping) -> np.ndarray | None:
+        """Approximation codes of a batch's partition values, or None when
+        the batch cannot be banded (catch-all spill)."""
+        column = self.partition_columns.get(table)
+        if column is None or table not in self.band_cuts:
+            return None
+        bwd = self.global_catalog.decomposition_of(table, column)
+        if bwd is None:
+            return None
+        try:
+            encoded = BwdColumn.from_values(batch[column], bwd.decomposition)
+        except (ValueError, OverflowError, ReproError):
+            return None  # un-encodable under the recorded plan: spill
+        return encoded.approx_codes_i64()
+
+    def _shard_stores(self, table: str) -> list:
+        from ..ingest.delta import DeltaStore
+
+        stores = self.shard_deltas.get(table)
+        if stores is None:
+            schema = self.global_catalog.table(table).schema
+            stores = [DeltaStore(schema) for _ in self.shards]
+            self.shard_deltas[table] = stores
+        return stores
+
+    def _spill_store(self, table: str):
+        from ..ingest.delta import DeltaStore
+
+        store = self.spill_deltas.get(table)
+        if store is None:
+            store = DeltaStore(self.global_catalog.table(table).schema)
+            self.spill_deltas[table] = store
+        return store
+
+    def clear_routed_delta(self, table: str) -> None:
+        """Drop the per-shard and spill copies (compaction commit step)."""
+        for store in self.shard_deltas.get(table, []):
+            store.clear()
+        spill = self.spill_deltas.get(table)
+        if spill is not None:
+            spill.clear()
+
+    def shard_delta_rows(self, table: str) -> list[int]:
+        """Routed delta rows per shard (excludes the catch-all spill)."""
+        stores = self.shard_deltas.get(table)
+        if stores is None:
+            return [0] * self.n_shards
+        return [store.row_count for store in stores]
+
+    def spill_delta_rows(self, table: str) -> int:
+        store = self.spill_deltas.get(table)
+        return 0 if store is None else store.row_count
 
     # ------------------------------------------------------------------
     # Introspection

@@ -132,6 +132,143 @@ class ShardedSession:
         set_view_budget(total, segment_rows=segment_rows)
 
     # ------------------------------------------------------------------
+    # Streaming ingestion (PR 9)
+    # ------------------------------------------------------------------
+    def append(self, table: str, rows: Mapping[str, Iterable]) -> int:
+        """Land rows in ``table``'s delta, routed to owning shards by
+        approximation-code band (catch-all spill for un-bandable rows)."""
+        return self.sharded_catalog.append(table, rows)
+
+    def compact(self, table: str | None = None) -> int:
+        """Fold pending delta into rebuilt, re-sharded base segments.
+
+        Rebuilds the global relation (base + delta in arrival order), then
+        walks the *bulk-load path* over it: fresh round-robin partition and
+        a replay of the recorded ``bwdecompose`` DDL in call order — the
+        first decomposition re-runs the code-band repartition over the
+        union, rebalancing any catch-all spill.  The rebuilt shards are
+        byte-identical to bulk-loading the same rows.  Bumps the global
+        catalog epoch.  Returns total rows compacted.
+        """
+        tables = (
+            [table] if table is not None
+            else self.catalog.tables_with_delta()
+        )
+        return sum(self._compact_table(t) for t in tables)
+
+    def _compact_table(self, table: str) -> int:
+        import numpy as np
+
+        from ..ingest import compact as ingest_compact
+
+        sc = self.sharded_catalog
+        gcat = sc.global_catalog
+        store = gcat.delta_store(table)
+        if store is None or store.row_count == 0:
+            return 0
+        base = gcat.table(table)
+        delta = store.arrays()
+        data = {
+            col: np.concatenate([base.values(col), delta[col]])
+            for col in base.schema.names
+        }
+        new_rel = Relation.create(table, base.schema, data)
+        args_list = gcat.decompose_args_for(table)
+        if ingest_compact.fail_hook is not None:
+            ingest_compact.fail_hook(table)  # crash seam: nothing committed
+        n = store.row_count
+        gcat.replace_table(new_rel)
+        if sc.is_partitioned(table):
+            m = len(new_rel)
+            maps = [
+                np.arange(i, m, sc.n_shards, dtype=np.int64)
+                for i in range(sc.n_shards)
+            ]
+            sc.row_maps[table] = maps
+            sc._build_shard_relations(new_rel, maps)
+            sc.partition_columns.pop(table, None)
+            sc.band_cuts.pop(table, None)
+        else:
+            for shard in sc.shards:
+                shard.catalog._tables[table] = new_rel
+        for column, args in args_list:
+            sc.bwdecompose(
+                table, column, args["device_bits"],
+                residual_bits=args["residual_bits"],
+                prefix_compression=args["prefix_compression"],
+            )
+        sc.clear_routed_delta(table)
+        store.clear()
+        gcat.bump_epoch()
+        return n
+
+    def _query_with_delta(
+        self, query: Query, deltas: dict, *, mode: str, pushdown: bool,
+        predicate_order: str, optimizer: str, timeline: Timeline | None,
+    ) -> ShardedResult:
+        """Base fragments exactly as today + central delta contributions.
+
+        Delta rows are evaluated exactly on the coordinator (billed as
+        ``ingest.delta.*`` spans on its CPU) against the global catalog and
+        merged into the sharded base result; the coordinator work extends
+        ``merge_seconds``/``wall_clock_seconds``.
+        """
+        from dataclasses import replace as dc_replace
+
+        from ..errors import ExecutionError
+        from ..ingest.union import (
+            _contribution_parts, _is_empty_error, _lowered_query, _merge,
+        )
+
+        gcat = self.catalog
+        cpu = self.sharded_catalog.coordinator.cpu
+        lowered = mode != "approximate" and any(
+            a.func == "avg" for a in query.aggregates
+        )
+        base_query = _lowered_query(query) if lowered else query
+        base: ShardedResult | None = None
+        base_error: str | None = None
+        try:
+            plan = self.planner.plan(
+                base_query, mode=mode, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer=optimizer,
+            )
+            base = self.executor.execute(plan)
+        except ExecutionError as exc:
+            if not _is_empty_error(exc):
+                raise
+            base_error = str(exc)
+        tl = base.timeline if base is not None else Timeline()
+        before = len(tl.spans)
+        contribs = _contribution_parts(gcat, cpu, query, deltas, tl)
+        merged = _merge(
+            query, mode, base, base_error, contribs, tl, gcat, cpu,
+            lowered=lowered,
+        )
+        delta_seconds = sum(s.seconds for s in tl.spans[before:])
+        if base is not None:
+            out = dc_replace(
+                base,
+                columns=merged.columns, row_count=merged.row_count,
+                approximate=merged.approximate,
+                decimal_scales=merged.decimal_scales,
+                merge_seconds=base.merge_seconds + delta_seconds,
+                wall_clock_seconds=base.wall_clock_seconds + delta_seconds,
+            )
+        else:
+            out = ShardedResult(
+                columns=merged.columns, row_count=merged.row_count,
+                timeline=tl, approximate=merged.approximate,
+                decimal_scales=merged.decimal_scales,
+                merge_seconds=delta_seconds,
+                wall_clock_seconds=delta_seconds,
+            )
+        if timeline is not None:
+            timeline.extend(out.timeline)
+            out.timeline = timeline
+        return out
+
+    # ------------------------------------------------------------------
     # Query building / execution
     # ------------------------------------------------------------------
     def table(self, name: str):
@@ -159,6 +296,16 @@ class ShardedSession:
         """
         if mode not in MODES:
             raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
+        if self.catalog.tables_with_delta():
+            from ..ingest.union import delta_tables
+
+            deltas = delta_tables(query, self.catalog)
+            if deltas:
+                return self._query_with_delta(
+                    query, deltas, mode=mode, pushdown=pushdown,
+                    predicate_order=predicate_order, optimizer=optimizer,
+                    timeline=timeline,
+                )
         plan = self.planner.plan(
             query, mode=mode, pushdown=pushdown,
             predicate_order=predicate_order, optimizer=optimizer,

@@ -8,7 +8,7 @@ columns have been decomposed, with which split, and owns the resulting
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator, Mapping
 
 from ..errors import DecompositionError, StorageError
 from .decompose import BwdColumn, plan_decomposition
@@ -22,6 +22,15 @@ class Catalog:
         self._tables: dict[str, Relation] = {}
         self._decomposed: dict[tuple[str, str], BwdColumn] = {}
         self._histograms: dict[tuple[str, str], "CodeHistogram"] = {}
+        #: Per-table uncompressed delta segments (PR 9 streaming ingestion).
+        self._deltas: dict[str, "DeltaStore"] = {}
+        #: ``bwdecompose`` arguments by (table, column), in call order —
+        #: compaction replays them over base+delta so the rebuilt column is
+        #: byte-identical to a bulk load of the same rows.
+        self._decompose_args: dict[tuple[str, str], dict] = {}
+        #: Monotonic counter bumped by every successful compaction; plan
+        #: caches and other derived state key their invalidation on it.
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Tables
@@ -36,9 +45,18 @@ class Catalog:
         if name not in self._tables:
             raise StorageError(f"no table {name!r}")
         del self._tables[name]
+        self._deltas.pop(name, None)
         for key in [k for k in self._decomposed if k[0] == name]:
             del self._decomposed[key]
             self._histograms.pop(key, None)
+            self._decompose_args.pop(key, None)
+
+    def replace_table(self, relation: Relation) -> Relation:
+        """Swap in a rebuilt relation (the compaction commit step)."""
+        if relation.name not in self._tables:
+            raise StorageError(f"no table {relation.name!r}")
+        self._tables[relation.name] = relation
+        return relation
 
     def table(self, name: str) -> Relation:
         try:
@@ -88,6 +106,14 @@ class Catalog:
         bwd = BwdColumn.from_values(values, plan)
         self._decomposed[(table, column)] = bwd
         self._histograms.pop((table, column), None)  # stale under new split
+        # Recorded (in call order) so compaction can replay the same DDL
+        # over base+delta and land on the bulk-load decomposition.
+        self._decompose_args.pop((table, column), None)
+        self._decompose_args[(table, column)] = dict(
+            device_bits=device_bits,
+            residual_bits=residual_bits,
+            prefix_compression=prefix_compression,
+        )
         return bwd
 
     def register_decomposition(
@@ -131,6 +157,57 @@ class Catalog:
     def decomposed_columns(self) -> Iterator[tuple[str, str, BwdColumn]]:
         for (table, column), bwd in self._decomposed.items():
             yield table, column, bwd
+
+    # ------------------------------------------------------------------
+    # Delta segments + epochs (PR 9 streaming ingestion)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Compaction epoch; bumps only on a successful compaction."""
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        self._epoch += 1
+        return self._epoch
+
+    def append(self, table: str, rows: Mapping[str, Iterable]) -> int:
+        """Land rows in ``table``'s delta segment; returns rows appended.
+
+        The base relation and every registered decomposition are untouched:
+        queries union base + delta until :func:`repro.ingest.compact_table`
+        folds the delta into freshly packed segments.
+        """
+        from ..ingest.delta import DeltaStore
+
+        rel = self.table(table)
+        store = self._deltas.get(table)
+        if store is None:
+            store = self._deltas[table] = DeltaStore(rel.schema)
+        return store.append(rows)
+
+    def delta_store(self, table: str) -> "DeltaStore | None":
+        """The table's delta segment, or ``None`` if it never had appends."""
+        self.table(table)  # fail fast on unknown tables
+        return self._deltas.get(table)
+
+    def delta_rows(self, table: str) -> int:
+        store = self._deltas.get(table)
+        return store.row_count if store is not None else 0
+
+    def tables_with_delta(self) -> list[str]:
+        return [t for t, s in self._deltas.items() if s.row_count > 0]
+
+    def total_rows(self, table: str) -> int:
+        """Base + delta row count (what a bulk-loaded twin would hold)."""
+        return len(self.table(table)) + self.delta_rows(table)
+
+    def decompose_args_for(self, table: str) -> list[tuple[str, dict]]:
+        """Recorded ``bwdecompose`` calls of a table, in call order."""
+        return [
+            (column, dict(args))
+            for (t, column), args in self._decompose_args.items()
+            if t == table
+        ]
 
     def device_footprint(self) -> int:
         """Total device-resident bytes across all decomposed columns."""

@@ -1,0 +1,59 @@
+"""Tier-1 smoke for ``benchmarks/sweep.py --calibrate``.
+
+Fits the 7-constant sim-host cost model to a quick sweep and checks the
+properties calibration is graded on: all constants non-negative (the fit
+is NNLS), a finite relative error, and — the actual gate — the fitted
+spec changing none of the sweep's optimizer picks (``picks_changed``
+empty means the model's *ordering* of alternatives was already right;
+calibration only tightens the absolute scale).
+"""
+
+import importlib.util
+from pathlib import Path
+
+_SWEEP_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "sweep.py"
+
+_CONSTANT_NAMES = (
+    "launch_overhead", "byte_cost",
+    "per_tuple.SCAN", "per_tuple.ARITH", "per_tuple.GATHER",
+    "per_tuple.HASH", "per_tuple.AGG",
+)
+
+
+def _load_sweep():
+    spec = importlib.util.spec_from_file_location(
+        "repro_calibrate_smoke", _SWEEP_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_sweep = _load_sweep()
+_RESULT = _sweep.calibrate(_sweep.sweep(quick=True))
+
+
+def test_constants_cover_the_model_and_are_nonnegative():
+    constants = _RESULT["constants"]
+    assert set(constants) == set(_CONSTANT_NAMES)
+    for name, value in constants.items():
+        assert value >= 0.0, name
+
+
+def test_relative_error_is_finite_and_sane():
+    assert 0.0 <= _RESULT["relative_rms_error"] < 100.0
+
+
+def test_fitted_spec_changes_no_picks():
+    assert _RESULT["picks_changed"] == []
+
+
+def test_observation_bookkeeping():
+    assert _RESULT["observations"] >= _RESULT["cells"] > 0
+
+
+def test_report_renders():
+    text = _sweep.report_calibration(_RESULT)
+    for name in _CONSTANT_NAMES:
+        assert name in text
+    assert "picks" in text

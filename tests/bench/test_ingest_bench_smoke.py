@@ -1,0 +1,89 @@
+"""Tier-1 smoke for ``python -m repro ingest-bench --quick``.
+
+Drives the mixed 95/5 read/write bench at its small shape and checks the
+structural claims it reports on: writes all land, reads never block, the
+plan cache hits on the repeated window panel, and the CLI round-trips.
+"""
+
+import numpy as np
+
+from repro.ingest.bench import (
+    WRITE_EVERY,
+    cycled_ranges,
+    main,
+    run_mixed,
+    write_batches,
+)
+from repro.serve.bench import build_serve_session
+
+N_ROWS = 8_000
+N_QUERIES = 40
+
+
+def test_mixed_run_stats_shape():
+    session = build_serve_session(N_ROWS)
+    ranges = cycled_ranges(N_ROWS, N_QUERIES)
+    batches = write_batches(N_ROWS, N_QUERIES // WRITE_EVERY, batch_rows=16)
+    stats = run_mixed(
+        session, ranges, batches, max_batch=8, delta_watermark=1 << 30
+    )
+    assert stats["seconds"] > 0
+    assert stats["writes"] == N_QUERIES // WRITE_EVERY
+    assert stats["reads_blocked"] == 0
+    assert stats["compactions"] == 0  # watermark never reached
+    assert stats["cache_hit_rate"] > 0.5  # 12 windows cycled over 40 reads
+
+
+def test_mixed_run_watermark_triggers_compaction():
+    session = build_serve_session(N_ROWS)
+    ranges = cycled_ranges(N_ROWS, N_QUERIES)
+    batches = write_batches(N_ROWS, N_QUERIES // WRITE_EVERY, batch_rows=16)
+    stats = run_mixed(
+        session, ranges, batches,
+        max_batch=8, delta_watermark=16, max_in_flight=8,
+    )
+    assert stats["compactions"] >= 1
+    assert stats["reads_blocked"] == 0
+    assert session.catalog.delta_rows("events") == 0 or (
+        session.catalog.delta_rows("events") < 16 + 16
+    )
+
+
+def test_mixed_answers_match_settled_rerun():
+    """The mixed run's reads were answered against moving data; after a
+    final compaction the same windows re-counted solo must reflect every
+    write the run landed."""
+    session = build_serve_session(N_ROWS)
+    ranges = cycled_ranges(N_ROWS, N_QUERIES)
+    batches = write_batches(N_ROWS, N_QUERIES // WRITE_EVERY, batch_rows=16)
+    run_mixed(
+        session, ranges, batches, max_batch=8, delta_watermark=1 << 30
+    )
+    session.compact("events")
+    values = session.catalog.table("events").values("value")
+    for lo, hi in ranges[:len(set(ranges))]:
+        r = (
+            session.table("events").where("value", between=(lo, hi))
+            .count("n").run()
+        )
+        want = int(((values >= lo) & (values <= hi)).sum())
+        assert int(r.columns["n"][0]) == want
+
+
+def test_quick_cli_runs():
+    assert main(["--quick"]) == 0
+
+
+def test_cycled_ranges_repeat_a_fixed_panel():
+    ranges = cycled_ranges(N_ROWS, N_QUERIES)
+    assert len(ranges) == N_QUERIES
+    assert len(set(ranges)) <= 12
+    assert ranges[0] == ranges[12]
+
+
+def test_write_batches_deterministic():
+    a = write_batches(N_ROWS, 3, batch_rows=8)
+    b = write_batches(N_ROWS, 3, batch_rows=8)
+    assert len(a) == 3
+    for x, y in zip(a, b):
+        assert np.array_equal(x["value"], y["value"])

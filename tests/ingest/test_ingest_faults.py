@@ -1,0 +1,119 @@
+"""Crash-during-compaction: copy-then-swap must leave no torn state.
+
+Compaction builds everything off to the side and commits last; the
+``repro.ingest.compact.fail_hook`` seam models a crash after the rebuild
+but before any commit.  Afterwards the catalog epoch must be unchanged,
+the delta still pending and queryable, and a retry must succeed cleanly —
+on the single-device session, the 4-shard session, and under the serve
+scheduler (whose write intent must clear and whose deferred writes must
+flush even when the compaction it guarded raised).
+"""
+
+import numpy as np
+import pytest
+
+from repro import IntType, Session
+from repro.ingest import compact as ingest_compact
+from repro.shard import ShardedSession
+
+
+class Boom(RuntimeError):
+    pass
+
+
+@pytest.fixture(autouse=True)
+def clear_hook():
+    yield
+    ingest_compact.fail_hook = None
+
+
+def make_session():
+    rng = np.random.default_rng(13)
+    s = Session()
+    s.create_table(
+        "t", {"v": IntType()},
+        {"v": rng.integers(0, 10_000, 2_000).astype(np.int64)},
+    )
+    s.bwdecompose("t", "v", 24)
+    s.append("t", {"v": np.arange(100, dtype=np.int64)})
+    return s
+
+
+def make_sharded():
+    rng = np.random.default_rng(14)
+    s = ShardedSession(4)
+    s.create_table(
+        "t", {"v": IntType()},
+        {"v": rng.integers(0, 10_000, 2_000).astype(np.int64)},
+    )
+    s.bwdecompose("t", "v", 24)
+    s.append("t", {"v": np.arange(100, dtype=np.int64)})
+    return s
+
+
+@pytest.mark.parametrize("factory", [make_session, make_sharded],
+                         ids=["single", "sharded"])
+def test_crash_leaves_epoch_and_delta_intact(factory):
+    s = factory()
+    before = s.table("t").where("v", between=(0, 50)).count("n").run()
+    epoch = s.catalog.epoch
+
+    def boom(table):
+        raise Boom(f"crash compacting {table}")
+
+    ingest_compact.fail_hook = boom
+    with pytest.raises(Boom):
+        s.compact("t")
+    assert s.catalog.epoch == epoch, "no commit may have happened"
+    assert s.catalog.delta_rows("t") == 100, "delta must survive the crash"
+    after = s.table("t").where("v", between=(0, 50)).count("n").run()
+    assert np.array_equal(before.columns["n"], after.columns["n"])
+
+    # Recovery: clear the fault and retry; the fold completes normally.
+    ingest_compact.fail_hook = None
+    assert s.compact("t") == 100
+    assert s.catalog.epoch == epoch + 1
+    assert s.catalog.delta_rows("t") == 0
+    settled = s.table("t").where("v", between=(0, 50)).count("n").run()
+    assert np.array_equal(before.columns["n"], settled.columns["n"])
+
+
+def test_sharded_crash_preserves_shard_state():
+    s = make_sharded()
+    sc = s.sharded_catalog
+    maps_before = [m.copy() for m in sc.row_maps["t"]]
+
+    ingest_compact.fail_hook = lambda t: (_ for _ in ()).throw(Boom(t))
+    with pytest.raises(Boom):
+        s.compact("t")
+    for before, now in zip(maps_before, sc.row_maps["t"]):
+        assert np.array_equal(before, now), "row maps must be untouched"
+
+
+def test_scheduler_write_intent_survives_compaction_crash():
+    """A crash inside the watermark compaction must still clear the write
+    intent and flush writes that deferred behind it."""
+    s = make_session()
+    s.compact("t")
+    server = s.serve(max_batch=4, delta_watermark=50)
+
+    def boom(table):
+        # While the intent is held, an arriving write must defer.
+        n = server.submit_write("t", {"v": np.array([7], dtype=np.int64)})
+        assert n == 0
+        assert server.stats.deferred_writes == 1
+        raise Boom(table)
+
+    ingest_compact.fail_hook = boom
+    server.submit_write("t", {"v": np.arange(60, dtype=np.int64)})
+    h = s.table("t").where("v", between=(0, 50)).count("n").submit(server)
+    with pytest.raises(Boom):
+        server.drain()
+    # The intent cleared and the deferred write flushed despite the crash.
+    assert not server._write_intents
+    assert server.stats.writes == 2
+    assert s.catalog.delta_rows("t") == 61
+    h.result()  # the read itself completed before the compaction ran
+
+    ingest_compact.fail_hook = None
+    assert s.compact("t") == 61

@@ -1,0 +1,108 @@
+"""PlanCache unit behaviour: LRU, by-reference hits, epoch keying."""
+
+import numpy as np
+import pytest
+
+from repro import IntType, Session
+from repro.opt.plan_cache import PlanCache
+
+
+def test_hit_returns_same_object_by_reference():
+    cache = PlanCache()
+    built = []
+
+    def build():
+        plan = object()
+        built.append(plan)
+        return plan
+
+    a = cache.get(("q", 1), build)
+    b = cache.get(("q", 1), build)
+    assert a is b, "serve keys cooperative scans on op identity"
+    assert len(built) == 1
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_distinct_keys_build_separately():
+    cache = PlanCache()
+    a = cache.get(("q", 1), object)
+    b = cache.get(("q", 2), object)
+    assert a is not b
+    assert cache.misses == 2 and cache.hits == 0
+
+
+def test_unhashable_key_builds_uncached():
+    cache = PlanCache()
+    key = ("q", ["not", "hashable"])
+    a = cache.get(key, object)
+    b = cache.get(key, object)
+    assert a is not b, "unhashable keys must not be cached"
+    assert cache.misses == 2
+    assert len(cache) == 0
+
+
+def test_lru_eviction_drops_oldest():
+    cache = PlanCache(maxsize=2)
+    cache.get("a", object)
+    cache.get("b", object)
+    cache.get("a", object)  # refresh "a": "b" is now the LRU entry
+    cache.get("c", object)  # evicts "b"
+    assert len(cache) == 2
+    misses = cache.misses
+    cache.get("a", object)
+    assert cache.misses == misses, "'a' must have survived"
+    cache.get("b", object)
+    assert cache.misses == misses + 1, "'b' must have been evicted"
+
+
+def test_clear_empties_but_keeps_counters():
+    cache = PlanCache()
+    cache.get("a", object)
+    cache.get("a", object)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1 and cache.misses == 1
+    cache.get("a", object)
+    assert cache.misses == 2
+
+
+def test_invalid_maxsize_rejected():
+    with pytest.raises(ValueError):
+        PlanCache(maxsize=0)
+
+
+def test_epoch_in_key_invalidates_across_compaction():
+    """End-to-end: the scheduler's key includes ``catalog.epoch``, so a
+    compaction re-plans while an append alone keeps the cached plan."""
+    rng = np.random.default_rng(2)
+    s = Session()
+    s.create_table(
+        "t", {"v": IntType()},
+        {"v": rng.integers(0, 9_000, 1_500).astype(np.int64)},
+    )
+    s.bwdecompose("t", "v", 24)
+    server = s.serve(delta_watermark=1 << 30)
+    q = lambda: s.table("t").where("v", between=(0, 800)).count("n")
+
+    q().submit(server)
+    server.drain()
+    q().submit(server)
+    server.drain()
+    assert server.stats.plan_cache_hits == 1
+
+    # Appends do not bump the epoch: the base plan stays valid.
+    server.submit_write("t", {"v": np.array([5], dtype=np.int64)})
+    q().submit(server)
+    server.drain()
+    assert server.stats.plan_cache_hits == 2
+
+    # Compaction bumps it: exactly one rebuild, then hits resume.
+    s.compact("t")
+    misses = server.stats.plan_cache_misses
+    q().submit(server)
+    server.drain()
+    assert server.stats.plan_cache_misses == misses + 1
+    q().submit(server)
+    server.drain()
+    assert server.stats.plan_cache_misses == misses + 1

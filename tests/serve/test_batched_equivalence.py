@@ -87,9 +87,9 @@ def assert_results_identical(solo, batched, label=""):
     )
 
 
-def run_equivalence(session, builders, max_batch=16):
+def run_equivalence(session, builders, max_batch=16, **serve_kwargs):
     solo = [b.run(mode="ar") for b in builders]
-    server = session.serve(max_batch=max_batch)
+    server = session.serve(max_batch=max_batch, **serve_kwargs)
     handles = [b.submit(server) for b in builders]
     server.drain()
     for i, (s_res, handle) in enumerate(zip(solo, handles)):
@@ -103,7 +103,13 @@ class TestMixedWorkloadEquivalence:
 
     def test_mixed_batch_is_byte_identical(self, session):
         builders = mixed_builders(session, self.RANGES, self.DELTAS)
+        # Default (cost) serving: the membership gate may legitimately
+        # pick solo scans for this high-selectivity mix — either way the
+        # batch must have been considered, and results stay identical.
         server = run_equivalence(session, builders)
+        assert server.stats.fused_queries >= 2 or server.stats.cost_gated_solo >= 1
+        # The fusing machinery itself is pinned under the heuristic.
+        server = run_equivalence(session, builders, optimizer="heuristic")
         assert server.stats.fused_queries >= 2  # the scans really fused
 
     def test_equivalence_under_evicting_budget(self, session):

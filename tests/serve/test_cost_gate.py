@@ -69,7 +69,8 @@ def test_wide_windows_are_gated_to_solo(session):
 
 
 def test_heuristic_policy_never_gates(session):
-    _, stats, _ = _serve_counts(session, _windows(0.65))
+    # Explicit since PR 9: serve() now defaults to the cost optimizer.
+    _, stats, _ = _serve_counts(session, _windows(0.65), optimizer="heuristic")
     assert stats.cost_gated_batches == 0
     assert stats.cost_gated_solo == 0
     assert stats.fused_batches >= 1  # historical behavior: always fuse

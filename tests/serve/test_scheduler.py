@@ -182,7 +182,8 @@ class TestAdmission:
 
 class TestBatching:
     def test_same_column_scans_fuse(self, session):
-        server = session.serve(max_batch=8)
+        # Heuristic policy: always fuse (the cost default may gate solo).
+        server = session.serve(max_batch=8, optimizer="heuristic")
         handles = [count_between(session, i * 100, i * 100 + 900).submit(server)
                    for i in range(8)]
         server.drain()
@@ -246,7 +247,7 @@ class TestBatching:
         assert [h.result().scalar("n") for h in handles] == expected
 
     def test_approximate_mode_fuses_too(self, session):
-        server = session.serve(max_batch=4)
+        server = session.serve(max_batch=4, optimizer="heuristic")
         builders = [count_between(session, i, i + 3_000) for i in range(4)]
         handles = [b.submit(server, mode="approximate") for b in builders]
         server.drain()

@@ -1,0 +1,179 @@
+"""Serving with writes in flight: admission, watermarks, byte-identity.
+
+The scheduler's write path must (a) fold deltas only at the watermark
+and only between batches, (b) defer — never drop — writes that arrive
+while a compaction holds the table's write intent, (c) never block a
+read, and (d) leave every read's Result and modeled Timeline exactly
+what a solo ``session.query`` of the same query would produce, under
+both optimizers, with delta rows in flight.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IntType, Session
+
+N = 4_000
+DOMAIN = 30_000
+
+
+def make_session(seed=21):
+    rng = np.random.default_rng(seed)
+    s = Session()
+    s.create_table(
+        "t", {"v": IntType(), "w": IntType()},
+        {
+            "v": rng.integers(0, DOMAIN, N).astype(np.int64),
+            "w": rng.integers(0, 25, N).astype(np.int64),
+        },
+    )
+    s.bwdecompose("t", "v", 24)
+    s.bwdecompose("t", "w", 24)
+    return s
+
+
+def batch(k, rows=50):
+    rng = np.random.default_rng(100 + k)
+    return {
+        "v": rng.integers(0, DOMAIN, rows).astype(np.int64),
+        "w": rng.integers(0, 25, rows).astype(np.int64),
+    }
+
+
+WINDOWS = [(0, 3_000), (2_000, 9_000), (5_000, 20_000), (100, 25_000)]
+
+
+def test_watermark_compaction_fires_between_batches():
+    s = make_session()
+    epoch = s.catalog.epoch
+    server = s.serve(max_batch=4, delta_watermark=120)
+
+    server.submit_write("t", batch(0))  # 50 pending: below watermark
+    s.table("t").where("v", between=(0, 900)).count("n").submit(server)
+    server.drain()
+    assert server.stats.compactions == 0
+    assert s.catalog.delta_rows("t") == 50
+    assert s.catalog.epoch == epoch
+
+    server.submit_write("t", batch(1))
+    server.submit_write("t", batch(2))  # 150 pending: past watermark
+    s.table("t").where("v", between=(0, 900)).count("n").submit(server)
+    server.drain()
+    assert server.stats.compactions == 1
+    assert s.catalog.delta_rows("t") == 0
+    assert s.catalog.epoch == epoch + 1
+    assert server.stats.writes == 3
+    assert server.stats.reads_blocked == 0
+
+
+def test_reads_with_delta_match_solo_run_byte_for_byte():
+    """Each served read, with uncompacted delta in flight, is
+    span-for-span identical to a solo run on the same session — the
+    serve-path ContributionCache replays, not re-models, delta spans."""
+    for optimizer in ("cost", "heuristic"):
+        s = make_session()
+        s.append("t", batch(7))
+        server = s.serve(
+            max_batch=4, delta_watermark=1 << 30, optimizer=optimizer
+        )
+        handles = [
+            s.table("t").where("v", between=r).count("n").sum("w", "x")
+            .submit(server)
+            for r in WINDOWS * 3  # repeats exercise the caches
+        ]
+        server.drain()
+        for h, r in zip(handles, WINDOWS * 3):
+            solo = (
+                s.table("t").where("v", between=r).count("n").sum("w", "x")
+                .run()
+            )
+            got = h.result()
+            for k in solo.columns:
+                assert np.array_equal(got.columns[k], solo.columns[k]), (
+                    optimizer, r, k,
+                )
+            assert got.timeline.span_tuples() == solo.timeline.span_tuples(), (
+                optimizer, r,
+            )
+
+
+def test_cost_and_heuristic_agree_on_columns_with_delta():
+    results = {}
+    for optimizer in ("cost", "heuristic"):
+        s = make_session()
+        s.append("t", batch(9))
+        server = s.serve(
+            max_batch=8, delta_watermark=1 << 30, optimizer=optimizer
+        )
+        handles = [
+            s.table("t").where("v", between=r).count("n").submit(server)
+            for r in WINDOWS
+        ]
+        server.drain()
+        results[optimizer] = [
+            int(h.result().columns["n"][0]) for h in handles
+        ]
+    assert results["cost"] == results["heuristic"]
+
+
+def test_deferred_writes_flush_after_compaction():
+    s = make_session()
+    from repro.ingest import compact as ingest_compact
+
+    seen = []
+
+    def spy(table):
+        # While the compaction holds the intent, a new write must defer.
+        n = s_server.submit_write("t", batch(3, rows=5))
+        seen.append(n)
+
+    ingest_compact.fail_hook = spy
+    try:
+        s_server = s.serve(max_batch=4, delta_watermark=40)
+        s_server.submit_write("t", batch(4))
+        s.table("t").where("v", between=(0, 900)).count("n").submit(s_server)
+        s_server.drain()
+    finally:
+        ingest_compact.fail_hook = None
+    assert seen == [0], "write during compaction must defer, not land"
+    assert s_server.stats.deferred_writes == 1
+    # The deferred batch flushed into the (now empty) delta right after.
+    assert s.catalog.delta_rows("t") == 5
+    assert s_server.stats.writes == 2
+
+
+def test_plan_cache_hit_rate_on_repeated_panel():
+    s = make_session()
+    server = s.serve(max_batch=8)
+    for _ in range(10):
+        for r in WINDOWS:
+            s.table("t").where("v", between=r).count("n").submit(server)
+        server.drain()
+    assert server.stats.plan_cache_hit_rate >= 0.9
+    # An epoch bump (compaction) invalidates cached plans exactly once.
+    s.append("t", batch(5))
+    s.compact("t")
+    before_misses = server.stats.plan_cache_misses
+    for _ in range(2):
+        for r in WINDOWS:
+            s.table("t").where("v", between=r).count("n").submit(server)
+        server.drain()
+    new_misses = server.stats.plan_cache_misses - before_misses
+    assert new_misses == len(WINDOWS), "one re-plan per query per epoch"
+
+
+def test_write_only_workload_needs_no_reads():
+    s = make_session()
+    server = s.serve(max_batch=4, delta_watermark=1 << 30)
+    for k in range(5):
+        assert server.submit_write("t", batch(k)) == 50
+    assert s.catalog.delta_rows("t") == 250
+    assert server.stats.writes == 5
+    assert server.stats.reads_blocked == 0
+
+
+def test_submit_write_validates_rows():
+    s = make_session()
+    server = s.serve()
+    with pytest.raises(Exception, match="column"):
+        server.submit_write("t", {"v": np.array([1])})  # missing "w"
