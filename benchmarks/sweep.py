@@ -146,14 +146,42 @@ def run_cell(
             .count("n")
         )
         label = f"{strategy}+{emit}"
-        timings[label] = _time_best(lambda b=builder: b.run(mode="ar"), reps)
-        answers[label] = builder.run(mode="ar").scalar("n")
-    timings["heuristic"] = _time_best(lambda: base.run(mode="ar"), reps)
-    answers["heuristic"] = base.run(mode="ar").scalar("n")
+        timings[label] = _time_best(
+            lambda b=builder: b.run(mode="ar", optimizer="heuristic"), reps
+        )
+        answers[label] = (
+            builder.run(mode="ar", optimizer="heuristic").scalar("n")
+        )
+    timings["heuristic"] = _time_best(
+        lambda: base.run(mode="ar", optimizer="heuristic"), reps
+    )
+    answers["heuristic"] = (
+        base.run(mode="ar", optimizer="heuristic").scalar("n")
+    )
     timings["optimizer"] = _time_best(
         lambda: base.run(mode="ar", optimizer="cost"), reps
     )
     answers["optimizer"] = base.run(mode="ar", optimizer="cost").scalar("n")
+
+    # PR 10: the session plan cache makes ``optimizer="cost"`` (now the
+    # solo default via ``"auto"``) pay its planning latency once per
+    # (query, options, epoch).  Record what the cache recovers: a fresh
+    # cost rewrite vs the epoch-keyed cached lookup.
+    from repro.plan.rewriter import rewrite_to_ar_plan
+
+    query = base.build()
+    t0 = time.perf_counter()
+    for _ in range(max(reps, 1)):
+        rewrite_to_ar_plan(
+            query, session.catalog, pushdown=True,
+            predicate_order="query", optimizer="cost",
+        )
+    plan_uncached = (time.perf_counter() - t0) / max(reps, 1)
+    session.plan_for(query, optimizer="cost")  # warm the cache entry
+    t0 = time.perf_counter()
+    for _ in range(max(reps, 1)):
+        session.plan_for(query, optimizer="cost")
+    plan_cached = (time.perf_counter() - t0) / max(reps, 1)
 
     distinct = set(answers.values())
     if len(distinct) != 1:
@@ -184,6 +212,9 @@ def run_cell(
         "fastest_forced": fastest_label,
         "pick_vs_fastest": round(pick / fastest, 3) if fastest > 0 else 1.0,
         "planning_overhead_ms": round((end_to_end - pick) * 1e3, 4),
+        "plan_ms_uncached": round(plan_uncached * 1e3, 4),
+        "plan_ms_cached": round(plan_cached * 1e3, 4),
+        "plan_ms_recovered": round((plan_uncached - plan_cached) * 1e3, 4),
         "match": (
             decision.chosen == fastest_label
             or pick <= MATCH_TOLERANCE * fastest
@@ -219,6 +250,9 @@ def sweep(quick: bool = False, reps: int | None = None) -> dict:
         "match_rate": round(matches / len(cells), 3),
         "worst_ratio": max(c["pick_vs_fastest"] for c in cells),
         "best_gain_over_heuristic": max(c["heuristic_gain"] for c in cells),
+        "mean_plan_ms_recovered": round(
+            sum(c["plan_ms_recovered"] for c in cells) / len(cells), 4
+        ),
     }
     print(
         f"summary: match_rate={summary['match_rate']} "

@@ -131,9 +131,9 @@ INGEST_QUERIES = 100
 QUICK_INGEST_QUERIES = 20
 INGEST_WRITE_ROWS = 256
 
-#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR8) are kept as
+#: Per-PR trajectory file; older PRs' files (BENCH_PR1..PR9) are kept as
 #: recorded history and compared against via ``--compare``.
-_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+_RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
 
 #: The opt.pick.theta fixture's small right side: under the heuristic's
 #: sort cutoff, so "before" (the heuristic) brute-forces while "after"
@@ -507,6 +507,26 @@ def _run_ingest_mixed(
     session.compact("events")
 
 
+def _run_obs_overhead(fx: _Fixtures, traced: bool) -> None:
+    """The b16 serve workload with tracing off vs a live Tracer attached.
+
+    Both variants are recorded as their own entries (identical under either
+    ``opt_baseline`` flag), so the pairwise-interleaved points land seconds
+    apart and ``after[obs.overhead.on] / after[obs.overhead.off]`` is the
+    measured cost of full span capture on this machine.  PR 10's acceptance
+    bar: ``on`` must stay within 0.95x of ``off``.
+    """
+    from repro.obs.trace import Tracer
+
+    session, ranges = fx.serve_workload()
+    saved = session.tracer
+    session.attach_tracer(Tracer() if traced else None)
+    try:
+        run_once(session, ranges, max_batch=16)
+    finally:
+        session.attach_tracer(saved)
+
+
 def _run_shard_scan(fx: _Fixtures, n_shards: int) -> None:
     from repro.shard.bench import run_scan_once
 
@@ -579,6 +599,10 @@ def build_suite(quick: bool = False, opt_baseline: bool = False) -> dict:
         "ingest.mixed.wm10k": lambda: _run_ingest_mixed(
             fx, 10_000, strawman=opt_baseline
         ),
+        # Observability overhead (PR 10): same serve workload untraced vs
+        # with a Tracer attached; on/off is the measured span-capture cost.
+        "obs.overhead.off": lambda: _run_obs_overhead(fx, traced=False),
+        "obs.overhead.on": lambda: _run_obs_overhead(fx, traced=True),
     }
 
 

@@ -17,14 +17,18 @@ Subcommands::
     python -m repro shard-bench [--rows N] [--queries N] [--shards 1 2 4]
     python -m repro chaos-bench [--rows N] [--queries N] [--rates 0 0.05 0.1]
     python -m repro ingest-bench [--rows N] [--queries N] [--watermarks 1000 10000]
+    python -m repro trace [--rows N] [--queries N] [--out trace.json] [--all]
+    python -m repro stats [--rows N] [--queries N] [--slow-ms MS]
 
 drive the multi-query scheduler (queries/sec per batch width, see
 :mod:`repro.serve.bench`), the sharded scale-out layer (wall seconds per
 shard count, see :mod:`repro.shard.bench`), the fault-injection sweep
 (availability / tail latency per fault rate, see
-:mod:`repro.faults.bench`), and the mixed read/write ingestion driver
+:mod:`repro.faults.bench`), the mixed read/write ingestion driver
 (mixed vs read-only queries/sec per delta watermark, see
-:mod:`repro.ingest.bench`).
+:mod:`repro.ingest.bench`), and the observability surface (terminal /
+Chrome-trace rendering and the metrics+slow-query snapshot, see
+:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -92,6 +96,14 @@ def main(argv: list[str] | None = None) -> int:
         from .ingest.bench import main as ingest_bench_main
 
         return ingest_bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from .obs.cli import trace_main
+
+        return trace_main(argv[1:])
+    if argv and argv[0] == "stats":
+        from .obs.cli import stats_main
+
+        return stats_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="A&R co-processing demo shell"
     )

@@ -234,14 +234,16 @@ class RelationBuilder:
         mode: str = "ar",
         pushdown: bool = True,
         predicate_order: str = "query",
-        optimizer: str = "heuristic",
+        optimizer: str = "auto",
         timeline: "Timeline | None" = None,
     ) -> "Result":
         """Execute the block in one of the three modes (the eager step).
 
-        ``optimizer="cost"`` routes physical choices (theta strategy/emit,
-        materialization shape) through the cost-based planner
-        (:mod:`repro.opt`); the Result is byte-identical either way.
+        ``optimizer="auto"`` (default since PR 10) routes physical choices
+        (theta strategy/emit, materialization shape) through the
+        cost-based planner (:mod:`repro.opt`) where it applies and falls
+        back to the heuristic plan where it does not; ``"cost"`` is
+        strict; the Result is byte-identical either way.
         """
         return self._session.query(
             self.build(), mode=mode, pushdown=pushdown,

@@ -22,6 +22,8 @@ from typing import Iterable, Mapping
 from ..device.machine import Machine
 from ..device.timeline import Timeline
 from ..errors import PlanError
+from ..obs import trace as obs_trace
+from ..opt.plan_cache import PlanCache
 from ..plan.explain import explain as explain_plan
 from ..plan.logical import Query
 from ..plan.rewriter import rewrite_to_ar_plan
@@ -36,6 +38,12 @@ from .stream import streaming_input_bytes, streaming_lower_bound
 
 MODES = ("ar", "classic", "approximate")
 
+#: Accepted ``optimizer=`` values on the run path.  ``"auto"`` (the solo
+#: default since PR 10) resolves to the cost-based optimizer, falling back
+#: to the heuristic plan on :class:`PlanError` — the same flip-safety rule
+#: the serve path adopted in PR 9.
+RUN_OPTIMIZERS = ("auto", "heuristic", "cost")
+
 
 class Session:
     """One database session over a simulated heterogeneous machine."""
@@ -45,6 +53,25 @@ class Session:
         self.catalog = Catalog()
         self._classic = ClassicExecutor(self.catalog, self.machine.cpu)
         self._ar = ArExecutor(self.catalog, self.machine)
+        #: Epoch-keyed physical-plan cache for the solo ``run()`` path
+        #: (the serve scheduler keeps its own; see PR 9).
+        self._plan_cache = PlanCache()
+        #: Observability sink; ``None`` keeps tracing fully disabled.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Observability (PR 10)
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer):
+        """Attach a :class:`~repro.obs.trace.Tracer` to this session.
+
+        Every subsequent ``run()``/``submit()`` records a query-scoped
+        trace; Results and modeled Timelines are guaranteed byte-identical
+        to untraced runs (tracing only reads ledgers).  Pass ``None`` to
+        detach.  Returns the tracer for chaining.
+        """
+        self.tracer = tracer
+        return tracer
 
     # ------------------------------------------------------------------
     # DDL / loading
@@ -184,19 +211,58 @@ class Session:
         mode: str = "ar",
         pushdown: bool = True,
         predicate_order: str = "query",
-        optimizer: str = "heuristic",
+        optimizer: str = "auto",
         timeline: Timeline | None = None,
     ) -> Result:
         """Run a logical query in one of the three execution modes.
 
         ``predicate_order="selectivity"`` enables the histogram-driven
         cost-based ordering of approximate selections (§III-A extension).
-        ``optimizer="cost"`` picks physical strategies from estimated
-        cardinalities through :mod:`repro.opt` (PR 8) — same Result and
-        modeled Timeline, cheapest host execution.
+        ``optimizer`` picks the physical planner: ``"auto"`` (default since
+        PR 10) uses the cost model (PR 8) where it applies and falls back
+        to the heuristic plan where it does not; ``"cost"`` is strict;
+        ``"heuristic"`` forces the rule-based plan.  Every choice yields
+        the same Result and modeled Timeline — the optimizer only moves
+        host execution cost.  Physical plans are cached per (query,
+        options, catalog epoch); compaction invalidates by bumping the
+        epoch.
         """
         if mode not in MODES:
             raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
+        if optimizer not in RUN_OPTIMIZERS:
+            raise PlanError(
+                f"unknown optimizer {optimizer!r}; "
+                f"pick one of {RUN_OPTIMIZERS}"
+            )
+        tracer = self.tracer
+        if tracer is None:
+            return self._run_query(
+                query, mode=mode, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer=optimizer,
+                timeline=timeline,
+            )
+        with tracer.trace(f"query:{query.table}") as qt:
+            result = self._run_query(
+                query, mode=mode, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer=optimizer,
+                timeline=timeline,
+            )
+            if qt is not None:
+                qt.result_timeline = result.timeline
+                qt.add_timeline(result.timeline)
+            return result
+
+    def _run_query(
+        self,
+        query: Query,
+        *,
+        mode: str,
+        pushdown: bool,
+        predicate_order: str,
+        optimizer: str,
+        timeline: Timeline | None,
+    ) -> Result:
+        qt = obs_trace.ACTIVE
         if self.catalog.tables_with_delta():
             from ..ingest.union import delta_tables, run_with_delta
 
@@ -205,16 +271,76 @@ class Session:
                     self, query, mode=mode, pushdown=pushdown,
                     predicate_order=predicate_order, optimizer=optimizer,
                     timeline=timeline,
+                    plan_factory=lambda q: self.plan_for(
+                        q, pushdown=pushdown,
+                        predicate_order=predicate_order, optimizer=optimizer,
+                    ),
                 )
         if mode == "classic":
-            return self._classic.run(query, timeline)
-        plan = rewrite_to_ar_plan(
-            query, self.catalog, pushdown=pushdown,
-            predicate_order=predicate_order, optimizer=optimizer,
-        )
-        return self._ar.run(
-            plan, timeline, approximate_only=(mode == "approximate")
-        )
+            if qt is None:
+                return self._classic.run(query, timeline)
+            with qt.span("execute.classic", mode=mode) as rec:
+                result = self._classic.run(query, timeline)
+                rec.modeled = result.timeline.total_seconds()
+            return result
+        if qt is None:
+            plan = self.plan_for(
+                query, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer=optimizer,
+            )
+            return self._ar.run(
+                plan, timeline, approximate_only=(mode == "approximate")
+            )
+        hits_before = self._plan_cache.hits
+        with qt.span("plan", optimizer=optimizer) as rec:
+            plan = self.plan_for(
+                query, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer=optimizer,
+            )
+            rec.args["cached"] = self._plan_cache.hits > hits_before
+        if qt.plan is None and getattr(plan, "estimated_spans", None):
+            qt.plan = plan
+        with qt.span("execute.ar", mode=mode) as rec:
+            result = self._ar.run(
+                plan, timeline, approximate_only=(mode == "approximate")
+            )
+            rec.modeled = result.timeline.total_seconds()
+        return result
+
+    def plan_for(
+        self,
+        query: Query,
+        *,
+        pushdown: bool = True,
+        predicate_order: str = "query",
+        optimizer: str = "auto",
+    ):
+        """The physical plan for ``query``, via the session plan cache.
+
+        ``"auto"`` tries the cost-based rewrite and falls back to the
+        heuristic plan on :class:`PlanError`; the resolution is part of
+        the cache key's optimizer component, so flipping optimizers never
+        serves a stale shape.
+        """
+        key = (query, pushdown, predicate_order, optimizer,
+               self.catalog.epoch)
+
+        def build():
+            if optimizer in ("auto", "cost"):
+                try:
+                    return rewrite_to_ar_plan(
+                        query, self.catalog, pushdown=pushdown,
+                        predicate_order=predicate_order, optimizer="cost",
+                    )
+                except PlanError:
+                    if optimizer == "cost":
+                        raise
+            return rewrite_to_ar_plan(
+                query, self.catalog, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer="heuristic",
+            )
+
+        return self._plan_cache.get(key, build)
 
     def theta_join(
         self,

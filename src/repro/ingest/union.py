@@ -40,6 +40,7 @@ from ..device.model import OpClass
 from ..device.timeline import Timeline
 from ..engine.result import ApproximateAnswer, Result
 from ..errors import ExecutionError
+from ..obs import trace as obs_trace
 from ..plan.expr import ColRef
 from ..plan.logical import Aggregate, Query
 from ..storage.catalog import Catalog
@@ -141,7 +142,14 @@ class ContributionCache:
 
     def __init__(self, maxsize: int = 512) -> None:
         self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
         self._entries: dict = {}
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def parts(
         self, catalog: Catalog, cpu, query: Query, deltas: dict,
@@ -156,14 +164,24 @@ class ContributionCache:
             )
             entry = self._entries.get(key)
         except TypeError:  # unhashable query shape: evaluate uncached
+            self.misses += 1
             return _contribution_parts(catalog, cpu, query, deltas, timeline)
         if entry is None:
+            self.misses += 1
             scratch = Timeline()
             parts = _contribution_parts(catalog, cpu, query, deltas, scratch)
             entry = (parts, tuple(scratch.spans))
             if len(self._entries) >= self.maxsize:
                 self._entries.pop(next(iter(self._entries)))
             self._entries[key] = entry
+        else:
+            self.hits += 1
+            qt = obs_trace.ACTIVE
+            if qt is not None:
+                qt.instant(
+                    "ingest.delta.cache.hit", track="ingest",
+                    spans=len(entry[1]),
+                )
         parts, spans = entry
         for s in spans:
             timeline.record(
@@ -350,6 +368,36 @@ def _run_part(
     left_off: int,
     right_off: int,
 ) -> _Part:
+    qt = obs_trace.ACTIVE
+    if qt is None:
+        return _evaluate_part(
+            scratch, cquery, cpu, timeline,
+            left_off=left_off, right_off=right_off,
+        )[0]
+    with qt.span(
+        "ingest.delta.part", track="ingest",
+        left_off=left_off, right_off=right_off,
+    ) as rec:
+        part, modeled = _evaluate_part(
+            scratch, cquery, cpu, timeline,
+            left_off=left_off, right_off=right_off,
+        )
+        rec.modeled = modeled
+        rec.args["rows"] = (
+            part.result.row_count if part.result is not None else 0
+        )
+        return part
+
+
+def _evaluate_part(
+    scratch: Catalog,
+    cquery: Query,
+    cpu,
+    timeline: Timeline,
+    *,
+    left_off: int,
+    right_off: int,
+) -> tuple[_Part, float]:
     from ..engine.bulk import ClassicExecutor
 
     scratch_tl = Timeline()
@@ -359,9 +407,15 @@ def _run_part(
         if not _is_empty_error(exc):
             raise
         _rebill(timeline, scratch_tl)
-        return _Part(None, str(exc), left_off, right_off)
+        return (
+            _Part(None, str(exc), left_off, right_off),
+            scratch_tl.total_seconds(),
+        )
     _rebill(timeline, scratch_tl)
-    return _Part(result, None, left_off, right_off)
+    return (
+        _Part(result, None, left_off, right_off),
+        scratch_tl.total_seconds(),
+    )
 
 
 def _rebill(timeline: Timeline, scratch: Timeline) -> None:
@@ -744,8 +798,19 @@ def _bill_merge(cpu, timeline: Timeline, query: Query, contribs) -> None:
         len(query.group_by) + len(query.aggregates) + len(query.select)
         + 2 * len(query.theta_joins),
     )
-    cpu.charge(
-        timeline, "ingest.delta.merge",
-        max(1, items) * width * _OID_BYTES,
-        tuples=max(1, items), op_class=OpClass.AGG, phase=DELTA_PHASE,
-    )
+    qt = obs_trace.ACTIVE
+    if qt is None:
+        cpu.charge(
+            timeline, "ingest.delta.merge",
+            max(1, items) * width * _OID_BYTES,
+            tuples=max(1, items), op_class=OpClass.AGG, phase=DELTA_PHASE,
+        )
+        return
+    with qt.span("ingest.delta.merge", track="ingest", rows=items) as rec:
+        before = timeline.total_seconds()
+        cpu.charge(
+            timeline, "ingest.delta.merge",
+            max(1, items) * width * _OID_BYTES,
+            tuples=max(1, items), op_class=OpClass.AGG, phase=DELTA_PHASE,
+        )
+        rec.modeled = timeline.total_seconds() - before

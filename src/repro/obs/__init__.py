@@ -1,0 +1,26 @@
+"""Observability: query-scoped tracing, metrics, est-vs-actual feedback.
+
+See :mod:`repro.obs.trace` for the trace context and its two hard
+properties (byte-identical Results/Timelines under tracing, near-zero
+disabled overhead), :mod:`repro.obs.metrics` for the registry,
+:mod:`repro.obs.opnames` for the ledger op-label registry, and
+:mod:`repro.obs.export` for the Chrome-trace/terminal renderers.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .opnames import DECLARED, canonical, is_declared, undeclared
+from .trace import QueryTrace, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DECLARED",
+    "canonical",
+    "is_declared",
+    "undeclared",
+    "QueryTrace",
+    "SpanRecord",
+    "Tracer",
+]

@@ -1,0 +1,81 @@
+"""``python -m repro trace`` and ``python -m repro stats``.
+
+Both subcommands drive the serve-bench workload (one decomposed fact
+table, mixed selection windows through the scheduler) with a
+:class:`~repro.obs.trace.Tracer` attached, then print what the
+observability layer saw::
+
+    python -m repro trace                    # terminal span tree
+    python -m repro trace --out run.json     # Chrome/Perfetto JSON too
+    python -m repro stats                    # metrics registry snapshot
+    python -m repro stats --slow-ms 0.5      # arm the slow-query log
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .trace import Tracer
+
+
+def _parser(prog: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument("--queries", type=int, default=12)
+    parser.add_argument("--batch", type=int, default=4,
+                        help="scheduler max_batch width")
+    parser.add_argument("--slow-ms", type=float, default=None,
+                        help="slow-query log threshold (wall ms)")
+    return parser
+
+
+def _run_workload(args) -> Tracer:
+    from ..serve.bench import build_serve_session, query_ranges, run_once
+
+    session = build_serve_session(args.rows)
+    tracer = Tracer(slow_ms=args.slow_ms)
+    session.attach_tracer(tracer)
+    ranges = query_ranges(args.rows, args.queries)
+    run_once(session, ranges, max_batch=args.batch, optimizer="cost")
+    return tracer
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    parser = _parser(
+        "repro trace",
+        "run the serve workload traced; render the last trace",
+    )
+    parser.add_argument("--out", default=None,
+                        help="also export Chrome-trace JSON here")
+    parser.add_argument("--all", action="store_true",
+                        help="render every trace, not just the last")
+    args = parser.parse_args(argv)
+
+    tracer = _run_workload(args)
+    if args.all:
+        for qt in tracer.traces:
+            print(tracer.render(qt))
+            print()
+    else:
+        print(tracer.render())
+    if args.out:
+        n = tracer.export(args.out)
+        print(f"\nwrote {n} trace events ({len(tracer.traces)} traces) "
+              f"to {args.out}")
+    return 0
+
+
+def stats_main(argv: list[str] | None = None) -> int:
+    parser = _parser(
+        "repro stats",
+        "run the serve workload traced; print the metrics registry",
+    )
+    args = parser.parse_args(argv)
+
+    tracer = _run_workload(args)
+    print(tracer.metrics.render())
+    print()
+    print(tracer.feedback.render())
+    print()
+    print(tracer.slow_log.render())
+    return 0

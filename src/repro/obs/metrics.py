@@ -1,0 +1,188 @@
+"""The metrics registry: counters, gauges and histograms in one place.
+
+PR 5–9 grew observable state in five silos — :class:`~repro.serve.
+scheduler.ServeStats` counters, per-shard circuit-breaker state, plan- and
+contribution-cache hit counters, delta watermark levels, the view cache's
+eviction churn.  The registry unifies them behind three primitive types
+with a stable text rendering (``python -m repro stats``) and a plain-dict
+:meth:`MetricsRegistry.snapshot` for programmatic scraping.  The serve
+scheduler samples its world into the registry after every batch
+(:meth:`~repro.serve.scheduler.Scheduler._sample_metrics`); solo traced
+queries feed the latency histogram through the
+:class:`~repro.obs.trace.Tracer`.
+
+Everything here is passive bookkeeping over plain Python numbers — no
+Timeline is ever touched, so metrics can never perturb the modeled
+ledger.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level, overwritten by each sample."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class HistogramSummary:
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    buckets: dict[str, int]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Histogram:
+    """Log-scaled bucket histogram over non-negative observations.
+
+    Buckets are decades split in half (1, 3, 10, 30, ...): coarse enough
+    to stay O(1) per long-running process, fine enough to separate a
+    2× regression from noise.  ``observe`` is a couple of float ops.
+    """
+
+    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+
+    #: Bucket upper bounds, ``...0.1, 0.3, 1, 3, 10...`` around 1.0.
+    _BOUNDS = tuple(
+        b * (10.0 ** e) for e in range(-6, 7) for b in (1.0, 3.0)
+    )
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(self._BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for i, bound in enumerate(self._BOUNDS):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def summary(self) -> HistogramSummary:
+        buckets = {}
+        for i, n in enumerate(self.counts):
+            if not n:
+                continue
+            label = (
+                f"<={self._BOUNDS[i]:g}" if i < len(self._BOUNDS) else "inf"
+            )
+            buckets[label] = n
+        return HistogramSummary(
+            count=self.count, total=self.total,
+            minimum=self.minimum if self.count else 0.0,
+            maximum=self.maximum if self.count else 0.0,
+            buckets=buckets,
+        )
+
+
+@dataclass
+class MetricsRegistry:
+    """Named metric instruments, created on first touch."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    #: Non-numeric observables (breaker state names and the like).
+    info: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter()
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge()
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram()
+        return self.histograms[name]
+
+    def set_info(self, name: str, value: str) -> None:
+        self.info[name] = value
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every instrument's current value as a plain nested dict."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: {
+                    "count": s.count,
+                    "mean": s.mean,
+                    "min": s.minimum,
+                    "max": s.maximum,
+                    "buckets": s.buckets,
+                }
+                for k, s in sorted(
+                    (k, h.summary()) for k, h in self.histograms.items()
+                )
+            },
+            "info": dict(sorted(self.info.items())),
+        }
+
+    def render(self) -> str:
+        """Stable fixed-width text dump (the ``repro stats`` body)."""
+        lines: list[str] = []
+        if self.counters:
+            lines.append("counters:")
+            for name, c in sorted(self.counters.items()):
+                lines.append(f"  {name:<44} {c.value:>14,}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name, g in sorted(self.gauges.items()):
+                text = (
+                    f"{g.value:>14,.0f}" if float(g.value).is_integer()
+                    else f"{g.value:>14,.4f}"
+                )
+                lines.append(f"  {name:<44} {text}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name, h in sorted(self.histograms.items()):
+                s = h.summary()
+                lines.append(
+                    f"  {name:<44} n={s.count:<7,} mean={s.mean:<10.4g} "
+                    f"min={s.minimum:<10.4g} max={s.maximum:.4g}"
+                )
+        if self.info:
+            lines.append("info:")
+            for name, value in sorted(self.info.items()):
+                lines.append(f"  {name:<44} {value}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,269 @@
+"""Query-scoped tracing: one hierarchical trace per query or serve batch.
+
+A :class:`QueryTrace` records wall-clock spans as execution flows from
+``builder.run()``/``submit()`` through the planner, the scheduler's batch
+former, :class:`~repro.shard.executor.ShardExecutor` fragment attempts
+(retries, hedges, breaker transitions) and the ingest delta/compaction
+paths.  Spans carry *both* clocks side by side: the measured wall seconds
+of the instrumented region and, where a modeled ledger is in hand, the
+paper-model seconds it billed (``modeled``) — so one trace shows where
+the host spent real time *and* what the co-processing model charged for
+the same region.
+
+Two hard properties, relied on by ``tests/obs/test_trace_identity.py``:
+
+* **Byte-identity.**  Tracing only ever *reads* Timelines and Results —
+  a span copies ``total_seconds()`` into its ``modeled`` field, nothing
+  is recorded onto any ledger.  Enabling tracing therefore cannot change
+  a single span tuple or result byte.
+
+* **Near-zero disabled overhead.**  The engine is cooperative and
+  threadless, so the active trace is one module global (:data:`ACTIVE`).
+  Every instrumentation site guards on ``trace.ACTIVE is None`` — one
+  module-attribute load and an identity check — before building
+  anything.  With no tracer attached nothing else runs.
+
+Nesting: a serve batch opens one trace; member queries executed inside
+the batch see :data:`ACTIVE` set and attach their spans to it instead of
+opening a second root.  Each root trace lands in its
+:class:`Tracer`'s bounded buffer, feeding the metrics registry, the
+est-vs-actual feedback channel and the slow-query log on close.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .feedback import FeedbackChannel, SlowQueryLog
+from .metrics import MetricsRegistry
+
+#: The currently open trace (None = tracing disabled / no root open).
+#: A module global is exact here: execution is cooperative and
+#: single-threaded, so there is never more than one query in flight.
+ACTIVE: "QueryTrace | None" = None
+
+
+@dataclass
+class SpanRecord:
+    """One traced region on one track.
+
+    ``start``/``dur`` are wall-clock seconds relative to the trace epoch;
+    ``modeled`` is the paper-model seconds the same region billed (None
+    when the region has no ledger of its own).  ``flow_in``/``flow_out``
+    link causally-related spans across tracks (retry chains, hedges) for
+    the Chrome-trace flow-event rendering.
+    """
+
+    name: str
+    track: str
+    start: float
+    dur: float = 0.0
+    modeled: float | None = None
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+    flow_in: int | None = None
+    flow_out: int | None = None
+
+
+@dataclass
+class InstantRecord:
+    """A point event (breaker transition, hedge decision, watermark)."""
+
+    name: str
+    track: str
+    at: float
+    args: dict = field(default_factory=dict)
+
+
+class _OpenSpan:
+    """Context manager closing one :class:`SpanRecord` on exit."""
+
+    __slots__ = ("trace", "record")
+
+    def __init__(self, trace: "QueryTrace", record: SpanRecord) -> None:
+        self.trace = trace
+        self.record = record
+
+    def __enter__(self) -> SpanRecord:
+        return self.record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        trace, record = self.trace, self.record
+        trace._depth[record.track] -= 1
+        record.dur = trace.clock() - trace.epoch - record.start
+        if exc_type is not None:
+            record.args.setdefault("error", exc_type.__name__)
+        return False
+
+
+class QueryTrace:
+    """Hierarchical wall+modeled spans of one root execution."""
+
+    def __init__(
+        self, name: str, *, trace_id: int = 0, clock=time.perf_counter,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.clock = clock
+        self.epoch = clock()
+        #: Wall seconds root-open → root-close, set by the tracer.
+        self.wall_seconds = 0.0
+        self.spans: list[SpanRecord] = []
+        self.instants: list[InstantRecord] = []
+        #: The cost-optimized physical plan, when the session had one —
+        #: feeds the est-vs-actual channel and the slow-query log explain.
+        self.plan = None
+        #: The final clean modeled ledger (reference, read-only).
+        self.result_timeline = None
+        self._depth: dict[str, int] = {}
+        self._flow_seq = 0
+        self._modeled_cursor: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def span(
+        self, name: str, track: str = "query", *,
+        modeled: float | None = None, **args,
+    ) -> _OpenSpan:
+        """Open a span; use as ``with qt.span(...) as rec:``.
+
+        The record is handed back so callers can attach ``modeled``
+        seconds or args discovered while the region runs.
+        """
+        depth = self._depth.get(track, 0)
+        self._depth[track] = depth + 1
+        record = SpanRecord(
+            name=name, track=track, start=self.clock() - self.epoch,
+            modeled=modeled, depth=depth, args=args,
+        )
+        self.spans.append(record)
+        return _OpenSpan(self, record)
+
+    def instant(self, name: str, track: str = "query", **args) -> None:
+        self.instants.append(
+            InstantRecord(name, track, self.clock() - self.epoch, args)
+        )
+
+    def next_flow(self) -> int:
+        """A fresh flow id linking a cause span to its effect span."""
+        self._flow_seq += 1
+        return self._flow_seq
+
+    # ------------------------------------------------------------------
+    def add_timeline(self, timeline, domain: str = "modeled") -> None:
+        """Lay a modeled ledger out as synthetic spans, one per charge.
+
+        Modeled spans have durations but no wall timestamps; they are
+        placed cumulatively per ``{domain}.{kind}`` track, so the export
+        renders the paper's sequential device occupancy next to the real
+        wall-clock tracks.  The ledger itself is only read.
+        """
+        for s in timeline.spans:
+            track = f"{domain}.{s.kind}"
+            at = self._modeled_cursor.get(track, 0.0)
+            self.spans.append(SpanRecord(
+                name=s.op, track=track, start=at, dur=s.seconds,
+                modeled=s.seconds,
+                args={
+                    "device": s.device, "nbytes": s.nbytes,
+                    "phase": s.phase,
+                },
+            ))
+            self._modeled_cursor[track] = at + s.seconds
+
+
+class _RootHandle:
+    """Context manager for :meth:`Tracer.trace`: sets/restores ACTIVE."""
+
+    __slots__ = ("tracer", "trace", "_previous")
+
+    def __init__(self, tracer: "Tracer", trace: "QueryTrace | None") -> None:
+        self.tracer = tracer
+        self.trace = trace
+        self._previous: QueryTrace | None = None
+
+    def __enter__(self) -> "QueryTrace | None":
+        global ACTIVE
+        if self.trace is not None:
+            self._previous = ACTIVE
+            ACTIVE = self.trace
+        return self.trace
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global ACTIVE
+        if self.trace is not None:
+            ACTIVE = self._previous
+            self.tracer._finish(self.trace, failed=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """Owns finished traces, the metrics registry and feedback channels.
+
+    Attach one to a session (``session.attach_tracer(Tracer())``) and
+    every ``run()``/``submit()`` through that session records a trace.
+    ``enabled`` toggles collection without detaching;
+    ``slow_ms`` arms the slow-query log.
+    """
+
+    def __init__(
+        self, *, max_traces: int = 256, slow_ms: float | None = None,
+    ) -> None:
+        self.enabled = True
+        self.traces: deque[QueryTrace] = deque(maxlen=max_traces)
+        self.metrics = MetricsRegistry()
+        self.feedback = FeedbackChannel()
+        self.slow_log = SlowQueryLog(threshold_ms=slow_ms)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def trace(self, name: str) -> _RootHandle:
+        """Open a root trace (no-op handle when disabled or nested).
+
+        Nested calls — a member query inside a serve batch — return a
+        handle around ``None``; the caller's spans keep landing on the
+        already-active root via :data:`ACTIVE`.
+        """
+        if not self.enabled or ACTIVE is not None:
+            return _RootHandle(self, None)
+        self._seq += 1
+        return _RootHandle(self, QueryTrace(name, trace_id=self._seq))
+
+    def _finish(self, qt: QueryTrace, *, failed: bool) -> None:
+        qt.wall_seconds = qt.clock() - qt.epoch
+        self.traces.append(qt)
+        self.metrics.counter("trace.roots").inc()
+        if failed:
+            self.metrics.counter("trace.failed").inc()
+        self.metrics.histogram("query.wall_ms").observe(
+            qt.wall_seconds * 1e3
+        )
+        if qt.result_timeline is not None:
+            self.metrics.histogram("query.modeled_ms").observe(
+                qt.result_timeline.total_seconds() * 1e3
+            )
+        if qt.plan is not None and qt.result_timeline is not None:
+            self.feedback.observe(qt.plan, qt.result_timeline)
+        self.slow_log.consider(qt)
+
+    # ------------------------------------------------------------------
+    def last(self) -> QueryTrace | None:
+        return self.traces[-1] if self.traces else None
+
+    def export(self, path, traces=None) -> int:
+        """Write (all) finished traces as one Chrome-trace JSON file."""
+        from .export import export_chrome_trace
+
+        return export_chrome_trace(
+            list(self.traces) if traces is None else list(traces), path
+        )
+
+    def render(self, trace: QueryTrace | None = None) -> str:
+        """Terminal rendering of one trace (default: the latest)."""
+        from .export import render_trace
+
+        qt = trace if trace is not None else self.last()
+        if qt is None:
+            return "(no traces recorded)"
+        return render_trace(qt)

@@ -362,7 +362,7 @@ def _est_reduce(state: _EstimateState, op):
 
 
 def _est_theta(state: _EstimateState, op: ApproxThetaJoin):
-    from .estimates import estimate_theta_cardinality
+    from .estimates import _delta_rows, estimate_theta_cardinality
 
     query = state.plan.query
     tj = op.theta
@@ -372,6 +372,8 @@ def _est_theta(state: _EstimateState, op: ApproxThetaJoin):
         left, right, Theta(ThetaOp(tj.op), tj.delta),
         left_hist=state.catalog.histogram_of(query.table, tj.left_column),
         right_hist=state.catalog.histogram_of(tj.right_table, tj.right_column),
+        left_delta_rows=_delta_rows(state.catalog, query.table),
+        right_delta_rows=_delta_rows(state.catalog, tj.right_table),
     )
     if state.n_rows:
         card = card.scaled(state.rows / state.n_rows)

@@ -38,11 +38,23 @@ def _drivable_bwd(catalog, table: str, pred: Predicate) -> BwdColumn:
     return bwd
 
 
+def _delta_rows(catalog, table: str) -> int:
+    """Exact pending-delta row count (0 when the catalog has no deltas)."""
+    getter = getattr(catalog, "delta_rows", None)
+    return int(getter(table)) if getter is not None else 0
+
+
 def estimate_scan_candidates(catalog, table: str, pred: Predicate) -> int:
-    """Tuples the *relaxed* predicate admits (exact at bucket granularity)."""
+    """Tuples the *relaxed* predicate admits (exact at bucket granularity).
+
+    Pending delta rows (PR 9) are outside the decomposition's histogram
+    and are always evaluated exactly on the delta path, so the *exact*
+    delta row count is added on top of the base-segment estimate.
+    """
     bwd = _drivable_bwd(catalog, table, pred)
     lo, hi = relax_to_code_range(pred.vrange, bwd.decomposition)
-    return catalog.histogram_of(table, pred.target.name).estimate_code_range(lo, hi)
+    base = catalog.histogram_of(table, pred.target.name).estimate_code_range(lo, hi)
+    return base + _delta_rows(catalog, table)
 
 
 def estimate_selectivity(catalog, table: str, pred: Predicate) -> float:
@@ -119,6 +131,8 @@ def estimate_theta_cardinality(
     *,
     left_hist: CodeHistogram | None = None,
     right_hist: CodeHistogram | None = None,
+    left_delta_rows: int = 0,
+    right_delta_rows: int = 0,
 ) -> ThetaCardinality:
     """Convolve the two code histograms under ``Theta.possible`` semantics.
 
@@ -126,6 +140,12 @@ def estimate_theta_cardinality(
     number of right rows whose approximation interval could satisfy θ is a
     contiguous range of the right cumulative distribution — two
     ``np.interp`` lookups per θ shape, vectorized over all left buckets.
+
+    ``left_delta_rows`` / ``right_delta_rows`` are *exact* pending-delta
+    row counts (PR 9): delta rows are invisible to both histograms yet
+    every delta pair is materialized exactly on the delta path, so the
+    estimate grows by the full delta cross terms and the ``|L|·|R|``
+    ceiling widens to the delta-inclusive side sizes.
     """
     if left_hist is None:
         left_hist = CodeHistogram.build(left)
@@ -163,8 +183,12 @@ def estimate_theta_cardinality(
     estimate = int(round(float(np.dot(counts, np.clip(per_bucket, 0.0, n_r)))))
 
     certain = theta_certain_pair_count(left, right, theta)
-    estimate = max(certain, min(estimate, n_l * n_r))
+    n_l_tot = n_l + int(left_delta_rows)
+    n_r_tot = n_r + int(right_delta_rows)
+    # Delta rows pair exactly: new-left × all-right plus base-left × new-right.
+    estimate += int(left_delta_rows) * n_r_tot + n_l * int(right_delta_rows)
+    estimate = max(certain, min(estimate, n_l_tot * n_r_tot))
     return ThetaCardinality(
-        n_left=n_l, n_right=n_r,
+        n_left=n_l_tot, n_right=n_r_tot,
         certain_pairs=certain, candidate_pairs=estimate,
     )

@@ -110,10 +110,14 @@ def choose_theta(
     if left is None or right is None:
         raise PlanError("theta optimizer needs both join columns decomposed")
 
+    from .estimates import _delta_rows
+
     card = estimate_theta_cardinality(
         left, right, theta,
         left_hist=catalog.histogram_of(query.table, tj.left_column),
         right_hist=catalog.histogram_of(tj.right_table, tj.right_column),
+        left_delta_rows=_delta_rows(catalog, query.table),
+        right_delta_rows=_delta_rows(catalog, tj.right_table),
     )
     drivable = [
         p for p in query.where

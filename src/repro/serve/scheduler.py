@@ -56,6 +56,7 @@ from ..engine.cooperative import (
     theta_runs_fusable,
 )
 from ..errors import AdmissionError, PlanError, ReproError
+from ..obs import trace as obs_trace
 from ..plan.logical import Query
 from ..plan.physical import ApproxScanSelect, ApproxThetaJoin
 from ..plan.rewriter import estimated_selectivity, rewrite_to_ar_plan
@@ -402,12 +403,21 @@ class Scheduler:
     def _maybe_compact(self) -> None:
         """Compact tables past the delta watermark (between batches)."""
         catalog = self.session.catalog
+        qt = obs_trace.ACTIVE
         for table in list(catalog.tables_with_delta()):
-            if catalog.delta_rows(table) < self.policy.delta_watermark:
+            rows = catalog.delta_rows(table)
+            if rows < self.policy.delta_watermark:
                 continue
             self._write_intents.add(table)
             try:
-                self.session.compact(table)
+                if qt is None:
+                    self.session.compact(table)
+                else:
+                    with qt.span(
+                        "ingest.compact", track="ingest",
+                        table=table, rows=rows,
+                    ):
+                        self.session.compact(table)
                 self.stats.compactions += 1
             finally:
                 self._write_intents.discard(table)
@@ -578,13 +588,29 @@ class Scheduler:
     # Batch execution
     # ------------------------------------------------------------------
     def _run_one_batch(self) -> None:
+        tracer = getattr(self.session, "tracer", None)
+        if tracer is None:
+            self._run_batch_inner()
+            return
+        with tracer.trace(f"serve.batch:{self.stats.batches + 1}"):
+            self._run_batch_inner()
+        self._sample_metrics(tracer)
+
+    def _run_batch_inner(self) -> None:
+        qt = obs_trace.ACTIVE
         self._expire_stale()
         if not self._queue:
             return
         budget = self.session.machine.gpu.pool.headroom(
             self.policy.device_headroom_fraction
         )
-        batch, split = self._queue.pop_batch(self.policy, budget)
+        if qt is None:
+            batch, split = self._queue.pop_batch(self.policy, budget)
+        else:
+            with qt.span("batch.form", track="scheduler") as rec:
+                batch, split = self._queue.pop_batch(self.policy, budget)
+                rec.args["queries"] = len(batch)
+                rec.args["split"] = split
         self.stats.batches += 1
         size = len(batch)
         self.stats.batch_size_counts[size] = (
@@ -696,13 +722,85 @@ class Scheduler:
             sorted(executor.quarantined_shards())
         )
 
+    #: ServeStats counters mirrored into the metrics registry each batch.
+    _SAMPLED_COUNTERS = (
+        "submitted", "completed", "failed", "degraded", "cancelled",
+        "rejected", "expired", "batches", "fused_batches", "fused_queries",
+        "fused_theta_batches", "fused_theta_queries",
+        "shared_right_batches", "backpressure_stalls", "memory_splits",
+        "cost_gated_batches", "cost_gated_solo", "writes", "write_rows",
+        "deferred_writes", "compactions", "retries", "hedged_fragments",
+        "breaker_open_events", "breaker_probes",
+    )
+
+    def _sample_metrics(self, tracer) -> None:
+        """Mirror the scheduler's world into the tracer's registry.
+
+        Runs after every batch when a tracer is attached; absolute values
+        are copied (not incremented), so sampling is idempotent.
+        """
+        from ..storage.decompose import view_cache_bytes, view_eviction_stats
+
+        m = tracer.metrics
+        s = self.stats
+        for name in self._SAMPLED_COUNTERS:
+            m.counter(f"serve.{name}").value = getattr(s, name)
+        m.gauge("serve.queue.depth").set(len(self._queue))
+        m.gauge("serve.largest_batch").set(s.largest_batch)
+        m.counter("plan_cache.hits").value = self._plan_cache.hits
+        m.counter("plan_cache.misses").value = self._plan_cache.misses
+        m.gauge("plan_cache.hit_rate").set(self._plan_cache.hit_rate)
+        m.counter("delta_cache.hits").value = self._delta_cache.hits
+        m.counter("delta_cache.misses").value = self._delta_cache.misses
+        m.gauge("delta_cache.hit_rate").set(self._delta_cache.hit_rate)
+        catalog = self.session.catalog
+        m.gauge("ingest.delta.tables").set(len(catalog.tables_with_delta()))
+        for table in catalog.tables_with_delta():
+            m.gauge(f"ingest.delta.rows.{table}").set(
+                catalog.delta_rows(table)
+            )
+        evictions, evicted_bytes = view_eviction_stats()
+        m.counter("view.evictions").value = evictions
+        m.counter("view.evicted_bytes").value = evicted_bytes
+        m.gauge("view.cache_bytes").set(view_cache_bytes())
+        for shard, state in s.breaker_states.items():
+            m.set_info(f"breaker.shard{shard}.state", state)
+        if s.quarantined_shards:
+            m.set_info(
+                "breaker.quarantined",
+                ",".join(str(i) for i in s.quarantined_shards),
+            )
+
+    def _observe_feedback(self, plan, result) -> None:
+        """Feed one cost-planned run into the est-vs-actual channel."""
+        tracer = getattr(self.session, "tracer", None)
+        if tracer is not None and getattr(plan, "estimated_spans", None):
+            tracer.feedback.observe(plan, result.timeline)
+
     def _run_solo(self, pending: _Pending) -> None:
-        try:
-            result = self._execute_solo(pending)
-        except ReproError as exc:
-            pending.handle._fail(exc)
-            self.stats.failed += 1
+        qt = obs_trace.ACTIVE
+        if qt is None:
+            try:
+                result = self._execute_solo(pending)
+            except ReproError as exc:
+                pending.handle._fail(exc)
+                self.stats.failed += 1
+                return
+            self._note_result(pending, result)
             return
+        with qt.span(
+            f"query#{pending.handle.seq}", track="scheduler",
+            mode=pending.mode, kind="solo",
+        ) as rec:
+            try:
+                result = self._execute_solo(pending)
+            except ReproError as exc:
+                rec.args["error"] = type(exc).__name__
+                pending.handle._fail(exc)
+                self.stats.failed += 1
+                return
+            rec.modeled = result.timeline.total_seconds()
+            qt.add_timeline(result.timeline)
         self._note_result(pending, result)
 
     def _execute_solo(self, pending: _Pending):
@@ -736,9 +834,11 @@ class Scheduler:
         plan = self._plan_for(
             pending.query, pending.pushdown, pending.predicate_order
         )
-        return session._ar.run(
+        result = session._ar.run(
             plan, approximate_only=(pending.mode == "approximate")
         )
+        self._observe_feedback(plan, result)
+        return result
 
     def _fold_delta(self, pending: _Pending, result):
         """Fold pending delta rows into a base result computed without
@@ -765,6 +865,15 @@ class Scheduler:
         Returns the :class:`Result` on success, None on a captured
         failure — so the fused path can read batch stats off it.
         """
+        qt = obs_trace.ACTIVE
+        span = (
+            qt.span(
+                f"query#{pending.handle.seq}", track="scheduler",
+                mode=pending.mode,
+                kind="fused" if scan_hits or theta_runs else "member",
+            )
+            if qt is not None else None
+        )
         try:
             result = self.session._ar.run(
                 plan,
@@ -774,9 +883,17 @@ class Scheduler:
             )
             result = self._fold_delta(pending, result)
         except ReproError as exc:
+            if span is not None:
+                span.record.args["error"] = type(exc).__name__
+                span.__exit__(None, None, None)
             pending.handle._fail(exc)
             self.stats.failed += 1
             return None
+        if span is not None:
+            span.record.modeled = result.timeline.total_seconds()
+            span.__exit__(None, None, None)
+            qt.add_timeline(result.timeline)
+        self._observe_feedback(plan, result)
         self._note_result(pending, result)
         return result
 

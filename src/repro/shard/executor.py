@@ -58,6 +58,7 @@ from ..device.timeline import Timeline
 from ..engine.result import ApproximateAnswer, Result
 from ..errors import DeviceFailure, ExecutionError, TransientAllocationError
 from ..faults.breaker import CircuitBreaker
+from ..obs import trace as obs_trace
 from ..faults.policy import RetryPolicy
 from ..faults.profile import AttemptFaults, FaultInjector
 from .catalog import ShardedCatalog
@@ -148,6 +149,11 @@ class ShardExecutor:
         self.breakers: dict[int, CircuitBreaker] = {}
         #: Query-count clock driving breaker cooldowns.
         self._clock = 0
+        #: Trace bookkeeping (only touched when a trace is active): the
+        #: last attempt span per shard and a pending flow id linking a
+        #: failed attempt / backoff / hedge launch to the next attempt.
+        self._last_attempt_span: dict[int, object] = {}
+        self._pending_flow: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def set_injector(self, injector: FaultInjector | None) -> None:
@@ -179,6 +185,25 @@ class ShardExecutor:
         placement-aware scheduler's fused batches; injection preserves
         each fragment's charges and output exactly (PR 5 invariant).
         """
+        qt = obs_trace.ACTIVE
+        if qt is None:
+            return self._execute_inner(plan, scan_hits)
+        with qt.span(
+            "shard.execute", track="coordinator",
+            shards=len(plan.fragments),
+        ) as rec:
+            result = self._execute_inner(plan, scan_hits)
+            rec.modeled = result.wall_clock_seconds
+            rec.args["retries"] = result.retries
+            if result.dead_shards:
+                rec.args["dead"] = result.dead_shards
+            if result.hedged_shards:
+                rec.args["hedged"] = result.hedged_shards
+            if result.degraded:
+                rec.args["degraded"] = True
+            return result
+
+    def _execute_inner(self, plan, scan_hits) -> ShardedResult:
         self._clock += 1
         recovery = Timeline()
         outcomes = [
@@ -201,23 +226,17 @@ class ShardExecutor:
             )
 
         merge_timeline = Timeline()
-        try:
-            if plan.mode == "approximate":
-                merged = self._merge_approximate(plan, fragments, merge_timeline)
-            elif plan.merge is not None and plan.merge.kind == "pairs":
-                merged = self._merge_pairs(plan, fragments, merge_timeline)
-            else:
-                merged = self._merge_aggregates(plan, fragments, merge_timeline)
-        except ExecutionError as exc:
-            if not dead_indices:
-                raise
-            # Survivors were empty AND shards died: there is no sound
-            # survivor value to degrade to (the dead shards may hold it).
-            raise DeviceFailure(
-                f"cannot degrade: {exc} over the surviving shards "
-                f"(dead: {sorted(dead_indices)})",
-                transient=False,
-            ) from exc
+        qt = obs_trace.ACTIVE
+        if qt is None:
+            merged = self._merge_dispatch(
+                plan, fragments, merge_timeline, dead_indices
+            )
+        else:
+            with qt.span("shard.merge", track="coordinator") as rec:
+                merged = self._merge_dispatch(
+                    plan, fragments, merge_timeline, dead_indices
+                )
+                rec.modeled = merge_timeline.total_seconds()
 
         if dead_indices:
             self._apply_degradation(plan, merged, dead_indices)
@@ -252,6 +271,26 @@ class ShardExecutor:
             recovery_timeline=recovery,
         )
 
+    def _merge_dispatch(
+        self, plan, fragments, merge_timeline, dead_indices
+    ) -> Result:
+        try:
+            if plan.mode == "approximate":
+                return self._merge_approximate(plan, fragments, merge_timeline)
+            if plan.merge is not None and plan.merge.kind == "pairs":
+                return self._merge_pairs(plan, fragments, merge_timeline)
+            return self._merge_aggregates(plan, fragments, merge_timeline)
+        except ExecutionError as exc:
+            if not dead_indices:
+                raise
+            # Survivors were empty AND shards died: there is no sound
+            # survivor value to degrade to (the dead shards may hold it).
+            raise DeviceFailure(
+                f"cannot degrade: {exc} over the surviving shards "
+                f"(dead: {sorted(dead_indices)})",
+                transient=False,
+            ) from exc
+
     # ------------------------------------------------------------------
     # Fragment dispatch: retry loop, backoff billing, breaker bookkeeping
     # ------------------------------------------------------------------
@@ -264,8 +303,21 @@ class ShardExecutor:
     ) -> _Outcome:
         shard_index = fragment.shard_index
         breaker = self._breaker(shard_index)
-        if not breaker.allow(self._clock):
+        qt = obs_trace.ACTIVE
+        state_before = breaker.state
+        allowed = breaker.allow(self._clock)
+        if qt is not None and breaker.state != state_before:
+            qt.instant(
+                f"breaker.{breaker.state}", track=f"shard {shard_index}",
+                shard=shard_index, previous=state_before,
+            )
+        if not allowed:
             # Quarantined: fast-fail to degradation, no retry budget spent.
+            if qt is not None:
+                qt.instant(
+                    "breaker.skip", track=f"shard {shard_index}",
+                    shard=shard_index,
+                )
             return _Outcome(fragment, dead=True)
         policy = self.retry_policy
         recovery_spent = 0.0
@@ -277,7 +329,7 @@ class ShardExecutor:
             if not isinstance(outcome, Exception):
                 outcome.completion_seconds += recovery_spent
                 outcome.retries = retries
-                breaker.record_success()
+                self._breaker_transition(qt, shard_index, breaker, "success")
                 return outcome
             # Failed attempt: bill the backoff (if budget remains) and retry.
             if attempt + 1 >= policy.max_attempts:
@@ -290,13 +342,42 @@ class ShardExecutor:
                 f"fault.retry.backoff[shard {shard_index}]",
                 0, backoff, phase="recover",
             )
+            if qt is not None:
+                self._trace_backoff(qt, shard_index, attempt, backoff)
             recovery_spent += backoff
             retries += 1
-        breaker.record_failure(self._clock)
+        self._breaker_transition(qt, shard_index, breaker, "failure")
         return _Outcome(
             fragment, dead=True,
             completion_seconds=recovery_spent, retries=retries,
         )
+
+    def _breaker_transition(self, qt, shard_index, breaker, event) -> None:
+        """Record the outcome on the breaker; trace any state change."""
+        before = breaker.state
+        if event == "success":
+            breaker.record_success()
+        else:
+            breaker.record_failure(self._clock)
+        if qt is not None and breaker.state != before:
+            qt.instant(
+                f"breaker.{breaker.state}", track=f"shard {shard_index}",
+                shard=shard_index, previous=before,
+            )
+
+    def _trace_backoff(self, qt, shard_index, attempt, backoff) -> None:
+        """One retry-backoff span, flow-linked failed attempt → retry."""
+        fid = qt.next_flow()
+        prev = self._last_attempt_span.get(shard_index)
+        if prev is not None:
+            prev.flow_out = fid
+        with qt.span(
+            "fault.retry.backoff", track=f"shard {shard_index}",
+            modeled=backoff, shard=shard_index, attempt=attempt,
+        ) as rec:
+            rec.flow_in = fid
+            rec.flow_out = qt.next_flow()
+            self._pending_flow[shard_index] = rec.flow_out
 
     def _run_attempt(
         self,
@@ -306,6 +387,31 @@ class ShardExecutor:
         attempt: int,
     ):
         """One dispatch: returns an :class:`_Outcome` or the caught fault."""
+        qt = obs_trace.ACTIVE
+        if qt is None:
+            return self._attempt_inner(fragment, plan, scan_hits, attempt)
+        shard_index = fragment.shard_index
+        name = "hedge.attempt" if attempt == -1 else f"attempt {attempt}"
+        with qt.span(
+            name, track=f"shard {shard_index}",
+            shard=shard_index, attempt=attempt,
+        ) as rec:
+            rec.flow_in = self._pending_flow.pop(shard_index, None)
+            self._last_attempt_span[shard_index] = rec
+            out = self._attempt_inner(fragment, plan, scan_hits, attempt)
+            if isinstance(out, Exception):
+                rec.args["error"] = type(out).__name__
+            elif out.timeline is not None:
+                rec.modeled = out.timeline.total_seconds()
+            return out
+
+    def _attempt_inner(
+        self,
+        fragment: Fragment,
+        plan: ShardedPlan,
+        scan_hits,
+        attempt: int,
+    ):
         shard_index = fragment.shard_index
         shard = self.catalog.shards[shard_index]
         faults = (
@@ -389,6 +495,19 @@ class ShardExecutor:
         # The hedge launches at the detection threshold; its completion is
         # threshold + its own duration.  The faster attempt wins the
         # ledger; the loser's spans are recovery cost.
+        qt = obs_trace.ACTIVE
+        if qt is not None:
+            shard_index = slowest.fragment.shard_index
+            fid = qt.next_flow()
+            prev = self._last_attempt_span.get(shard_index)
+            if prev is not None:
+                prev.flow_out = fid
+            self._pending_flow[shard_index] = fid
+            qt.instant(
+                "hedge.launch", track="coordinator",
+                shard=shard_index, threshold=threshold,
+                slow_seconds=slow_seconds,
+            )
         hedge = self._run_attempt(
             slowest.fragment, plan, scan_hits, attempt=-1
         )
@@ -410,6 +529,12 @@ class ShardExecutor:
             slowest.completion_seconds = (
                 hedge_completion
                 + (slowest.completion_seconds - slow_seconds)  # prior recovery
+            )
+        if qt is not None:
+            qt.instant(
+                "hedge.resolved", track="coordinator",
+                shard=slowest.fragment.shard_index,
+                winner="hedge" if winner is hedge else "original",
             )
         slowest.hedged = True
 

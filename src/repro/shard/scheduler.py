@@ -31,6 +31,7 @@ from ..engine.cooperative import (
     cooperative_scan_hits,
 )
 from ..errors import ReproError
+from ..obs import trace as obs_trace
 from ..plan.physical import ApproxScanSelect
 from ..serve.scheduler import AdmissionPolicy, Scheduler, _Pending
 
@@ -101,13 +102,22 @@ class ShardScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Batch execution
     # ------------------------------------------------------------------
-    def _run_one_batch(self) -> None:
+    def _run_batch_inner(self) -> None:
+        qt = obs_trace.ACTIVE
         self._expire_stale()
         if not self._queue:
             return
-        batch, split = self._queue.pop_batch(
-            self.policy, self._min_shard_headroom()
-        )
+        if qt is None:
+            batch, split = self._queue.pop_batch(
+                self.policy, self._min_shard_headroom()
+            )
+        else:
+            with qt.span("batch.form", track="scheduler") as rec:
+                batch, split = self._queue.pop_batch(
+                    self.policy, self._min_shard_headroom()
+                )
+                rec.args["queries"] = len(batch)
+                rec.args["split"] = split
         self.stats.batches += 1
         size = len(batch)
         self.stats.batch_size_counts[size] = (
@@ -143,12 +153,28 @@ class ShardScheduler(Scheduler):
 
     def _run_sharded_plan(self, pending: _Pending, plan, scan_hits=None):
         """Execute an already-lowered ShardedPlan for one pending query."""
+        qt = obs_trace.ACTIVE
+        span = None
+        if qt is not None:
+            span = qt.span(
+                f"query#{pending.handle.seq}", track="scheduler",
+                mode=pending.mode,
+                kind="fused" if scan_hits else "member",
+            )
+            span.__enter__()
         try:
             result = self.session.executor.execute(plan, scan_hits=scan_hits)
         except ReproError as exc:
+            if span is not None:
+                span.record.args["error"] = type(exc).__name__
+                span.__exit__(None, None, None)
             pending.handle._fail(exc)
             self.stats.failed += 1
             return None
+        if span is not None:
+            span.record.modeled = result.timeline.total_seconds()
+            span.__exit__(None, None, None)
+            qt.add_timeline(result.timeline)
         self._note_result(pending, result)
         return result
 

@@ -17,6 +17,7 @@ from ..device.timeline import Timeline
 from ..errors import PlanError
 from ..faults.policy import RetryPolicy
 from ..faults.profile import FaultInjector, FaultProfile
+from ..obs import trace as obs_trace
 from ..plan.logical import Query
 from ..storage.column import ColumnType
 from ..storage.decompose import set_view_budget
@@ -26,6 +27,7 @@ from .executor import ShardedResult, ShardExecutor
 from .planner import ShardPlanner
 
 MODES = ("ar", "classic", "approximate")
+RUN_OPTIMIZERS = ("auto", "heuristic", "cost")
 
 
 class ShardedSession:
@@ -43,6 +45,11 @@ class ShardedSession:
         self.executor = ShardExecutor(
             self.sharded_catalog, retry_policy=retry_policy
         )
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach an :class:`~repro.obs.trace.Tracer` (None detaches)."""
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Fault injection (chaos testing)
@@ -177,6 +184,7 @@ class ShardedSession:
         if ingest_compact.fail_hook is not None:
             ingest_compact.fail_hook(table)  # crash seam: nothing committed
         n = store.row_count
+        epoch_before = gcat.epoch
         gcat.replace_table(new_rel)
         if sc.is_partitioned(table):
             m = len(new_rel)
@@ -199,7 +207,9 @@ class ShardedSession:
             )
         sc.clear_routed_delta(table)
         store.clear()
-        gcat.bump_epoch()
+        # The DDL replay above went through bwdecompose (each call bumps);
+        # a committed compaction must read as exactly one epoch step.
+        gcat._epoch = epoch_before + 1
         return n
 
     def _query_with_delta(
@@ -229,7 +239,7 @@ class ShardedSession:
         base: ShardedResult | None = None
         base_error: str | None = None
         try:
-            plan = self.planner.plan(
+            plan = self._plan(
                 base_query, mode=mode, pushdown=pushdown,
                 predicate_order=predicate_order, optimizer=optimizer,
             )
@@ -285,17 +295,53 @@ class ShardedSession:
         mode: str = "ar",
         pushdown: bool = True,
         predicate_order: str = "query",
-        optimizer: str = "heuristic",
+        optimizer: str = "auto",
         timeline: Timeline | None = None,
     ) -> ShardedResult:
         """Plan per-shard fragments, run them, merge on the coordinator.
 
         ``optimizer="cost"`` costs each fragment's physical shape against
-        its own shard's histograms (:mod:`repro.opt`, PR 8); merged
-        Results stay byte-identical.
+        its own shard's histograms (:mod:`repro.opt`, PR 8); ``"auto"``
+        (default since PR 10) uses the cost model where it applies and
+        falls back to the heuristic plan where it does not.  Merged
+        Results stay byte-identical across optimizers.
         """
         if mode not in MODES:
             raise PlanError(f"unknown mode {mode!r}; pick one of {MODES}")
+        if optimizer not in RUN_OPTIMIZERS:
+            raise PlanError(
+                f"unknown optimizer {optimizer!r}; "
+                f"pick one of {RUN_OPTIMIZERS}"
+            )
+        tracer = self.tracer
+        if tracer is None:
+            return self._run_query(
+                query, mode=mode, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer=optimizer,
+                timeline=timeline,
+            )
+        with tracer.trace(f"query:{query.table}") as qt:
+            result = self._run_query(
+                query, mode=mode, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer=optimizer,
+                timeline=timeline,
+            )
+            if qt is not None:
+                qt.result_timeline = result.timeline
+                qt.add_timeline(result.timeline)
+            return result
+
+    def _run_query(
+        self,
+        query: Query,
+        *,
+        mode: str,
+        pushdown: bool,
+        predicate_order: str,
+        optimizer: str,
+        timeline: Timeline | None,
+    ) -> ShardedResult:
+        qt = obs_trace.ACTIVE
         if self.catalog.tables_with_delta():
             from ..ingest.union import delta_tables
 
@@ -306,15 +352,47 @@ class ShardedSession:
                     predicate_order=predicate_order, optimizer=optimizer,
                     timeline=timeline,
                 )
-        plan = self.planner.plan(
-            query, mode=mode, pushdown=pushdown,
-            predicate_order=predicate_order, optimizer=optimizer,
-        )
+        if qt is None:
+            plan = self._plan(
+                query, mode=mode, pushdown=pushdown,
+                predicate_order=predicate_order, optimizer=optimizer,
+            )
+        else:
+            with qt.span("plan", optimizer=optimizer) as rec:
+                plan = self._plan(
+                    query, mode=mode, pushdown=pushdown,
+                    predicate_order=predicate_order, optimizer=optimizer,
+                )
+                rec.args["fragments"] = len(plan.fragments)
         result = self.executor.execute(plan)
         if timeline is not None:
             timeline.extend(result.timeline)
             result.timeline = timeline
         return result
+
+    def _plan(
+        self, query: Query, *, mode: str, pushdown: bool,
+        predicate_order: str, optimizer: str,
+    ):
+        """Lower to a ShardedPlan, resolving the ``"auto"`` optimizer.
+
+        ``"auto"`` tries the cost-based fragment shapes first and falls
+        back to the heuristic plan when the cost model declines
+        (:class:`~repro.errors.PlanError`); scope errors re-raise from
+        the fallback identically.
+        """
+        if optimizer == "auto":
+            try:
+                return self.planner.plan(
+                    query, mode=mode, pushdown=pushdown,
+                    predicate_order=predicate_order, optimizer="cost",
+                )
+            except PlanError:
+                optimizer = "heuristic"
+        return self.planner.plan(
+            query, mode=mode, pushdown=pushdown,
+            predicate_order=predicate_order, optimizer=optimizer,
+        )
 
     def serve(
         self,

@@ -106,6 +106,7 @@ class Catalog:
         bwd = BwdColumn.from_values(values, plan)
         self._decomposed[(table, column)] = bwd
         self._histograms.pop((table, column), None)  # stale under new split
+        self._epoch += 1  # DDL invalidates epoch-keyed plan caches
         # Recorded (in call order) so compaction can replay the same DDL
         # over base+delta and land on the bulk-load decomposition.
         self._decompose_args.pop((table, column), None)
@@ -163,7 +164,12 @@ class Catalog:
     # ------------------------------------------------------------------
     @property
     def epoch(self) -> int:
-        """Compaction epoch; bumps only on a successful compaction."""
+        """Plan-validity epoch.
+
+        Bumps on every successful compaction and on schema-shaping DDL
+        (``bwdecompose`` replacing a column's split); appends do *not*
+        bump it.  Plan caches key on it to invalidate naturally.
+        """
         return self._epoch
 
     def bump_epoch(self) -> int:

@@ -241,6 +241,9 @@ class _ViewBudget:
         self.limit: int | None = None
         self.segment_rows = VIEW_SEGMENT_ROWS
         self.used = 0
+        #: Lifetime budget-driven eviction accounting (PR 10 metrics).
+        self.evictions = 0
+        self.evicted_bytes = 0
         # (id(column), attr, seg) -> (weakref, attr, seg, nbytes);
         # insertion order = LRU.
         self._entries: OrderedDict[tuple[int, str, int], tuple] = OrderedDict()
@@ -343,7 +346,9 @@ class _ViewBudget:
     def _evict(self) -> None:
         if self.limit is None:
             return
+        used_before = self.used
         while self.used > self.limit and self._entries:
+            self.evictions += 1
             (cid, attr, seg), (ref, _, _, nbytes) = next(
                 iter(self._entries.items())
             )
@@ -366,6 +371,7 @@ class _ViewBudget:
                 continue
             self._evict_segment(column, attr, seg)
             self._drop_entries([(cid, attr, seg)])
+        self.evicted_bytes += max(used_before - self.used, 0)
 
     def _evict_segment(self, column: "BwdColumn", attr: str, seg: int) -> None:
         """Release one segment of a view, keeping the others resident."""
@@ -411,6 +417,11 @@ def view_segment_rows() -> int:
 def view_cache_bytes() -> int:
     """Total bytes of decoded views currently held across live columns."""
     return _VIEW_BUDGET.used
+
+
+def view_eviction_stats() -> tuple[int, int]:
+    """Lifetime ``(eviction events, bytes released)`` under the budget."""
+    return _VIEW_BUDGET.evictions, _VIEW_BUDGET.evicted_bytes
 
 
 class BwdColumn:

@@ -1,0 +1,123 @@
+"""Acceptance: one serve run exports one valid Chrome trace with everything.
+
+A 4-shard session with transient faults, a forced straggler (hedge) and
+delta rows in flight serves a small workload; the tracer must export a
+single valid Chrome-trace-event JSON containing every fragment attempt,
+retry backoff, hedge, merge and delta span — each carrying wall-clock
+*and* modeled durations — plus flow events linking retries and hedges.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.policy import RetryPolicy
+from repro.faults.profile import FaultProfile
+from repro.obs.trace import Tracer
+from repro.shard.session import ShardedSession
+from repro.storage.column import IntType
+
+DOMAIN = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    rng = np.random.default_rng(3)
+    s = ShardedSession(4, retry_policy=RetryPolicy())
+    s.create_table(
+        "fact", {"v": IntType()},
+        {"v": rng.integers(0, DOMAIN, 60_000).astype(np.int64)},
+    )
+    s.bwdecompose("fact", "v", 24)
+    tracer = Tracer(slow_ms=0.0)
+    s.attach_tracer(tracer)
+    inj = s.inject_faults(FaultProfile(transient_rate=0.35), seed=11)
+    s.append("fact", {"v": rng.integers(0, DOMAIN, 800).astype(np.int64)})
+
+    inj.slow_next(3, 50.0)  # force one hedged fragment
+    with s.serve(max_batch=4, optimizer="cost") as server:
+        handles = [
+            s.table("fact").where("v", between=(lo, hi)).count("n")
+            .submit(server)
+            for lo, hi in (
+                (0, 500_000), (100_000, 800_000),
+                (200_000, 900_000), (0, DOMAIN),
+            )
+        ]
+        server.drain()
+        results = [h.result() for h in handles]
+
+    path = tmp_path_factory.mktemp("trace") / "serve.json"
+    n_events = tracer.export(path)
+    assert n_events > 0
+    with open(path) as fh:
+        doc = json.load(fh)
+    return s, tracer, doc, results
+
+
+def _spans(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+
+def test_export_is_valid_chrome_trace(exported):
+    _, _, doc, results = exported
+    assert all(r.row_count == 1 for r in results)
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    for e in events:
+        assert e["ph"] in ("X", "M", "i", "s", "f")
+        if e["ph"] != "M":
+            assert e["ts"] >= 0
+        assert "pid" in e and "tid" in e
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_every_attempt_backoff_hedge_merge_delta_present(exported):
+    s, _, doc, _ = exported
+    names = [e["name"] for e in _spans(doc)]
+    attempts = [n for n in names if n.startswith("attempt ")]
+    # Every fragment attempt the executor billed appears as a span:
+    # successes plus every retried failure, on every traced query.
+    assert len(attempts) >= 4
+    assert any(n == "fault.retry.backoff" for n in names)
+    assert any(n == "hedge.attempt" for n in names)
+    assert any(n == "shard.merge" for n in names)
+    assert any(n.startswith("ingest.delta.") for n in names)
+    # Instants mark the hedge decision.
+    instants = [e["name"] for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert "hedge.launch" in instants and "hedge.resolved" in instants
+
+
+def test_spans_carry_both_clocks(exported):
+    _, _, doc, _ = exported
+    spans = _spans(doc)
+    assert all("wall_ms" in e["args"] for e in spans)
+    backoffs = [e for e in spans if e["name"] == "fault.retry.backoff"]
+    assert backoffs
+    for e in backoffs:
+        assert e["args"]["modeled_ms"] > 0
+    # The modeled ledger is laid out on its own tracks (odd pids).
+    modeled_pids = {e["pid"] for e in spans if e["pid"] % 2 == 1}
+    assert modeled_pids
+
+
+def test_retry_and_hedge_flows_link(exported):
+    _, _, doc, _ = exported
+    starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+    finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+    assert starts and finishes
+    assert {e["id"] for e in starts} & {e["id"] for e in finishes}
+
+
+def test_metrics_and_slow_log_populated(exported):
+    _, tracer, _, _ = exported
+    snap = tracer.metrics.snapshot()
+    assert snap["counters"]["serve.completed"] == 4
+    assert snap["counters"]["serve.retries"] > 0
+    assert snap["counters"]["trace.roots"] >= 1
+    assert "serve.queue.depth" in snap["gauges"]
+    # slow_ms=0 arms the slow-query log for everything.
+    assert len(tracer.slow_log.entries) >= 1
+    rendered = tracer.slow_log.render()
+    assert "slow" in rendered

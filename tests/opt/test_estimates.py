@@ -98,3 +98,74 @@ def test_theta_estimate_scaled_by_selection(session):
         card.candidate_pairs * 0.5, rel=0.01
     )
     assert half.certain_pairs <= half.candidate_pairs
+
+
+# ----------------------------------------------------------------------
+# Delta-aware estimates (PR 10): pending rows are invisible to the
+# histograms but always evaluated exactly — the estimator adds the exact
+# delta row count on top of its base-segment figures.
+# ----------------------------------------------------------------------
+def _delta_session():
+    rng = np.random.default_rng(23)
+    s = Session()
+    s.create_table(
+        "L", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, 5_000)}
+    )
+    s.create_table(
+        "R", {"v": IntType()}, {"v": rng.integers(0, DOMAIN, 200)}
+    )
+    s.bwdecompose("L", "v", 24)
+    s.bwdecompose("R", "v", 24)
+    return s, rng
+
+
+def test_scan_estimate_adds_exact_delta_rows():
+    s, rng = _delta_session()
+    pred = _pred("v", 0, DOMAIN // 4)
+    base = estimate_scan_candidates(s.catalog, "L", pred)
+    s.append("L", {"v": rng.integers(0, DOMAIN, 137)})
+    assert estimate_scan_candidates(s.catalog, "L", pred) == base + 137
+    s.compact("L")
+    # Folded into base segments: back under histogram control (the delta
+    # surcharge is gone; the histogram was rebuilt over base+delta).
+    folded = estimate_scan_candidates(s.catalog, "L", pred)
+    assert abs(folded - base) <= 137
+
+
+def test_theta_estimate_adds_delta_cross_terms():
+    s, rng = _delta_session()
+    catalog = s.catalog
+    left = catalog.decomposition_of("L", "v")
+    right = catalog.decomposition_of("R", "v")
+    theta = Theta(ThetaOp.LT)
+    kw = dict(
+        left_hist=catalog.histogram_of("L", "v"),
+        right_hist=catalog.histogram_of("R", "v"),
+    )
+    base = estimate_theta_cardinality(left, right, theta, **kw)
+    card = estimate_theta_cardinality(
+        left, right, theta, left_delta_rows=50, right_delta_rows=7, **kw
+    )
+    assert card.n_left == base.n_left + 50
+    assert card.n_right == base.n_right + 7
+    expected = (
+        base.candidate_pairs
+        + 50 * card.n_right          # new-left × all-right
+        + base.n_left * 7            # base-left × new-right
+    )
+    assert card.candidate_pairs == min(expected, card.n_left * card.n_right)
+    assert card.candidate_pairs > base.candidate_pairs
+
+
+def test_choose_theta_sees_pending_delta():
+    from repro.opt.planner import choose_theta
+
+    s, rng = _delta_session()
+    s.append("L", {"v": rng.integers(0, DOMAIN, 300)})
+    query = (
+        s.table("L").theta_join("R", on="v", op="<").count("n").build()
+    )
+    _, decision = choose_theta(query, s.catalog)
+    assert decision.chosen in {a.label for a in decision.alternatives}
+    # The recorded pair estimate covers the delta-inclusive left side.
+    assert decision.estimates.get("n_left", 5_300) == 5_300
